@@ -1,0 +1,142 @@
+// Ablation studies for the design choices DESIGN.md calls out:
+//   (1) Appro inner pricing — congestion-aware slot costs (default) vs the
+//       paper's literal congestion-free Eq. (9);
+//   (2) LCF coordinated-set selection — Largest-Cost-First vs random vs
+//       smallest-cost-first (is LCF's "enlarge the influence" heuristic
+//       actually pulling weight?);
+//   (3) selfish players' starting profile — cold start (remote) vs warm
+//       start at the Appro seats.
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+
+#include "core/appro.h"
+#include "core/congestion_game.h"
+#include "core/lcf.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace mecsc;
+
+/// LCF variant with a pluggable coordinated-set rule.
+enum class Selection { LargestCost, Random, SmallestCost };
+
+double lcf_variant(const core::Instance& inst, Selection rule,
+                   util::Rng& rng) {
+  const core::ApproResult appro = core::run_appro(inst);
+  const std::size_t n = inst.provider_count();
+  const auto count = static_cast<std::size_t>(0.7 * static_cast<double>(n));
+  std::vector<core::ProviderId> order(n);
+  std::iota(order.begin(), order.end(), core::ProviderId{0});
+  switch (rule) {
+    case Selection::LargestCost:
+      std::stable_sort(order.begin(), order.end(), [&](auto a, auto b) {
+        return appro.assignment.provider_cost(a) >
+               appro.assignment.provider_cost(b);
+      });
+      break;
+    case Selection::SmallestCost:
+      std::stable_sort(order.begin(), order.end(), [&](auto a, auto b) {
+        return appro.assignment.provider_cost(a) <
+               appro.assignment.provider_cost(b);
+      });
+      break;
+    case Selection::Random:
+      rng.shuffle(order);
+      break;
+  }
+  std::vector<bool> movable(n, true);
+  core::Assignment start(inst);
+  for (std::size_t k = 0; k < count; ++k) {
+    const core::ProviderId l = order[k];
+    movable[l] = false;
+    const std::size_t seat = appro.assignment.choice(l);
+    if (seat != core::kRemote) start.move(l, seat);
+  }
+  return core::best_response_dynamics(std::move(start), movable)
+      .assignment.social_cost();
+}
+
+}  // namespace
+
+int main() {
+  using namespace mecsc;
+  constexpr std::size_t kRepetitions = 5;
+
+  // --- (1) Appro pricing ----------------------------------------------------
+  util::Table pricing({"network size", "congestion-aware", "literal Eq.(9)",
+                       "aware advantage %"});
+  for (const std::size_t size : {100u, 200u, 300u}) {
+    util::RunningStats aware, literal;
+    for (std::size_t rep = 0; rep < kRepetitions; ++rep) {
+      util::Rng rng(800 + rep);
+      core::InstanceParams p;
+      p.network_size = size;
+      p.provider_count = 100;
+      const core::Instance inst = core::generate_instance(p, rng);
+      aware.add(core::run_appro(inst).assignment.social_cost());
+      core::ApproOptions lit;
+      lit.congestion_aware = false;
+      literal.add(core::run_appro(inst, lit).assignment.social_cost());
+    }
+    pricing.add_row({static_cast<long long>(size), aware.mean(),
+                     literal.mean(),
+                     100.0 * (literal.mean() - aware.mean()) /
+                         literal.mean()});
+  }
+
+  // --- (2) coordinated-set selection rule ------------------------------------
+  util::Table selection({"network size", "LCF (largest cost)", "random",
+                         "smallest cost"});
+  for (const std::size_t size : {100u, 200u}) {
+    util::RunningStats lcf, random, smallest;
+    for (std::size_t rep = 0; rep < kRepetitions; ++rep) {
+      util::Rng rng(900 + rep);
+      core::InstanceParams p;
+      p.network_size = size;
+      p.provider_count = 100;
+      const core::Instance inst = core::generate_instance(p, rng);
+      util::Rng sel_rng(42 + rep);
+      lcf.add(lcf_variant(inst, Selection::LargestCost, sel_rng));
+      random.add(lcf_variant(inst, Selection::Random, sel_rng));
+      smallest.add(lcf_variant(inst, Selection::SmallestCost, sel_rng));
+    }
+    selection.add_row({static_cast<long long>(size), lcf.mean(),
+                       random.mean(), smallest.mean()});
+  }
+
+  // --- (3) selfish start ------------------------------------------------------
+  util::Table start({"network size", "cold start (remote)",
+                     "warm start (Appro seats)"});
+  for (const std::size_t size : {100u, 200u}) {
+    util::RunningStats cold, warm;
+    for (std::size_t rep = 0; rep < kRepetitions; ++rep) {
+      util::Rng rng(950 + rep);
+      core::InstanceParams p;
+      p.network_size = size;
+      p.provider_count = 100;
+      const core::Instance inst = core::generate_instance(p, rng);
+      core::LcfOptions c, w;
+      c.selfish_start_at_appro = false;
+      w.selfish_start_at_appro = true;
+      cold.add(core::run_lcf(inst, c).social_cost());
+      warm.add(core::run_lcf(inst, w).social_cost());
+    }
+    start.add_row(
+        {static_cast<long long>(size), cold.mean(), warm.mean()});
+  }
+
+  std::cout << "Ablations — " << kRepetitions << " seeds per point\n";
+  util::print_section(std::cout,
+                      "(1) Appro slot pricing (social cost, lower=better)",
+                      pricing);
+  util::print_section(std::cout,
+                      "(2) Coordinated-set selection rule (social cost)",
+                      selection);
+  util::print_section(std::cout, "(3) Selfish starting profile (social cost)",
+                      start);
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Shared helpers for the figure-reproduction bench binaries.
+//
+// Every bench regenerates one figure of the paper's §IV as fixed-width
+// tables (one table per sub-figure), averaging each data point over a few
+// seeded repetitions. Absolute dollar values differ from the paper (our
+// substrate prices are synthetic); the *shapes* — orderings, trends,
+// crossovers — are the reproduction target (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/baselines.h"
+#include "core/instance.h"
+#include "core/lcf.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace mecsc::bench {
+
+/// Number of seeded repetitions per data point.
+inline constexpr std::size_t kRepetitions = 5;
+
+/// Metrics of one algorithm run on one instance.
+struct RunMetrics {
+  double social_cost = 0.0;
+  double selfish_cost = 0.0;      ///< cost of the selfish provider subset
+  double coordinated_cost = 0.0;  ///< cost of the coordinated subset
+  double elapsed_ms = 0.0;
+};
+
+/// Runs LCF / JoOffloadCache / OffloadCache on `inst` with the given selfish
+/// share (1-ξ). The coordinated/selfish provider split is determined by LCF
+/// and applied to the baselines' cost breakdowns too, so Fig. 2(b)/(c)
+/// compare the same provider subsets across algorithms.
+struct AlgorithmComparison {
+  RunMetrics lcf;
+  RunMetrics jo;
+  RunMetrics offload;
+};
+
+inline AlgorithmComparison compare_algorithms(const core::Instance& inst,
+                                              double one_minus_xi) {
+  AlgorithmComparison out;
+  core::LcfOptions options;
+  options.coordinated_fraction = 1.0 - one_minus_xi;
+
+  util::Timer t1;
+  const core::LcfResult lcf = core::run_lcf(inst, options);
+  out.lcf.elapsed_ms = t1.elapsed_ms();
+  out.lcf.social_cost = lcf.social_cost();
+  out.lcf.selfish_cost = lcf.selfish_cost;
+  out.lcf.coordinated_cost = lcf.coordinated_cost;
+
+  auto breakdown = [&](const core::Assignment& a, RunMetrics& m) {
+    m.social_cost = a.social_cost();
+    for (core::ProviderId l = 0; l < inst.provider_count(); ++l) {
+      (lcf.coordinated[l] ? m.coordinated_cost : m.selfish_cost) +=
+          a.provider_cost(l);
+    }
+  };
+  util::Timer t2;
+  const core::Assignment jo = core::run_jo_offload_cache(inst);
+  out.jo.elapsed_ms = t2.elapsed_ms();
+  breakdown(jo, out.jo);
+
+  util::Timer t3;
+  const core::Assignment oc = core::run_offload_cache(inst);
+  out.offload.elapsed_ms = t3.elapsed_ms();
+  breakdown(oc, out.offload);
+  return out;
+}
+
+/// Averages a metric across repetitions via a caller-provided extractor.
+template <typename Fn>
+double mean_of(const std::vector<AlgorithmComparison>& runs, Fn&& get) {
+  util::RunningStats s;
+  for (const auto& r : runs) s.add(get(r));
+  return s.mean();
+}
+
+}  // namespace mecsc::bench

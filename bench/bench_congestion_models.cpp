@@ -1,0 +1,64 @@
+// Congestion-model study (§II-C's extension point): how the market outcome
+// changes when the proportional model is replaced by other non-decreasing
+// congestion functions, for all three algorithms.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/congestion_model.h"
+
+int main() {
+  using namespace mecsc;
+  using namespace mecsc::bench;
+  constexpr std::size_t kReps = 5;
+
+  util::Table cost({"congestion model", "LCF", "JoOffloadCache",
+                    "OffloadCache", "LCF advantage %"});
+  util::Table spread({"congestion model", "LCF: max tenants",
+                      "LCF: cached services", "NE rounds"});
+
+  for (const auto kind :
+       {core::CongestionKind::Harmonic, core::CongestionKind::Linear,
+        core::CongestionKind::Quadratic, core::CongestionKind::Exponential}) {
+    util::RunningStats lcf, jo, oc, peak, cached, rounds;
+    for (std::size_t rep = 0; rep < kReps; ++rep) {
+      util::Rng rng(3000 + rep);
+      core::InstanceParams p;
+      p.network_size = 150;
+      p.provider_count = 100;
+      core::Instance inst = core::generate_instance(p, rng);
+      inst.cost.congestion = kind;
+
+      core::LcfOptions options;
+      options.coordinated_fraction = 0.7;
+      const core::LcfResult r = core::run_lcf(inst, options);
+      lcf.add(r.social_cost());
+      jo.add(core::run_jo_offload_cache(inst).social_cost());
+      oc.add(core::run_offload_cache(inst).social_cost());
+      rounds.add(static_cast<double>(r.game_rounds));
+      std::size_t pk = 0, cd = 0;
+      for (core::CloudletId i = 0; i < inst.cloudlet_count(); ++i) {
+        pk = std::max(pk, r.assignment.occupancy(i));
+      }
+      for (core::ProviderId l = 0; l < inst.provider_count(); ++l) {
+        if (r.assignment.choice(l) != core::kRemote) ++cd;
+      }
+      peak.add(static_cast<double>(pk));
+      cached.add(static_cast<double>(cd));
+    }
+    const std::string name = core::congestion_kind_name(kind);
+    cost.add_row({name, lcf.mean(), jo.mean(), oc.mean(),
+                  100.0 * (jo.mean() - lcf.mean()) / jo.mean()});
+    spread.add_row({name, peak.mean(), cached.mean(), rounds.mean()});
+  }
+
+  std::cout << "Congestion-model study — 100 providers, size 150, 1-xi=0.3, "
+            << kReps << " seeds per point\n";
+  util::print_section(std::cout, "Social cost by congestion model", cost);
+  util::print_section(std::cout, "LCF placement structure", spread);
+  std::cout
+      << "Reading: sharper congestion (quadratic/exponential) shrinks the\n"
+         "peak cloudlet occupancy and pushes more services remote; LCF's\n"
+         "advantage over the congestion-blind baselines widens because\n"
+         "piling up gets costlier.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Fig. 2 — Algorithm performance in GT-ITM generated networks with sizes
+// varied from 50 to 400 (100 providers, 1-ξ = 0.3).
+//   (a) social cost            (b) cost of the selfish providers
+//   (c) cost of the coordinated providers   (d) running times
+#include "bench_common.h"
+
+int main() {
+  using namespace mecsc;
+  using namespace mecsc::bench;
+
+  const std::vector<std::size_t> sizes{50, 100, 150, 200, 250, 300, 350, 400};
+  constexpr double kOneMinusXi = 0.3;
+
+  util::Table social({"network size", "LCF", "JoOffloadCache", "OffloadCache"});
+  util::Table selfish(
+      {"network size", "LCF", "JoOffloadCache", "OffloadCache"});
+  util::Table coordinated(
+      {"network size", "LCF", "JoOffloadCache", "OffloadCache"});
+  util::Table runtime({"network size", "LCF (ms)", "JoOffloadCache (ms)",
+                       "OffloadCache (ms)"});
+
+  for (const std::size_t size : sizes) {
+    std::vector<AlgorithmComparison> runs;
+    for (std::size_t rep = 0; rep < kRepetitions; ++rep) {
+      util::Rng rng(1000 * size + rep);
+      core::InstanceParams params;
+      params.network_size = size;
+      params.provider_count = 100;
+      const core::Instance inst = core::generate_instance(params, rng);
+      runs.push_back(compare_algorithms(inst, kOneMinusXi));
+    }
+    const auto n = static_cast<long long>(size);
+    social.add_row(
+        {n, mean_of(runs, [](auto& r) { return r.lcf.social_cost; }),
+         mean_of(runs, [](auto& r) { return r.jo.social_cost; }),
+         mean_of(runs, [](auto& r) { return r.offload.social_cost; })});
+    selfish.add_row(
+        {n, mean_of(runs, [](auto& r) { return r.lcf.selfish_cost; }),
+         mean_of(runs, [](auto& r) { return r.jo.selfish_cost; }),
+         mean_of(runs, [](auto& r) { return r.offload.selfish_cost; })});
+    coordinated.add_row(
+        {n, mean_of(runs, [](auto& r) { return r.lcf.coordinated_cost; }),
+         mean_of(runs, [](auto& r) { return r.jo.coordinated_cost; }),
+         mean_of(runs, [](auto& r) { return r.offload.coordinated_cost; })});
+    runtime.add_row(
+        {n, mean_of(runs, [](auto& r) { return r.lcf.elapsed_ms; }),
+         mean_of(runs, [](auto& r) { return r.jo.elapsed_ms; }),
+         mean_of(runs, [](auto& r) { return r.offload.elapsed_ms; })});
+  }
+
+  std::cout << "Fig. 2 — GT-ITM networks, 100 providers, 1-xi = 0.3, "
+            << kRepetitions << " seeds per point\n";
+  util::print_section(std::cout, "Fig. 2 (a) social cost", social);
+  util::print_section(std::cout, "Fig. 2 (b) cost of the selfish providers",
+                      selfish);
+  util::print_section(std::cout,
+                      "Fig. 2 (c) cost of the coordinated providers",
+                      coordinated);
+  util::print_section(std::cout, "Fig. 2 (d) running times", runtime);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Fig. 3 — Impact of the selfish share (1-ξ) in a GT-ITM network of size
+// 250 (100 providers), (1-ξ) varied from 0 to 1.
+//   (a) social cost            (b) cost of the selfish providers
+//   (c) cost of the coordinated providers   (d) running times
+#include "bench_common.h"
+
+int main() {
+  using namespace mecsc;
+  using namespace mecsc::bench;
+
+  constexpr std::size_t kSize = 250;
+  const std::vector<double> shares{0.0, 0.1, 0.2, 0.3, 0.4, 0.5,
+                                   0.6, 0.7, 0.8, 0.9, 1.0};
+
+  util::Table social({"1-xi", "LCF", "JoOffloadCache", "OffloadCache"});
+  util::Table selfish({"1-xi", "LCF", "JoOffloadCache", "OffloadCache"});
+  util::Table coordinated({"1-xi", "LCF", "JoOffloadCache", "OffloadCache"});
+  util::Table runtime(
+      {"1-xi", "LCF (ms)", "JoOffloadCache (ms)", "OffloadCache (ms)"});
+
+  for (const double share : shares) {
+    std::vector<AlgorithmComparison> runs;
+    for (std::size_t rep = 0; rep < kRepetitions; ++rep) {
+      util::Rng rng(777 + rep);  // same instances across shares
+      core::InstanceParams params;
+      params.network_size = kSize;
+      params.provider_count = 100;
+      const core::Instance inst = core::generate_instance(params, rng);
+      runs.push_back(compare_algorithms(inst, share));
+    }
+    social.add_row(
+        {share, mean_of(runs, [](auto& r) { return r.lcf.social_cost; }),
+         mean_of(runs, [](auto& r) { return r.jo.social_cost; }),
+         mean_of(runs, [](auto& r) { return r.offload.social_cost; })});
+    selfish.add_row(
+        {share, mean_of(runs, [](auto& r) { return r.lcf.selfish_cost; }),
+         mean_of(runs, [](auto& r) { return r.jo.selfish_cost; }),
+         mean_of(runs, [](auto& r) { return r.offload.selfish_cost; })});
+    coordinated.add_row(
+        {share, mean_of(runs, [](auto& r) { return r.lcf.coordinated_cost; }),
+         mean_of(runs, [](auto& r) { return r.jo.coordinated_cost; }),
+         mean_of(runs, [](auto& r) { return r.offload.coordinated_cost; })});
+    runtime.add_row(
+        {share, mean_of(runs, [](auto& r) { return r.lcf.elapsed_ms; }),
+         mean_of(runs, [](auto& r) { return r.jo.elapsed_ms; }),
+         mean_of(runs, [](auto& r) { return r.offload.elapsed_ms; })});
+  }
+
+  std::cout << "Fig. 3 — GT-ITM network size 250, 100 providers, "
+            << kRepetitions << " seeds per point\n";
+  util::print_section(std::cout, "Fig. 3 (a) social cost", social);
+  util::print_section(std::cout, "Fig. 3 (b) cost of the selfish providers",
+                      selfish);
+  util::print_section(std::cout,
+                      "Fig. 3 (c) cost of the coordinated providers",
+                      coordinated);
+  util::print_section(std::cout, "Fig. 3 (d) running times", runtime);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Fig. 5 — Performance in the (emulated) test-bed with both physical
+// underlay and virtual overlay: AS1755 overlay, 1-ξ = 0.3.
+//   (a) social cost (measured by the emulator)   (b) running times
+// X-axis: number of service caching requests (providers), as in the paper's
+// test-bed runs.
+#include "sim/testbed.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+#include <iostream>
+
+int main() {
+  using namespace mecsc;
+  constexpr std::size_t kRepetitions = 3;
+  const std::vector<std::size_t> provider_counts{25, 50, 75, 100};
+
+  util::Table cost({"providers", "LCF", "JoOffloadCache", "OffloadCache"});
+  util::Table runtime(
+      {"providers", "LCF (ms)", "JoOffloadCache (ms)", "OffloadCache (ms)"});
+  util::Table latency({"providers", "LCF p50 (ms)", "JoOffloadCache p50 (ms)",
+                       "OffloadCache p50 (ms)"});
+
+  for (const std::size_t n : provider_counts) {
+    util::RunningStats c[3], t[3], lat[3];
+    for (std::size_t rep = 0; rep < kRepetitions; ++rep) {
+      util::Rng rng(9000 + 37 * n + rep);
+      sim::TestbedConfig config;
+      config.provider_count = n;
+      config.one_minus_xi = 0.3;
+      config.workload.horizon_s = 20.0;
+      const sim::TestbedRun run = sim::run_testbed(config, rng);
+      for (std::size_t a = 0; a < 3; ++a) {
+        c[a].add(run.results[a].measured_social_cost);
+        t[a].add(run.results[a].algorithm_ms);
+        lat[a].add(run.results[a].request_latency_s.p50 * 1e3);
+      }
+    }
+    const auto nn = static_cast<long long>(n);
+    cost.add_row({nn, c[0].mean(), c[1].mean(), c[2].mean()});
+    runtime.add_row({nn, t[0].mean(), t[1].mean(), t[2].mean()});
+    latency.add_row({nn, lat[0].mean(), lat[1].mean(), lat[2].mean()});
+  }
+
+  std::cout << "Fig. 5 — emulated test-bed (AS1755 overlay), 1-xi = 0.3, "
+            << kRepetitions << " seeds per point\n";
+  util::print_section(std::cout, "Fig. 5 (a) social cost (measured)", cost);
+  util::print_section(std::cout, "Fig. 5 (b) running times", runtime);
+  util::print_section(
+      std::cout, "Fig. 5 (extra) median request latency in the overlay",
+      latency);
+  return 0;
+}

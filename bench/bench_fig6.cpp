@@ -1,0 +1,137 @@
+// Fig. 6 — Test-bed parameter studies (emulated AS1755 overlay unless a
+// panel varies the topology itself):
+//   (a) impact of the selfish share 1-ξ on the measured social cost
+//   (b) impact of the number of service-caching requests (providers)
+//   (c) impact of the network size (50..400; the paper observes the total
+//       cost dipping around size 200 before rising again)
+//   (d) impact of the consistency-update data volume
+#include <iostream>
+
+#include "bench_common.h"
+#include "sim/emulation.h"
+#include "sim/testbed.h"
+#include "sim/workload.h"
+
+namespace {
+
+using namespace mecsc;
+
+/// Measured social cost of the three algorithms on one emulated scenario.
+struct Measured {
+  double lcf = 0.0, jo = 0.0, offload = 0.0;
+};
+
+Measured measure(const core::Instance& inst, double one_minus_xi,
+                 util::Rng& rng) {
+  sim::WorkloadParams wp;
+  wp.horizon_s = 15.0;
+  const auto trace = sim::generate_workload(inst, wp, rng);
+  Measured m;
+  m.lcf = sim::replay(
+              sim::run_algorithm(inst, sim::Algorithm::Lcf, one_minus_xi,
+                                 nullptr),
+              trace)
+              .measured_social_cost;
+  m.jo = sim::replay(sim::run_algorithm(inst, sim::Algorithm::JoOffloadCache,
+                                        one_minus_xi, nullptr),
+                     trace)
+             .measured_social_cost;
+  m.offload = sim::replay(
+                  sim::run_algorithm(inst, sim::Algorithm::OffloadCache,
+                                     one_minus_xi, nullptr),
+                  trace)
+                  .measured_social_cost;
+  return m;
+}
+
+core::Instance as1755_instance(std::size_t providers, util::Rng& rng,
+                               double update_fraction = 0.10) {
+  core::InstanceParams p;
+  p.use_as1755 = true;
+  p.provider_count = providers;
+  p.update_fraction = update_fraction;
+  return core::generate_instance(p, rng);
+}
+
+}  // namespace
+
+int main() {
+  using namespace mecsc;
+  constexpr std::size_t kRepetitions = 3;
+
+  // --- (a) selfish share ----------------------------------------------------
+  util::Table a({"1-xi", "LCF", "JoOffloadCache", "OffloadCache"});
+  for (const double share : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    util::RunningStats s[3];
+    for (std::size_t rep = 0; rep < kRepetitions; ++rep) {
+      util::Rng rng(100 + rep);
+      const core::Instance inst = as1755_instance(100, rng);
+      const Measured m = measure(inst, share, rng);
+      s[0].add(m.lcf);
+      s[1].add(m.jo);
+      s[2].add(m.offload);
+    }
+    a.add_row({share, s[0].mean(), s[1].mean(), s[2].mean()});
+  }
+
+  // --- (b) number of service caching requests -------------------------------
+  util::Table b({"providers", "LCF", "JoOffloadCache", "OffloadCache"});
+  for (const std::size_t n : {20u, 40u, 60u, 80u, 100u, 120u}) {
+    util::RunningStats s[3];
+    for (std::size_t rep = 0; rep < kRepetitions; ++rep) {
+      util::Rng rng(200 + rep);
+      const core::Instance inst = as1755_instance(n, rng);
+      const Measured m = measure(inst, 0.3, rng);
+      s[0].add(m.lcf);
+      s[1].add(m.jo);
+      s[2].add(m.offload);
+    }
+    b.add_row({static_cast<long long>(n), s[0].mean(), s[1].mean(),
+               s[2].mean()});
+  }
+
+  // --- (c) network size ------------------------------------------------------
+  util::Table c({"network size", "LCF", "JoOffloadCache", "OffloadCache"});
+  for (const std::size_t size : {50u, 100u, 150u, 200u, 250u, 300u, 400u}) {
+    util::RunningStats s[3];
+    for (std::size_t rep = 0; rep < kRepetitions; ++rep) {
+      util::Rng rng(300 + rep);
+      core::InstanceParams p;
+      p.network_size = size;
+      p.provider_count = 100;
+      const core::Instance inst = core::generate_instance(p, rng);
+      const Measured m = measure(inst, 0.3, rng);
+      s[0].add(m.lcf);
+      s[1].add(m.jo);
+      s[2].add(m.offload);
+    }
+    c.add_row({static_cast<long long>(size), s[0].mean(), s[1].mean(),
+               s[2].mean()});
+  }
+
+  // --- (d) update data volume -------------------------------------------------
+  util::Table d(
+      {"update fraction", "LCF", "JoOffloadCache", "OffloadCache"});
+  for (const double frac : {0.02, 0.05, 0.10, 0.20, 0.40}) {
+    util::RunningStats s[3];
+    for (std::size_t rep = 0; rep < kRepetitions; ++rep) {
+      util::Rng rng(400 + rep);
+      const core::Instance inst = as1755_instance(100, rng, frac);
+      const Measured m = measure(inst, 0.3, rng);
+      s[0].add(m.lcf);
+      s[1].add(m.jo);
+      s[2].add(m.offload);
+    }
+    d.add_row({frac, s[0].mean(), s[1].mean(), s[2].mean()});
+  }
+
+  std::cout << "Fig. 6 — emulated test-bed parameter studies, "
+            << kRepetitions << " seeds per point (measured social cost)\n";
+  util::print_section(std::cout, "Fig. 6 (a) impact of 1-xi", a);
+  util::print_section(std::cout,
+                      "Fig. 6 (b) impact of the number of requests", b);
+  util::print_section(std::cout, "Fig. 6 (c) impact of the network size", c);
+  util::print_section(std::cout,
+                      "Fig. 6 (d) impact of the update data volume", d);
+  return 0;
+}

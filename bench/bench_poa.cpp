@@ -1,0 +1,49 @@
+// Theorem 1 validation — empirical Price of Anarchy of the approximation-
+// restricted Stackelberg mechanism versus the theoretical bound
+// 2δκ/(1-v)·(1/(4v)+1-ξ), on instances small enough for the exact social
+// optimum (the PoA denominator).
+#include <iostream>
+
+#include "core/poa.h"
+#include "core/virtual_cloudlet.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace mecsc;
+  constexpr std::size_t kInstances = 5;
+
+  util::Table table({"xi", "worst NE / OPT", "best NE / OPT",
+                     "Theorem 1 bound", "bound looseness"});
+  for (const double xi : {0.0, 0.25, 0.5, 0.75}) {
+    util::RunningStats worst, best, bound;
+    for (std::size_t k = 0; k < kInstances; ++k) {
+      util::Rng rng(600 + 13 * k);
+      core::InstanceParams p;
+      p.network_size = 50;
+      p.provider_count = 9;  // exact OPT affordable
+      const core::Instance inst = core::generate_instance(p, rng);
+      core::PoaOptions options;
+      options.coordinated_fraction = xi;
+      options.restarts = 25;
+      util::Rng poa_rng(rng.split());
+      const core::PoaResult r = core::estimate_poa(inst, options, poa_rng);
+      if (!r.optimum_exact || r.equilibria_found == 0) continue;
+      worst.add(r.empirical_poa);
+      best.add(r.best_equilibrium_cost / r.optimum_cost);
+      bound.add(r.theoretical_bound);
+    }
+    table.add_row({xi, worst.mean(), best.mean(), bound.mean(),
+                   bound.mean() / std::max(worst.mean(), 1e-9)});
+  }
+
+  std::cout << "Theorem 1 — empirical PoA vs bound ("
+            << kInstances << " instances per row, 9 providers, exact OPT)\n";
+  util::print_section(std::cout, "Price of Anarchy of the LCF mechanism",
+                      table);
+  std::cout << "Reading: worst-NE/OPT must stay below the Theorem 1 bound;\n"
+               "the bound is loose by design (looseness column), and both\n"
+               "the empirical PoA and the bound shrink as xi grows.\n";
+  return 0;
+}

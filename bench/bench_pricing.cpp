@@ -1,0 +1,72 @@
+// Pricing vs contracts (extension): can the infrastructure provider steer
+// the selfish market to the coordinated placement with posted cloudlet
+// prices instead of bulk-lease contracts? Compares social cost, how closely
+// the priced equilibrium tracks the Appro congestion profile, and the price
+// revenue the leader collects.
+#include <iostream>
+
+#include "core/congestion_game.h"
+#include "core/lcf.h"
+#include "core/pricing.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace mecsc;
+  constexpr std::size_t kReps = 5;
+
+  util::Table table({"network size", "Appro (target)", "LCF (contracts)",
+                     "pricing (posted)", "free NE", "occupancy gap: priced",
+                     "occupancy gap: free", "revenue"});
+  for (const std::size_t size : {80u, 150u, 250u}) {
+    util::RunningStats appro, lcf, priced, ne, gap_p, gap_f, revenue;
+    for (std::size_t rep = 0; rep < kReps; ++rep) {
+      util::Rng rng(8000 + rep);
+      core::InstanceParams p;
+      p.network_size = size;
+      p.provider_count = 100;
+      const core::Instance inst = core::generate_instance(p, rng);
+
+      const core::ApproResult a = core::run_appro(inst);
+      appro.add(a.assignment.social_cost());
+
+      core::LcfOptions lcf_opts;
+      lcf_opts.coordinated_fraction = 0.7;
+      lcf.add(core::run_lcf(inst, lcf_opts).social_cost());
+
+      const core::PricingResult pr = core::decentralize_by_pricing(inst);
+      priced.add(pr.social_cost);
+      gap_p.add(static_cast<double>(pr.occupancy_gap));
+      revenue.add(pr.revenue);
+
+      const core::GameResult free_ne = core::best_response_dynamics(
+          core::Assignment(inst),
+          std::vector<bool>(inst.provider_count(), true));
+      ne.add(free_ne.assignment.social_cost());
+      std::size_t fg = 0;
+      for (core::CloudletId i = 0; i < inst.cloudlet_count(); ++i) {
+        const auto occ =
+            static_cast<std::ptrdiff_t>(free_ne.assignment.occupancy(i));
+        const auto target =
+            static_cast<std::ptrdiff_t>(pr.target_occupancy[i]);
+        fg += static_cast<std::size_t>(std::abs(occ - target));
+      }
+      gap_f.add(static_cast<double>(fg));
+    }
+    table.add_row({static_cast<long long>(size), appro.mean(), lcf.mean(),
+                   priced.mean(), ne.mean(), gap_p.mean(), gap_f.mean(),
+                   revenue.mean()});
+  }
+
+  std::cout << "Pricing vs contracts — 100 providers, " << kReps
+            << " seeds per point (social cost; transfers excluded)\n";
+  util::print_section(std::cout,
+                      "Decentralizing the coordinated placement", table);
+  std::cout
+      << "Reading: posted prices pull the selfish equilibrium's congestion\n"
+         "profile toward the Appro target (gap: priced << free) without\n"
+         "contracts, at a social cost between LCF and the free equilibrium;\n"
+         "the leader additionally collects the price revenue.\n";
+  return 0;
+}

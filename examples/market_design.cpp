@@ -1,0 +1,99 @@
+// Market-design walkthrough: two ways for the infrastructure provider to
+// stabilize the service market —
+//   (a) contracts (the paper's LCF): pin the costliest providers to the
+//       coordinated placement, and measure how binding those contracts are
+//       (deviation incentives, side-payment budget);
+//   (b) posted prices (extension): publish a price per cloudlet and let
+//       everyone act selfishly; tâtonnement tunes the prices until the
+//       equilibrium matches the coordinated congestion profile.
+//
+//   ./market_design [network_size] [providers] [seed]
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/congestion_game.h"
+#include "core/delay_model.h"
+#include "core/incentives.h"
+#include "core/lcf.h"
+#include "core/pricing.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mecsc;
+  const std::size_t size = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 150;
+  const std::size_t providers =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 100;
+  const std::uint64_t seed =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 21;
+
+  util::Rng rng(seed);
+  core::InstanceParams params;
+  params.network_size = size;
+  params.provider_count = providers;
+  const core::Instance inst = core::generate_instance(params, rng);
+  std::cout << "Market: " << inst.cloudlet_count() << " cloudlets, "
+            << providers << " providers\n";
+
+  // --- (a) Contracts ---------------------------------------------------------
+  core::LcfOptions lcf_options;
+  lcf_options.coordinated_fraction = 0.7;
+  const core::LcfResult lcf = core::run_lcf(inst, lcf_options);
+  const core::StabilityReport stability = core::analyze_stability(inst, lcf);
+
+  util::Table contracts({"metric", "value"});
+  contracts.add_row({std::string("social cost"), lcf.social_cost()});
+  contracts.add_row({std::string("coordinated providers"),
+                     static_cast<long long>(std::count(
+                         lcf.coordinated.begin(), lcf.coordinated.end(),
+                         true))});
+  contracts.add_row({std::string("contracts doing real work (binding)"),
+                     static_cast<long long>(stability.binding_contracts)});
+  contracts.add_row({std::string("side-payment budget for voluntary obedience"),
+                     stability.side_payment_budget});
+  contracts.add_row(
+      {std::string("budget as % of social cost"),
+       100.0 * stability.side_payment_budget / lcf.social_cost()});
+  util::print_section(std::cout, "(a) Stabilize by contract — LCF",
+                      contracts);
+
+  // --- (b) Posted prices -------------------------------------------------------
+  const core::PricingResult priced = core::decentralize_by_pricing(inst);
+  util::Table prices({"metric", "value"});
+  prices.add_row({std::string("social cost"), priced.social_cost});
+  prices.add_row({std::string("tatonnement iterations"),
+                  static_cast<long long>(priced.iterations)});
+  prices.add_row({std::string("occupancy gap vs coordinated target"),
+                  static_cast<long long>(priced.occupancy_gap)});
+  prices.add_row({std::string("leader's price revenue"), priced.revenue});
+  util::print_section(std::cout, "(b) Stabilize by posted prices", prices);
+
+  util::Table per_cloudlet({"cloudlet", "target occupancy",
+                            "priced-NE occupancy", "posted price"});
+  for (core::CloudletId i = 0; i < inst.cloudlet_count(); ++i) {
+    per_cloudlet.add_row(
+        {static_cast<long long>(i),
+         static_cast<long long>(priced.target_occupancy[i]),
+         static_cast<long long>(priced.assignment.occupancy(i)),
+         priced.prices[i]});
+  }
+  util::print_section(std::cout, "Posted price sheet", per_cloudlet);
+
+  // --- The uncoordinated alternatives ----------------------------------------
+  const core::GameResult free_ne = core::best_response_dynamics(
+      core::Assignment(inst), std::vector<bool>(providers, true));
+  util::Table verdict({"design", "social cost", "request delay (ms)"});
+  auto delay_of = [](const core::Assignment& a) {
+    return core::evaluate_delay(a).mean_delay_s * 1e3;
+  };
+  verdict.add_row({std::string("contracts (LCF)"), lcf.social_cost(),
+                   delay_of(lcf.assignment)});
+  verdict.add_row({std::string("posted prices"), priced.social_cost,
+                   delay_of(priced.assignment)});
+  verdict.add_row({std::string("laissez-faire (free NE)"),
+                   free_ne.assignment.social_cost(),
+                   delay_of(free_ne.assignment)});
+  util::print_section(std::cout, "Design comparison", verdict);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Price-of-Anarchy study: how bad can selfish caching get, and how much
+// does the approximation-restricted Stackelberg coordination help?
+// Uses instances small enough for the exact social optimum.
+//
+//   ./poa_study [providers] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/poa.h"
+#include "core/social_optimum.h"
+#include "core/virtual_cloudlet.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mecsc;
+  const std::size_t providers =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 9;
+  const std::uint64_t seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 3;
+
+  util::Rng rng(seed);
+  core::InstanceParams params;
+  params.network_size = 50;
+  params.provider_count = providers;
+  const core::Instance inst = core::generate_instance(params, rng);
+
+  const core::SocialOptimumResult opt = core::solve_social_optimum(inst);
+  std::cout << "Instance: " << providers << " providers, "
+            << inst.cloudlet_count() << " cloudlets. Exact OPT = " << opt.cost
+            << (opt.proven_optimal ? " (proven, " : " (incumbent, ")
+            << opt.nodes_explored << " B&B nodes)\n";
+
+  const auto split = core::split_cloudlets(inst);
+  std::cout << "delta = " << split.delta_max(inst)
+            << ", kappa = " << split.kappa_max(inst) << "\n";
+
+  util::Table table({"xi", "worst NE", "best NE", "empirical PoA",
+                     "Theorem 1 bound", "equilibria"});
+  for (const double xi : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+    core::PoaOptions options;
+    options.coordinated_fraction = xi;
+    options.restarts = 40;
+    util::Rng poa_rng(seed * 1000 + static_cast<std::uint64_t>(xi * 10));
+    const core::PoaResult r = core::estimate_poa(inst, options, poa_rng);
+    table.add_row({xi, r.worst_equilibrium_cost, r.best_equilibrium_cost,
+                   r.empirical_poa, r.theoretical_bound,
+                   static_cast<long long>(r.equilibria_found)});
+  }
+  util::print_section(std::cout,
+                      "Price of Anarchy vs coordination level (Theorem 1)",
+                      table);
+  std::cout
+      << "Reading: the Theorem 1 bound 2*delta*kappa/(1-v)*(1/(4v)+1-xi)\n"
+         "always dominates the empirical PoA; both shrink as the leader\n"
+         "coordinates more of the market (xi grows).\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+#include "core/assignment.h"
+
+#include <cassert>
+
+namespace mecsc::core {
+
+Assignment::Assignment(const Instance& inst)
+    : inst_(&inst),
+      choice_(inst.provider_count(), kRemote),
+      occupancy_(inst.cloudlet_count(), 0),
+      compute_load_(inst.cloudlet_count(), 0.0),
+      bandwidth_load_(inst.cloudlet_count(), 0.0) {}
+
+double Assignment::compute_left(CloudletId i) const {
+  return inst_->network.cloudlets()[i].compute_capacity - compute_load_[i];
+}
+
+double Assignment::bandwidth_left(CloudletId i) const {
+  return inst_->network.cloudlets()[i].bandwidth_capacity -
+         bandwidth_load_[i];
+}
+
+bool Assignment::can_move(ProviderId l, std::size_t target) const {
+  assert(l < choice_.size());
+  if (target == kRemote || target == choice_[l]) return true;
+  assert(target < inst_->cloudlet_count());
+  const ServiceProvider& p = inst_->providers[l];
+  constexpr double kSlack = 1e-9;
+  return p.compute_demand() <= compute_left(target) + kSlack &&
+         p.bandwidth_demand() <= bandwidth_left(target) + kSlack;
+}
+
+void Assignment::move(ProviderId l, std::size_t target) {
+  assert(can_move(l, target));
+  const std::size_t from = choice_[l];
+  if (from == target) return;
+  const ServiceProvider& p = inst_->providers[l];
+  if (from != kRemote) {
+    --occupancy_[from];
+    compute_load_[from] -= p.compute_demand();
+    bandwidth_load_[from] -= p.bandwidth_demand();
+  }
+  if (target != kRemote) {
+    ++occupancy_[target];
+    compute_load_[target] += p.compute_demand();
+    bandwidth_load_[target] += p.bandwidth_demand();
+  }
+  choice_[l] = target;
+}
+
+double Assignment::provider_cost(ProviderId l) const {
+  const std::size_t c = choice_[l];
+  if (c == kRemote) return remote_cost(*inst_, l);
+  return cache_cost(*inst_, l, c, occupancy_[c]);
+}
+
+double Assignment::provider_cost_if(ProviderId l, std::size_t target) const {
+  if (target == choice_[l]) return provider_cost(l);
+  if (target == kRemote) return remote_cost(*inst_, l);
+  // Joining: occupancy seen by l is current tenants + itself.
+  return cache_cost(*inst_, l, target, occupancy_[target] + 1);
+}
+
+double Assignment::social_cost() const {
+  double total = 0.0;
+  for (ProviderId l = 0; l < choice_.size(); ++l) total += provider_cost(l);
+  return total;
+}
+
+double Assignment::potential() const {
+  double phi = 0.0;
+  for (CloudletId i = 0; i < occupancy_.size(); ++i) {
+    phi += (inst_->cost.alpha[i] + inst_->cost.beta[i]) * kCongestionUnit *
+           congestion_shape_prefix_sum(inst_->cost.congestion, occupancy_[i]);
+  }
+  for (ProviderId l = 0; l < choice_.size(); ++l) {
+    phi += choice_[l] == kRemote ? remote_cost(*inst_, l)
+                                 : fixed_cache_cost(*inst_, l, choice_[l]);
+  }
+  return phi;
+}
+
+bool Assignment::feasible() const {
+  constexpr double kSlack = 1e-9;
+  for (CloudletId i = 0; i < occupancy_.size(); ++i) {
+    if (compute_load_[i] >
+            inst_->network.cloudlets()[i].compute_capacity + kSlack ||
+        bandwidth_load_[i] >
+            inst_->network.cloudlets()[i].bandwidth_capacity + kSlack) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<ProviderId> Assignment::tenants(CloudletId i) const {
+  std::vector<ProviderId> out;
+  for (ProviderId l = 0; l < choice_.size(); ++l) {
+    if (choice_[l] == i) out.push_back(l);
+  }
+  return out;
+}
+
+}  // namespace mecsc::core

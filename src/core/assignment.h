@@ -1,0 +1,78 @@
+// Solution representation: which cloudlet (or the remote cloud) serves each
+// provider's service, with incremental occupancy/load bookkeeping, cost
+// evaluation (Eq. (5)-(6)) and feasibility checking.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/instance.h"
+#include "core/types.h"
+
+namespace mecsc::core {
+
+/// A (possibly partial-in-construction, always structurally consistent)
+/// strategy profile σ: provider -> cloudlet id or kRemote.
+class Assignment {
+ public:
+  /// All providers start remote (the empty-cache profile).
+  explicit Assignment(const Instance& inst);
+
+  const Instance& instance() const { return *inst_; }
+  std::size_t provider_count() const { return choice_.size(); }
+
+  /// Current strategy of provider l.
+  std::size_t choice(ProviderId l) const { return choice_[l]; }
+
+  /// Number of cached instances in cloudlet i (|σ_i|).
+  std::size_t occupancy(CloudletId i) const { return occupancy_[i]; }
+
+  /// Resource headroom of cloudlet i under the current profile.
+  double compute_left(CloudletId i) const;
+  double bandwidth_left(CloudletId i) const;
+
+  /// True when moving provider l to `target` (a cloudlet id or kRemote)
+  /// respects both capacities of the target (l's current seat is vacated
+  /// first). Moving to kRemote is always allowed.
+  bool can_move(ProviderId l, std::size_t target) const;
+
+  /// Moves provider l to `target`. Precondition: can_move(l, target).
+  void move(ProviderId l, std::size_t target);
+
+  /// Cost currently paid by provider l (Eq. (5) plus the remote option).
+  double provider_cost(ProviderId l) const;
+
+  /// Cost provider l *would* pay after moving to `target`, everything else
+  /// fixed. Target may equal the current choice (returns provider_cost).
+  double provider_cost_if(ProviderId l, std::size_t target) const;
+
+  /// Social cost: Σ_l provider_cost(l) (Eq. (6)).
+  double social_cost() const;
+
+  /// Exact potential Φ(σ) of the singleton congestion game:
+  ///   Φ = Σ_i (α_i+β_i)·u·(1 + 2 + ... + σ_i) + Σ_l fixed(l, σ(l)).
+  /// Any unilateral move changes Φ by exactly the mover's cost change, so
+  /// best-response dynamics strictly decrease Φ (Lemma 3 / Rosenthal).
+  double potential() const;
+
+  /// True when every cloudlet's computing and bandwidth loads are within
+  /// capacity.
+  bool feasible() const;
+
+  /// Providers currently cached in cloudlet i.
+  std::vector<ProviderId> tenants(CloudletId i) const;
+
+  bool operator==(const Assignment& other) const {
+    return choice_ == other.choice_;
+  }
+
+ private:
+  const Instance* inst_;
+  std::vector<std::size_t> choice_;    // provider -> cloudlet or kRemote
+  std::vector<std::size_t> occupancy_; // per cloudlet
+  std::vector<double> compute_load_;   // per cloudlet
+  std::vector<double> bandwidth_load_; // per cloudlet
+};
+
+}  // namespace mecsc::core

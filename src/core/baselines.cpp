@@ -1,0 +1,77 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <vector>
+
+namespace mecsc::core {
+
+double jo_objective(const Instance& inst, ProviderId l, CloudletId i) {
+  // Congestion-free own cost as [23] would see it: VM + request transport,
+  // no consistency-update term (that traffic is not modeled in [23]) and
+  // occupancy 1 (no market awareness).
+  const ServiceProvider& p = inst.providers[l];
+  const double access_hops =
+      inst.network.cloudlet_to_cloudlet_hops(p.user_region, i) + 1.0;
+  return congestion_cost(inst, i, 1) + p.instantiation_cost +
+         inst.cost.transfer_price_per_gb * p.traffic_gb * access_hops;
+}
+
+Assignment run_jo_offload_cache(const Instance& inst) {
+  Assignment a(inst);
+  const std::size_t m = inst.cloudlet_count();
+  for (ProviderId l = 0; l < inst.provider_count(); ++l) {
+    // Rank this provider's options by its solo objective.
+    std::vector<CloudletId> pref;
+    for (CloudletId i = 0; i < m; ++i) {
+      if (demand_fits(inst, l, i)) pref.push_back(i);
+    }
+    std::sort(pref.begin(), pref.end(), [&](CloudletId x, CloudletId y) {
+      return jo_objective(inst, l, x) < jo_objective(inst, l, y);
+    });
+    // [23] offloads whenever the edge beats the remote path *under its own
+    // objective*; admission control walks down the preference list.
+    bool placed = false;
+    for (const CloudletId i : pref) {
+      if (jo_objective(inst, l, i) >= remote_cost(inst, l)) break;
+      if (a.can_move(l, i)) {
+        a.move(l, i);
+        placed = true;
+        break;
+      }
+    }
+    (void)placed;  // not placed => stays remote
+  }
+  assert(a.feasible());
+  return a;
+}
+
+Assignment run_offload_cache(const Instance& inst) {
+  Assignment a(inst);
+  const std::size_t m = inst.cloudlet_count();
+  for (ProviderId l = 0; l < inst.provider_count(); ++l) {
+    const CloudletId region = inst.providers[l].user_region;
+    // Offloading step: requests go to the closest cloudlet; caching step:
+    // instantiate there, else at the nearest cloudlet with room.
+    std::vector<CloudletId> pref;
+    for (CloudletId i = 0; i < m; ++i) {
+      if (demand_fits(inst, l, i)) pref.push_back(i);
+    }
+    std::stable_sort(pref.begin(), pref.end(),
+                     [&](CloudletId x, CloudletId y) {
+                       return inst.network.cloudlet_to_cloudlet_hops(region, x) <
+                              inst.network.cloudlet_to_cloudlet_hops(region, y);
+                     });
+    for (const CloudletId i : pref) {
+      if (a.can_move(l, i)) {
+        a.move(l, i);
+        break;
+      }
+    }
+  }
+  assert(a.feasible());
+  return a;
+}
+
+}  // namespace mecsc::core

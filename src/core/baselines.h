@@ -1,0 +1,41 @@
+// Benchmark algorithms the paper compares against (§IV-A):
+//
+//  * JoOffloadCache — the joint service-caching + task-offloading approach
+//    of [23] (Xu, Chen, Zhou, INFOCOM'18), run *independently by each
+//    provider* ("each network service provider runs the algorithm in [23]
+//    without communicating with each other"). Each provider optimizes its
+//    own congestion-free joint cost, but — as the paper notes — [23] does
+//    not model the consistency-update traffic, so that term is absent from
+//    its objective (while still being paid in reality).
+//
+//  * OffloadCache — a greedy that decides offloading and caching
+//    *separately* [20]: requests are offloaded to the cloudlet closest to
+//    the users (optimal offloading cost), then the service is instantiated
+//    there, or at the nearest cloudlet with room. Dollar costs and
+//    congestion are ignored entirely when choosing.
+//
+// Both ignore the service market: no coordination, no congestion awareness.
+// Realized costs are always evaluated with the true model of Eq. (3).
+#pragma once
+
+#include "core/assignment.h"
+#include "core/instance.h"
+
+namespace mecsc::core {
+
+/// Objective [23] optimizes for one provider: congestion-free caching cost
+/// without the update-sync component (exposed for tests).
+double jo_objective(const Instance& inst, ProviderId l, CloudletId i);
+
+/// Runs JoOffloadCache for all providers. Decisions are made simultaneously
+/// against an empty network; conflicts are resolved by admission in provider
+/// order, falling back to each provider's next-best feasible choice and
+/// finally to the remote cloud. Always returns a feasible assignment.
+Assignment run_jo_offload_cache(const Instance& inst);
+
+/// Runs OffloadCache for all providers (admission in provider order, nearest
+/// feasible cloudlet to the user region, remote as last resort). Always
+/// returns a feasible assignment.
+Assignment run_offload_cache(const Instance& inst);
+
+}  // namespace mecsc::core

@@ -1,0 +1,87 @@
+#include "core/congestion_game.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace mecsc::core {
+
+namespace {
+double priced(double base, const std::vector<double>* surcharge,
+              std::size_t target) {
+  if (surcharge == nullptr || target == kRemote) return base;
+  return base + (*surcharge)[target];
+}
+}  // namespace
+
+std::size_t best_response(const Assignment& a, ProviderId l,
+                          double improvement_eps,
+                          const std::vector<double>* cloudlet_surcharge) {
+  const Instance& inst = a.instance();
+  assert(cloudlet_surcharge == nullptr ||
+         cloudlet_surcharge->size() == inst.cloudlet_count());
+  std::size_t best = a.choice(l);
+  double best_cost = priced(a.provider_cost(l), cloudlet_surcharge, best);
+  // Remote is always feasible.
+  if (remote_cost(inst, l) < best_cost - improvement_eps) {
+    best = kRemote;
+    best_cost = remote_cost(inst, l);
+  }
+  for (CloudletId i = 0; i < inst.cloudlet_count(); ++i) {
+    if (i == a.choice(l)) continue;
+    if (!a.can_move(l, i)) continue;
+    const double c = priced(a.provider_cost_if(l, i), cloudlet_surcharge, i);
+    if (c < best_cost - improvement_eps) {
+      best = i;
+      best_cost = c;
+    }
+  }
+  return best;
+}
+
+GameResult best_response_dynamics(Assignment start,
+                                  const std::vector<bool>& movable,
+                                  const BestResponseOptions& options) {
+  assert(movable.size() == start.provider_count());
+  GameResult result{std::move(start), 0, 0, false};
+  std::vector<ProviderId> order(result.assignment.provider_count());
+  std::iota(order.begin(), order.end(), ProviderId{0});
+
+  for (std::size_t round = 0; round < options.max_rounds; ++round) {
+    if (options.shuffle_rng != nullptr) {
+      options.shuffle_rng->shuffle(order);
+    }
+    bool any_move = false;
+    for (const ProviderId l : order) {
+      if (!movable[l]) continue;
+      const std::size_t target =
+          best_response(result.assignment, l, options.improvement_eps,
+                        options.cloudlet_surcharge);
+      if (target != result.assignment.choice(l)) {
+        result.assignment.move(l, target);
+        ++result.moves;
+        any_move = true;
+      }
+    }
+    ++result.rounds;
+    if (!any_move) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+bool is_nash_equilibrium(const Assignment& a, const std::vector<bool>& movable,
+                         double eps,
+                         const std::vector<double>* cloudlet_surcharge) {
+  assert(movable.size() == a.provider_count());
+  for (ProviderId l = 0; l < a.provider_count(); ++l) {
+    if (!movable[l]) continue;
+    if (best_response(a, l, eps, cloudlet_surcharge) != a.choice(l)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mecsc::core

@@ -1,0 +1,66 @@
+// Singleton congestion game among selfish network service providers
+// (§II-E). Strategies are {remote} ∪ {feasible cloudlets}; the per-provider
+// cost is Eq. (3), affine in the cloudlet occupancy, so the game is an exact
+// potential game (Rosenthal): best-response dynamics strictly decrease
+// Assignment::potential() and terminate at a pure Nash equilibrium
+// (Lemma 3). Capacity constraints restrict deviations to moves that fit.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/assignment.h"
+#include "core/types.h"
+#include "util/rng.h"
+
+namespace mecsc::core {
+
+/// Best strategy for provider l against the rest of `a` (everything else
+/// fixed): the feasible choice of minimum cost, the current strategy winning
+/// ties. Considers kRemote and every cloudlet with room.
+/// `cloudlet_surcharge`, when non-null, adds a posted price per cloudlet to
+/// the provider's cost (the leader's pricing lever, core/pricing.h); prices
+/// are an additive per-cloudlet term, so the game remains an exact
+/// potential game and all convergence guarantees carry over.
+std::size_t best_response(const Assignment& a, ProviderId l,
+                          double improvement_eps = 1e-9,
+                          const std::vector<double>* cloudlet_surcharge =
+                              nullptr);
+
+struct BestResponseOptions {
+  /// Maximum full passes over the players before giving up (a safety net:
+  /// the potential argument guarantees finite convergence).
+  std::size_t max_rounds = 100000;
+  /// A deviation must improve the mover's cost by more than this.
+  double improvement_eps = 1e-9;
+  /// When set, player order is reshuffled each round (used by the worst-NE
+  /// search); otherwise players move in index order.
+  util::Rng* shuffle_rng = nullptr;
+  /// Optional posted price per cloudlet added to every tenant's cost
+  /// (size = cloudlet count when non-null).
+  const std::vector<double>* cloudlet_surcharge = nullptr;
+};
+
+struct GameResult {
+  Assignment assignment;
+  std::size_t rounds = 0;  ///< full passes executed
+  std::size_t moves = 0;   ///< improving deviations performed
+  bool converged = false;  ///< true iff a pure NE was reached
+};
+
+/// Runs best-response dynamics from `start`, letting only providers with
+/// movable[l] == true deviate (the Stackelberg leader pins the others).
+/// Pass an all-true mask for the fully selfish game.
+GameResult best_response_dynamics(Assignment start,
+                                  const std::vector<bool>& movable,
+                                  const BestResponseOptions& options = {});
+
+/// True when no movable provider has a feasible deviation improving its cost
+/// by more than eps — i.e. `a` is a pure Nash equilibrium of the
+/// (restricted, optionally priced) game.
+bool is_nash_equilibrium(const Assignment& a, const std::vector<bool>& movable,
+                         double eps = 1e-9,
+                         const std::vector<double>* cloudlet_surcharge =
+                             nullptr);
+
+}  // namespace mecsc::core

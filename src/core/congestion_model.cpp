@@ -1,0 +1,73 @@
+#include "core/congestion_model.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace mecsc::core {
+
+double congestion_shape(CongestionKind kind, std::size_t occupancy) {
+  assert(occupancy >= 1);
+  const auto k = static_cast<double>(occupancy);
+  switch (kind) {
+    case CongestionKind::Linear:
+      return k;
+    case CongestionKind::Quadratic:
+      return k * k;
+    case CongestionKind::Exponential:
+      return std::pow(2.0, k) - 1.0;
+    case CongestionKind::Harmonic: {
+      double h = 0.0;
+      for (std::size_t j = 1; j <= occupancy; ++j) {
+        h += 1.0 / static_cast<double>(j);
+      }
+      return h;
+    }
+  }
+  return k;
+}
+
+double congestion_shape_prefix_sum(CongestionKind kind,
+                                   std::size_t occupancy) {
+  // Closed forms where cheap; the shapes are evaluated for occupancies in
+  // the tens, so the loop fallbacks are also fine.
+  const auto k = static_cast<double>(occupancy);
+  switch (kind) {
+    case CongestionKind::Linear:
+      return k * (k + 1.0) / 2.0;
+    case CongestionKind::Quadratic:
+      return k * (k + 1.0) * (2.0 * k + 1.0) / 6.0;
+    default: {
+      double sum = 0.0;
+      for (std::size_t j = 1; j <= occupancy; ++j) {
+        sum += congestion_shape(kind, j);
+      }
+      return sum;
+    }
+  }
+}
+
+double congestion_shape_marginal(CongestionKind kind, std::size_t k) {
+  assert(k >= 1);
+  const double now =
+      static_cast<double>(k) * congestion_shape(kind, k);
+  const double before =
+      k == 1 ? 0.0
+             : static_cast<double>(k - 1) * congestion_shape(kind, k - 1);
+  return now - before;
+}
+
+const char* congestion_kind_name(CongestionKind kind) {
+  switch (kind) {
+    case CongestionKind::Linear:
+      return "linear";
+    case CongestionKind::Quadratic:
+      return "quadratic";
+    case CongestionKind::Exponential:
+      return "exponential";
+    case CongestionKind::Harmonic:
+      return "harmonic";
+  }
+  return "?";
+}
+
+}  // namespace mecsc::core

@@ -1,0 +1,56 @@
+// Pluggable congestion functions (§II-C).
+//
+// The paper adopts the proportional model c ∝ |σ_i| "for simplicity" and
+// notes that the derivations rely only on the cost being *non-decreasing*
+// in the congestion level, so "the proportional congestion cost model can be
+// easily extended to consider other complicated non-decreasing cost models".
+// This module implements that extension: a congestion shape f(k) with
+//   per-tenant congestion cost at occupancy k = (α_i + β_i) · u · f(k).
+// Every shape is non-decreasing, so:
+//  * the game remains a (singleton) congestion game with the Rosenthal
+//    potential Φ_cong = Σ_i (α_i+β_i)·u·Σ_{j=1..σ_i} f(j)  (Lemma 3 carries
+//    over: best-response dynamics converge to a pure NE);
+//  * Appro's congestion-aware slot pricing uses the exact marginal social
+//    congestion of the k-th tenant, k·f(k) − (k−1)·f(k−1), which is
+//    non-decreasing whenever k·f(k) is convex — true for all shapes here, so
+//    the convex-flow inner solve stays exact.
+#pragma once
+
+#include <cstddef>
+
+namespace mecsc::core {
+
+/// Congestion shape f(k), with k the number of cached instances sharing the
+/// cloudlet (k >= 1). f(1) = 1 for every shape so that the congestion-free
+/// Eq. (9) cost is shape-independent.
+enum class CongestionKind {
+  /// f(k) = k — the paper's proportional model (default).
+  Linear,
+  /// f(k) = k² — superlinear penalty: contention compounds (e.g. memory
+  /// bandwidth thrashing between co-located VMs).
+  Quadratic,
+  /// f(k) = (2^k − 1) / (2 − 1) normalized so f(1)=1 — sharp saturation:
+  /// essentially a soft capacity wall.
+  Exponential,
+  /// f(k) = H_k / H_1 = 1 + 1/2 + ... + 1/k — sublinear (diminishing
+  /// marginal interference, e.g. well-isolated VMs).
+  Harmonic,
+};
+
+/// f(k) for the given shape. Precondition: occupancy >= 1.
+double congestion_shape(CongestionKind kind, std::size_t occupancy);
+
+/// Σ_{j=1..occupancy} f(j): the per-cloudlet Rosenthal potential term
+/// (0 when occupancy == 0).
+double congestion_shape_prefix_sum(CongestionKind kind,
+                                   std::size_t occupancy);
+
+/// Marginal social congestion of the k-th tenant:
+/// k·f(k) − (k−1)·f(k−1). Non-decreasing in k for every shape (verified by
+/// tests), which Appro's convex slot pricing requires.
+double congestion_shape_marginal(CongestionKind kind, std::size_t k);
+
+/// Short display name ("linear", "quadratic", ...).
+const char* congestion_kind_name(CongestionKind kind);
+
+}  // namespace mecsc::core

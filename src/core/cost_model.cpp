@@ -1,0 +1,59 @@
+#include "core/cost_model.h"
+
+#include <cassert>
+
+namespace mecsc::core {
+
+double congestion_cost(const Instance& inst, CloudletId i,
+                       std::size_t occupancy) {
+  assert(i < inst.cloudlet_count());
+  return (inst.cost.alpha[i] + inst.cost.beta[i]) *
+         congestion_shape(inst.cost.congestion, occupancy) * kCongestionUnit;
+}
+
+double fixed_cache_cost(const Instance& inst, ProviderId l, CloudletId i) {
+  assert(l < inst.provider_count());
+  assert(i < inst.cloudlet_count());
+  const ServiceProvider& p = inst.providers[l];
+  const double update_hops = inst.network.cloudlet_to_dc_hops(i, p.home_dc);
+  // Request traffic travels from the user region to the serving cloudlet
+  // (+1 for the access link); consistency updates travel hops(CL_i, home DC)
+  // through the core.
+  const double access_hops =
+      inst.network.cloudlet_to_cloudlet_hops(p.user_region, i) + 1.0;
+  const double bdw =
+      inst.cost.transfer_price_per_gb *
+      (p.traffic_gb * access_hops + p.update_volume_gb() * update_hops);
+  return p.instantiation_cost + bdw;
+}
+
+double cache_cost(const Instance& inst, ProviderId l, CloudletId i,
+                  std::size_t occupancy) {
+  assert(occupancy >= 1 && "occupancy includes the provider itself");
+  return congestion_cost(inst, i, occupancy) + fixed_cache_cost(inst, l, i);
+}
+
+double remote_cost(const Instance& inst, ProviderId l) {
+  assert(l < inst.provider_count());
+  const ServiceProvider& p = inst.providers[l];
+  // Requests originate in the user region and traverse the WAN to the home
+  // DC (+1 for the access link); processing at the DC is billed per GB.
+  const double depth =
+      inst.network.cloudlet_to_dc_hops(p.user_region, p.home_dc) + 1.0;
+  return inst.cost.processing_price_per_gb * p.traffic_gb +
+         inst.cost.transfer_price_per_gb * p.traffic_gb *
+             inst.cost.remote_hop_penalty * depth;
+}
+
+double flat_cache_cost(const Instance& inst, ProviderId l, CloudletId i) {
+  return congestion_cost(inst, i, 1) + fixed_cache_cost(inst, l, i);
+}
+
+bool demand_fits(const Instance& inst, ProviderId l, CloudletId i) {
+  const ServiceProvider& p = inst.providers[l];
+  const net::Cloudlet& cl = inst.network.cloudlets()[i];
+  return p.compute_demand() <= cl.compute_capacity &&
+         p.bandwidth_demand() <= cl.bandwidth_capacity;
+}
+
+}  // namespace mecsc::core

@@ -1,0 +1,54 @@
+// Cost model of service caching (§II-C, Eq. (1)-(3)) plus the remote
+// ("do not cache") option that gives the game its title.
+//
+// Caching SV_l in cloudlet CL_i with |σ_i| tenants costs
+//     c_{l,i} = (α_i + β_i)·|σ_i|·u  +  c_l^ins  +  c_{l,i}^bdw ,
+// where u is the congestion unit price (folds the dollar scale into the
+// α, β ∈ [0,1] draws of §IV-A), c_l^ins is the instantiation cost, and the
+// fixed bandwidth term prices the request traffic delivered to the cloudlet
+// plus the consistency updates shipped back to the original instance over
+// hops(CL_i, home DC of l).
+//
+// Serving from the remote original instance instead costs the processing
+// price plus WAN transfer over the network depth — no congestion term (data
+// centers are uncapacitated, §II-A).
+#pragma once
+
+#include <cstddef>
+
+#include "core/instance.h"
+#include "core/types.h"
+
+namespace mecsc::core {
+
+/// Congestion unit price u (see file comment). Kept as a single project-wide
+/// constant so Eq. (1)-(2) remain literally α_i|σ_i| and β_i|σ_i| in scaled
+/// dollars.
+inline constexpr double kCongestionUnit = 0.25;
+
+/// Congestion part of Eq. (3): (α_i + β_i) · occupancy · u.
+/// `occupancy` counts cached instances in CL_i including the evaluated
+/// provider itself.
+double congestion_cost(const Instance& inst, CloudletId i,
+                       std::size_t occupancy);
+
+/// Fixed (congestion-independent) part of caching SV_l in CL_i:
+/// c_l^ins + c_{l,i}^bdw.
+double fixed_cache_cost(const Instance& inst, ProviderId l, CloudletId i);
+
+/// Full Eq. (3) cost of caching SV_l in CL_i at the given occupancy.
+double cache_cost(const Instance& inst, ProviderId l, CloudletId i,
+                  std::size_t occupancy);
+
+/// Cost of *not* caching: requests keep flowing to the original instance in
+/// the home data center.
+double remote_cost(const Instance& inst, ProviderId l);
+
+/// Congestion-free Eq. (9) cost used inside the GAP reduction:
+/// (α_i + β_i)·u + c_l^ins + c_{l,i}^bdw  (occupancy fixed at 1).
+double flat_cache_cost(const Instance& inst, ProviderId l, CloudletId i);
+
+/// True when SV_l alone fits CL_i's computing and bandwidth capacities.
+bool demand_fits(const Instance& inst, ProviderId l, CloudletId i);
+
+}  // namespace mecsc::core

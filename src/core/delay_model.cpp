@@ -1,0 +1,74 @@
+#include "core/delay_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mecsc::core {
+
+DelayReport evaluate_delay(const Assignment& a, const DelayParams& params) {
+  const Instance& inst = a.instance();
+  assert(params.horizon_s > 0.0);
+  assert(params.per_vm_service_rate > 0.0);
+
+  DelayReport report;
+  report.cloudlet_utilization.assign(inst.cloudlet_count(), 0.0);
+
+  // Aggregate arrival rate per cloudlet.
+  std::vector<double> lambda(inst.cloudlet_count(), 0.0);
+  double max_mu = 0.0;
+  for (CloudletId i = 0; i < inst.cloudlet_count(); ++i) {
+    max_mu = std::max(max_mu, params.per_vm_service_rate *
+                                  inst.network.cloudlets()[i].compute_capacity);
+  }
+  for (ProviderId l = 0; l < inst.provider_count(); ++l) {
+    const std::size_t c = a.choice(l);
+    if (c == kRemote) continue;
+    lambda[c] += static_cast<double>(inst.providers[l].requests) /
+                 params.horizon_s;
+  }
+  for (CloudletId i = 0; i < inst.cloudlet_count(); ++i) {
+    const double mu = params.per_vm_service_rate *
+                      inst.network.cloudlets()[i].compute_capacity;
+    report.cloudlet_utilization[i] = mu > 0.0 ? lambda[i] / mu : 0.0;
+  }
+  const double dc_mu = params.dc_speedup * max_mu;
+
+  double weighted_delay = 0.0;
+  double weight = 0.0;
+  for (ProviderId l = 0; l < inst.provider_count(); ++l) {
+    const ServiceProvider& p = inst.providers[l];
+    ProviderDelay d;
+    d.provider = l;
+    const std::size_t c = a.choice(l);
+    if (c == kRemote) {
+      const double hops =
+          inst.network.cloudlet_to_dc_hops(p.user_region, p.home_dc) + 1.0;
+      d.network_delay_s = hops * params.per_hop_delay_s;
+      // DC tier: effectively uncongested M/M/1 with a huge service rate.
+      d.processing_delay_s = 1.0 / dc_mu;
+    } else {
+      const double hops =
+          inst.network.cloudlet_to_cloudlet_hops(p.user_region, c) + 1.0;
+      d.network_delay_s = hops * params.per_hop_delay_s;
+      const double mu = params.per_vm_service_rate *
+                        inst.network.cloudlets()[c].compute_capacity;
+      if (lambda[c] >= mu) {
+        d.stable = false;
+        ++report.overloaded_providers;
+      } else {
+        d.processing_delay_s = 1.0 / (mu - lambda[c]);
+      }
+    }
+    if (d.stable) {
+      const auto w = static_cast<double>(p.requests);
+      weighted_delay += w * d.total_s();
+      weight += w;
+      report.max_delay_s = std::max(report.max_delay_s, d.total_s());
+    }
+    report.providers.push_back(d);
+  }
+  if (weight > 0.0) report.mean_delay_s = weighted_delay / weight;
+  return report;
+}
+
+}  // namespace mecsc::core

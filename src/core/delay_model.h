@@ -1,0 +1,63 @@
+// Analytic service-delay model for a placement.
+//
+// The paper's motivation is motion-to-photon latency: caching at the edge
+// shortens the network path but a congested cloudlet queues requests. This
+// module quantifies both effects analytically (complementing the
+// discrete-event emulator's measured latencies):
+//
+//  * network delay = hops(user region -> serving location) x per-hop delay;
+//  * processing delay at a cloudlet = M/M/1 sojourn time 1/(μ_i - λ_i),
+//    where λ_i aggregates the request rates of the services cached in CL_i
+//    and μ_i is proportional to the cloudlet's computing capacity —
+//    congestion shows up as queueing, exactly the "congestion will
+//    eventually push up its processing delay" effect of §I;
+//  * remote processing uses an uncongested (capacity-rich) data-center rate.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/assignment.h"
+#include "core/instance.h"
+
+namespace mecsc::core {
+
+struct DelayParams {
+  /// Wall time over which each provider's r_l requests arrive (the request
+  /// rate of provider l is r_l / horizon_s).
+  double horizon_s = 60.0;
+  /// Requests/second one VM unit of cloudlet capacity can serve: cloudlet
+  /// service rate μ_i = per_vm_service_rate * C(CL_i).
+  double per_vm_service_rate = 0.4;
+  /// Per-hop network latency (propagation + forwarding).
+  double per_hop_delay_s = 0.0005;
+  /// Data centers serve at this multiple of the largest cloudlet rate
+  /// (uncapacitated tier, §II-A).
+  double dc_speedup = 8.0;
+};
+
+/// Delay verdict for one provider's requests under a placement.
+struct ProviderDelay {
+  ProviderId provider = 0;
+  double network_delay_s = 0.0;
+  double processing_delay_s = 0.0;
+  bool stable = true;  ///< false when the serving queue is overloaded (λ>=μ)
+  double total_s() const { return network_delay_s + processing_delay_s; }
+};
+
+struct DelayReport {
+  std::vector<ProviderDelay> providers;
+  /// Request-weighted mean total delay over providers with stable queues.
+  double mean_delay_s = 0.0;
+  /// Worst stable provider delay.
+  double max_delay_s = 0.0;
+  /// Providers whose serving cloudlet is overloaded (unstable queue).
+  std::size_t overloaded_providers = 0;
+  /// Utilization λ_i/μ_i per cloudlet.
+  std::vector<double> cloudlet_utilization;
+};
+
+/// Evaluates the analytic delay of every provider under placement `a`.
+DelayReport evaluate_delay(const Assignment& a, const DelayParams& params = {});
+
+}  // namespace mecsc::core

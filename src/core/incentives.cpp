@@ -1,0 +1,50 @@
+#include "core/incentives.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/congestion_game.h"
+
+namespace mecsc::core {
+
+StabilityReport analyze_stability(const Instance& inst,
+                                  const LcfResult& result, double eps) {
+  assert(result.assignment.provider_count() == inst.provider_count());
+  const Assignment& a = result.assignment;
+  StabilityReport report;
+  report.providers.reserve(inst.provider_count());
+
+  for (ProviderId l = 0; l < inst.provider_count(); ++l) {
+    ProviderIncentive pi;
+    pi.provider = l;
+    pi.coordinated = result.coordinated[l];
+    pi.current_cost = a.provider_cost(l);
+
+    // Best feasible unilateral deviation (including staying put).
+    double best = pi.current_cost;
+    if (remote_cost(inst, l) < best) best = remote_cost(inst, l);
+    for (CloudletId i = 0; i < inst.cloudlet_count(); ++i) {
+      if (i == a.choice(l) || !a.can_move(l, i)) continue;
+      best = std::min(best, a.provider_cost_if(l, i));
+    }
+    pi.best_deviation_cost = best;
+    pi.deviation_incentive = pi.current_cost - best;
+    pi.individually_rational =
+        pi.current_cost <= remote_cost(inst, l) + eps;
+
+    if (pi.coordinated && pi.deviation_incentive > eps) {
+      ++report.binding_contracts;
+      report.side_payment_budget += pi.deviation_incentive;
+    }
+    if (!pi.individually_rational) {
+      ++report.ir_violations;
+      report.ir_subsidy += pi.current_cost - remote_cost(inst, l);
+    }
+    report.max_incentive =
+        std::max(report.max_incentive, pi.deviation_incentive);
+    report.providers.push_back(pi);
+  }
+  return report;
+}
+
+}  // namespace mecsc::core

@@ -1,0 +1,65 @@
+// Market-stability analysis of the Stackelberg mechanism.
+//
+// The paper requires the market to be *stable*: "no players have incentives
+// to deviate from their current strategies". LCF guarantees this for the
+// selfish players (they sit at a Nash equilibrium) but the *coordinated*
+// players are pinned to their Appro seats by contract ("bulk-lease
+// contracts", §II-D) — the mechanism does not make obedience a best
+// response. This module quantifies exactly how binding those contracts are:
+//
+//  * deviation incentive of a coordinated provider = its current cost minus
+//    the cost of its best feasible unilateral deviation (>0 means the
+//    contract is doing real work);
+//  * side-payment budget = Σ of positive incentives — what the leader would
+//    have to rebate to make obedience voluntary (a VCG-style subsidy);
+//  * participation (individual-rationality) check: a provider pinned to a
+//    seat costlier than its remote option would rather leave the market
+//    entirely.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/lcf.h"
+
+namespace mecsc::core {
+
+/// Per-provider stability verdict.
+struct ProviderIncentive {
+  ProviderId provider = 0;
+  bool coordinated = false;
+  double current_cost = 0.0;
+  /// Cost of the best feasible unilateral deviation ({remote} ∪ cloudlets
+  /// with room), holding everyone else fixed.
+  double best_deviation_cost = 0.0;
+  /// current_cost - best_deviation_cost; positive means the provider wants
+  /// to deviate (only possible for coordinated providers at an LCF outcome).
+  double deviation_incentive = 0.0;
+  /// True when current_cost <= remote cost + eps: participating in the
+  /// market is individually rational.
+  bool individually_rational = true;
+};
+
+/// Market-level stability summary of an LCF outcome.
+struct StabilityReport {
+  std::vector<ProviderIncentive> providers;
+  /// Coordinated providers with a strictly positive deviation incentive.
+  std::size_t binding_contracts = 0;
+  /// Σ of positive deviation incentives over coordinated providers — the
+  /// leader's side-payment budget for voluntary obedience.
+  double side_payment_budget = 0.0;
+  /// Providers (of any kind) paying more than their remote option.
+  std::size_t ir_violations = 0;
+  /// Σ of (cost - remote) over IR-violating providers.
+  double ir_subsidy = 0.0;
+  /// Largest single deviation incentive.
+  double max_incentive = 0.0;
+};
+
+/// Analyzes the stability of `result` on `inst` (the instance it was
+/// computed on).
+StabilityReport analyze_stability(const Instance& inst,
+                                  const LcfResult& result,
+                                  double eps = 1e-9);
+
+}  // namespace mecsc::core

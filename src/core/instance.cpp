@@ -1,0 +1,88 @@
+#include "core/instance.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "net/topology_zoo.h"
+#include "net/transit_stub.h"
+
+namespace mecsc::core {
+
+double Instance::max_compute_demand() const {
+  double best = 0.0;
+  for (const auto& p : providers) best = std::max(best, p.compute_demand());
+  return best;
+}
+
+double Instance::max_bandwidth_demand() const {
+  double best = 0.0;
+  for (const auto& p : providers) best = std::max(best, p.bandwidth_demand());
+  return best;
+}
+
+Instance generate_instance(const InstanceParams& params, util::Rng& rng) {
+  assert(params.provider_count >= 1);
+
+  // --- Topology + MEC overlay --------------------------------------------
+  net::Graph topology;
+  std::vector<net::NodeId> edge_pref;
+  if (params.use_as1755) {
+    topology = net::as1755_topology();
+  } else {
+    net::TransitStubGraph ts =
+        net::generate_transit_stub_sized(params.network_size, rng);
+    edge_pref = ts.stub_nodes;
+    topology = std::move(ts.graph);
+  }
+
+  Instance inst{
+      net::MecNetwork(std::move(topology), params.mec, rng, edge_pref),
+      {},
+      {}};
+
+  // --- Cost constants ------------------------------------------------------
+  const std::size_t cl_count = inst.network.cloudlet_count();
+  inst.cost.alpha.resize(cl_count);
+  inst.cost.beta.resize(cl_count);
+  for (std::size_t i = 0; i < cl_count; ++i) {
+    inst.cost.alpha[i] = rng.uniform_real(params.alpha_lo, params.alpha_hi);
+    inst.cost.beta[i] = rng.uniform_real(params.beta_lo, params.beta_hi);
+  }
+  inst.cost.transfer_price_per_gb =
+      rng.uniform_real(params.transfer_price_lo, params.transfer_price_hi);
+  inst.cost.processing_price_per_gb =
+      rng.uniform_real(params.processing_price_lo, params.processing_price_hi);
+
+  // --- Providers -----------------------------------------------------------
+  inst.providers.reserve(params.provider_count);
+  const std::size_t dc_count = inst.network.data_center_count();
+  for (std::size_t l = 0; l < params.provider_count; ++l) {
+    ServiceProvider p;
+    p.compute_per_request = rng.uniform_real(params.compute_per_request_lo,
+                                             params.compute_per_request_hi);
+    p.bandwidth_per_request = rng.uniform_real(
+        params.bandwidth_per_request_lo, params.bandwidth_per_request_hi);
+    p.requests = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(params.requests_lo),
+                        static_cast<std::int64_t>(params.requests_hi)));
+    p.service_data_gb =
+        rng.uniform_real(params.service_data_gb_lo, params.service_data_gb_hi);
+    p.update_fraction = params.update_fraction;
+    const double per_request_mb = rng.uniform_real(
+        params.request_traffic_mb_lo, params.request_traffic_mb_hi);
+    p.traffic_gb =
+        per_request_mb * static_cast<double>(p.requests) / 1024.0;
+    p.home_dc = static_cast<DataCenterId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(dc_count) - 1));
+    p.user_region = static_cast<CloudletId>(rng.uniform_int(
+        0, static_cast<std::int64_t>(inst.network.cloudlet_count()) - 1));
+    // VM boot + software setup proportional to the service image size.
+    p.instantiation_cost = inst.cost.vm_boot_cost +
+                           inst.cost.processing_price_per_gb *
+                               p.service_data_gb * 0.1;
+    inst.providers.push_back(p);
+  }
+  return inst;
+}
+
+}  // namespace mecsc::core

@@ -1,0 +1,124 @@
+// Problem instance of the service-caching game: the two-tiered MEC network,
+// the set of network service providers (NSPs), and the cost-model constants.
+// The generator reproduces the paper's parameter settings (§IV-A).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/congestion_model.h"
+#include "core/types.h"
+#include "net/mec_network.h"
+#include "util/rng.h"
+
+namespace mecsc::core {
+
+/// One network service provider sp_l and its service SV_l (§II-B). Each
+/// provider wants to cache exactly one service.
+struct ServiceProvider {
+  /// a_l: computing resource (VM units) consumed per user request.
+  double compute_per_request = 0.0;
+  /// b_l: bandwidth (Mbps) assigned to each user request.
+  double bandwidth_per_request = 0.0;
+  /// r_l: number of user requests the service must serve.
+  std::size_t requests = 0;
+  /// c_l^ins: cost of instantiating an instance of SV_l in a cloudlet VM
+  /// (VM boot + software setup, proportional to the service data volume).
+  double instantiation_cost = 0.0;
+  /// Data volume of the service image/state, in GB (paper: 1-5 GB).
+  double service_data_gb = 0.0;
+  /// Fraction of the data volume that must be synchronized back to the
+  /// original instance (paper: 10%).
+  double update_fraction = 0.10;
+  /// Aggregate request traffic processed by the service per charging period,
+  /// in GB (paper: each request carries 10-200 MB).
+  double traffic_gb = 0.0;
+  /// Data center hosting the original instance of SV_l.
+  DataCenterId home_dc = 0;
+  /// Cloudlet whose vicinity hosts the service's user population. Request
+  /// traffic is priced by hop distance from this region to the serving
+  /// location; the OffloadCache baseline greedily caches here.
+  CloudletId user_region = 0;
+
+  /// a_l * r_l — total computing demand placed on the chosen cloudlet.
+  double compute_demand() const {
+    return compute_per_request * static_cast<double>(requests);
+  }
+  /// b_l * r_l — total bandwidth demand placed on the chosen cloudlet.
+  double bandwidth_demand() const {
+    return bandwidth_per_request * static_cast<double>(requests);
+  }
+  /// GB that must be synchronized to the original instance.
+  double update_volume_gb() const { return service_data_gb * update_fraction; }
+};
+
+/// Cost-model constants (§II-C). Congestion terms follow the proportional
+/// model of Eq. (1)-(2); fixed terms are priced per GB like public-cloud
+/// price lists.
+struct CostParams {
+  /// alpha_i, beta_i per cloudlet: congestion sensitivity of computing and
+  /// bandwidth resources (paper: drawn from [0, 1]).
+  std::vector<double> alpha;
+  std::vector<double> beta;
+  /// $ per GB transmitted (paper: [0.05, 0.12]).
+  double transfer_price_per_gb = 0.085;
+  /// $ per GB processed (paper: [0.15, 0.22]).
+  double processing_price_per_gb = 0.185;
+  /// Base cost of booting one VM in a cloudlet.
+  double vm_boot_cost = 0.10;
+  /// Multiplier on the remote-service cost reflecting WAN/backhaul usage of
+  /// requests served by the original instance; calibrated so that caching is
+  /// usually, but not always, the cheaper choice.
+  double remote_hop_penalty = 1.0;
+  /// Congestion shape f(k) (§II-C's extension point: any non-decreasing
+  /// model). Default is the paper's proportional model.
+  CongestionKind congestion = CongestionKind::Linear;
+};
+
+/// A complete instance. Owns the network by value; cheap to move.
+struct Instance {
+  net::MecNetwork network;
+  std::vector<ServiceProvider> providers;
+  CostParams cost;
+
+  std::size_t provider_count() const { return providers.size(); }
+  std::size_t cloudlet_count() const { return network.cloudlet_count(); }
+
+  /// max_l a_l * r_l over providers (0 when empty).
+  double max_compute_demand() const;
+  /// max_l b_l * r_l over providers (0 when empty).
+  double max_bandwidth_demand() const;
+};
+
+/// Generator knobs; defaults are the paper's §IV-A settings.
+struct InstanceParams {
+  std::size_t network_size = 100;   ///< switch-node count (paper: 50-400)
+  std::size_t provider_count = 100;  ///< |N| (paper: 100)
+  /// Per-request demands. Chosen so that ~100 providers load 10%-of-network
+  /// cloudlets to a realistic contention level.
+  double compute_per_request_lo = 0.05;  ///< VM units
+  double compute_per_request_hi = 0.20;
+  double bandwidth_per_request_lo = 1.0;  ///< Mbps
+  double bandwidth_per_request_hi = 5.0;
+  std::size_t requests_lo = 10;
+  std::size_t requests_hi = 40;
+  double service_data_gb_lo = 1.0;  ///< paper: 1-5 GB
+  double service_data_gb_hi = 5.0;
+  double request_traffic_mb_lo = 10.0;   ///< paper: 10-200 MB
+  double request_traffic_mb_hi = 200.0;
+  double update_fraction = 0.10;  ///< paper: 10%
+  double alpha_lo = 0.0, alpha_hi = 1.0;  ///< paper: [0, 1]
+  double beta_lo = 0.0, beta_hi = 1.0;
+  double transfer_price_lo = 0.05, transfer_price_hi = 0.12;
+  double processing_price_lo = 0.15, processing_price_hi = 0.22;
+  /// If true the MEC network is built on the AS1755 backbone instead of a
+  /// GT-ITM-style transit-stub graph (network_size is then ignored).
+  bool use_as1755 = false;
+  net::MecNetworkParams mec;
+};
+
+/// Generates a random instance per the paper's settings; deterministic given
+/// `rng`'s state.
+Instance generate_instance(const InstanceParams& params, util::Rng& rng);
+
+}  // namespace mecsc::core

@@ -1,0 +1,230 @@
+#include "core/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mecsc::core {
+
+using util::JsonArray;
+using util::JsonObject;
+using util::JsonValue;
+
+namespace {
+
+JsonValue graph_to_json(const net::Graph& g) {
+  JsonArray edges;
+  edges.reserve(g.edge_count());
+  for (const net::Edge& e : g.edges()) {
+    edges.push_back(JsonValue(JsonArray{
+        JsonValue(e.u), JsonValue(e.v), JsonValue(e.length),
+        JsonValue(e.bandwidth_mbps)}));
+  }
+  return JsonValue(JsonObject{{"nodes", JsonValue(g.node_count())},
+                              {"edges", JsonValue(std::move(edges))}});
+}
+
+net::Graph graph_from_json(const JsonValue& doc) {
+  const auto nodes = static_cast<std::size_t>(doc.number_at("nodes"));
+  net::Graph g(nodes);
+  for (const JsonValue& e : doc.at("edges").as_array()) {
+    const JsonArray& t = e.as_array();
+    if (t.size() != 4) throw std::invalid_argument("io: edge tuple size");
+    const auto u = static_cast<std::size_t>(t[0].as_number());
+    const auto v = static_cast<std::size_t>(t[1].as_number());
+    const double length = t[2].as_number();
+    const double bw = t[3].as_number();
+    if (u >= nodes || v >= nodes || u == v || length < 0.0) {
+      throw std::invalid_argument("io: invalid edge");
+    }
+    g.add_edge(u, v, length, bw);
+  }
+  return g;
+}
+
+CongestionKind congestion_kind_from_name(const std::string& name) {
+  for (const auto kind :
+       {CongestionKind::Linear, CongestionKind::Quadratic,
+        CongestionKind::Exponential, CongestionKind::Harmonic}) {
+    if (name == congestion_kind_name(kind)) return kind;
+  }
+  throw std::invalid_argument("io: unknown congestion kind '" + name + "'");
+}
+
+}  // namespace
+
+JsonValue instance_to_json(const Instance& inst) {
+  JsonObject root;
+  root["format_version"] = JsonValue(kIoFormatVersion);
+  root["topology"] = graph_to_json(inst.network.topology());
+
+  JsonArray cloudlets;
+  for (const net::Cloudlet& cl : inst.network.cloudlets()) {
+    cloudlets.push_back(JsonValue(JsonObject{
+        {"node", JsonValue(cl.node)},
+        {"compute", JsonValue(cl.compute_capacity)},
+        {"bandwidth", JsonValue(cl.bandwidth_capacity)}}));
+  }
+  root["cloudlets"] = JsonValue(std::move(cloudlets));
+
+  JsonArray dcs;
+  for (const net::DataCenter& dc : inst.network.data_centers()) {
+    dcs.push_back(JsonValue(dc.node));
+  }
+  root["data_centers"] = JsonValue(std::move(dcs));
+
+  JsonArray providers;
+  for (const ServiceProvider& p : inst.providers) {
+    providers.push_back(JsonValue(JsonObject{
+        {"compute_per_request", JsonValue(p.compute_per_request)},
+        {"bandwidth_per_request", JsonValue(p.bandwidth_per_request)},
+        {"requests", JsonValue(p.requests)},
+        {"instantiation_cost", JsonValue(p.instantiation_cost)},
+        {"service_data_gb", JsonValue(p.service_data_gb)},
+        {"update_fraction", JsonValue(p.update_fraction)},
+        {"traffic_gb", JsonValue(p.traffic_gb)},
+        {"home_dc", JsonValue(p.home_dc)},
+        {"user_region", JsonValue(p.user_region)}}));
+  }
+  root["providers"] = JsonValue(std::move(providers));
+
+  JsonObject cost;
+  cost["alpha"] = JsonValue(JsonArray(inst.cost.alpha.begin(),
+                                      inst.cost.alpha.end()));
+  cost["beta"] =
+      JsonValue(JsonArray(inst.cost.beta.begin(), inst.cost.beta.end()));
+  cost["transfer_price_per_gb"] = JsonValue(inst.cost.transfer_price_per_gb);
+  cost["processing_price_per_gb"] =
+      JsonValue(inst.cost.processing_price_per_gb);
+  cost["vm_boot_cost"] = JsonValue(inst.cost.vm_boot_cost);
+  cost["remote_hop_penalty"] = JsonValue(inst.cost.remote_hop_penalty);
+  cost["congestion"] =
+      JsonValue(std::string(congestion_kind_name(inst.cost.congestion)));
+  root["cost"] = JsonValue(std::move(cost));
+  return JsonValue(std::move(root));
+}
+
+Instance instance_from_json(const JsonValue& doc) {
+  if (static_cast<int>(doc.number_at("format_version")) != kIoFormatVersion) {
+    throw std::invalid_argument("io: unsupported format version");
+  }
+  net::Graph topology = graph_from_json(doc.at("topology"));
+  const std::size_t nodes = topology.node_count();
+
+  std::vector<net::Cloudlet> cloudlets;
+  for (const JsonValue& c : doc.at("cloudlets").as_array()) {
+    net::Cloudlet cl;
+    cl.node = static_cast<net::NodeId>(c.number_at("node"));
+    cl.compute_capacity = c.number_at("compute");
+    cl.bandwidth_capacity = c.number_at("bandwidth");
+    if (cl.node >= nodes || cl.compute_capacity < 0.0 ||
+        cl.bandwidth_capacity < 0.0) {
+      throw std::invalid_argument("io: invalid cloudlet");
+    }
+    cloudlets.push_back(cl);
+  }
+  std::vector<net::DataCenter> dcs;
+  for (const JsonValue& d : doc.at("data_centers").as_array()) {
+    const auto node = static_cast<net::NodeId>(d.as_number());
+    if (node >= nodes) throw std::invalid_argument("io: invalid data center");
+    dcs.push_back(net::DataCenter{node});
+  }
+  if (cloudlets.empty() || dcs.empty()) {
+    throw std::invalid_argument("io: need at least one cloudlet and DC");
+  }
+
+  Instance inst{net::MecNetwork(std::move(topology), std::move(cloudlets),
+                                std::move(dcs)),
+                {},
+                {}};
+
+  for (const JsonValue& p : doc.at("providers").as_array()) {
+    ServiceProvider sp;
+    sp.compute_per_request = p.number_at("compute_per_request");
+    sp.bandwidth_per_request = p.number_at("bandwidth_per_request");
+    sp.requests = static_cast<std::size_t>(p.number_at("requests"));
+    sp.instantiation_cost = p.number_at("instantiation_cost");
+    sp.service_data_gb = p.number_at("service_data_gb");
+    sp.update_fraction = p.number_at("update_fraction");
+    sp.traffic_gb = p.number_at("traffic_gb");
+    sp.home_dc = static_cast<DataCenterId>(p.number_at("home_dc"));
+    sp.user_region = static_cast<CloudletId>(p.number_at("user_region"));
+    if (sp.home_dc >= inst.network.data_center_count() ||
+        sp.user_region >= inst.network.cloudlet_count() ||
+        sp.compute_per_request < 0.0 || sp.bandwidth_per_request < 0.0) {
+      throw std::invalid_argument("io: invalid provider");
+    }
+    inst.providers.push_back(sp);
+  }
+
+  const JsonValue& cost = doc.at("cost");
+  for (const JsonValue& a : cost.at("alpha").as_array()) {
+    inst.cost.alpha.push_back(a.as_number());
+  }
+  for (const JsonValue& b : cost.at("beta").as_array()) {
+    inst.cost.beta.push_back(b.as_number());
+  }
+  if (inst.cost.alpha.size() != inst.network.cloudlet_count() ||
+      inst.cost.beta.size() != inst.network.cloudlet_count()) {
+    throw std::invalid_argument("io: alpha/beta size mismatch");
+  }
+  inst.cost.transfer_price_per_gb = cost.number_at("transfer_price_per_gb");
+  inst.cost.processing_price_per_gb =
+      cost.number_at("processing_price_per_gb");
+  inst.cost.vm_boot_cost = cost.number_at("vm_boot_cost");
+  inst.cost.remote_hop_penalty = cost.number_at("remote_hop_penalty");
+  inst.cost.congestion =
+      congestion_kind_from_name(cost.string_at("congestion"));
+  return inst;
+}
+
+JsonValue assignment_to_json(const Assignment& a) {
+  JsonArray choices;
+  choices.reserve(a.provider_count());
+  for (ProviderId l = 0; l < a.provider_count(); ++l) {
+    const std::size_t c = a.choice(l);
+    choices.push_back(c == kRemote ? JsonValue(nullptr) : JsonValue(c));
+  }
+  return JsonValue(JsonObject{
+      {"format_version", JsonValue(kIoFormatVersion)},
+      {"choices", JsonValue(std::move(choices))},
+      {"social_cost", JsonValue(a.social_cost())},
+      {"potential", JsonValue(a.potential())}});
+}
+
+Assignment assignment_from_json(const Instance& inst, const JsonValue& doc) {
+  const JsonArray& choices = doc.at("choices").as_array();
+  if (choices.size() != inst.provider_count()) {
+    throw std::invalid_argument("io: profile size mismatch");
+  }
+  Assignment a(inst);
+  for (ProviderId l = 0; l < choices.size(); ++l) {
+    if (choices[l].is_null()) continue;  // remote
+    const auto c = static_cast<std::size_t>(choices[l].as_number());
+    if (c >= inst.cloudlet_count()) {
+      throw std::invalid_argument("io: invalid cloudlet id in profile");
+    }
+    if (!a.can_move(l, c)) {
+      throw std::invalid_argument("io: profile violates capacities");
+    }
+    a.move(l, c);
+  }
+  return a;
+}
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open '" + path + "' for reading");
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open '" + path + "' for writing");
+  out << content;
+  if (!out) throw std::runtime_error("failed writing '" + path + "'");
+}
+
+}  // namespace mecsc::core

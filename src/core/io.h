@@ -1,0 +1,44 @@
+// JSON interchange for instances and solutions.
+//
+// Lets experiments be split across processes and tools: generate an
+// instance once (`mecsc generate`), solve it under different algorithm
+// configurations (`mecsc solve`), and evaluate/compare placements
+// (`mecsc evaluate`) — with the exact same bits each time. The format is
+// versioned and round-trips everything the algorithms consume: topology,
+// cloudlet/DC placement, capacities, providers, and cost constants.
+#pragma once
+
+#include <string>
+
+#include "core/assignment.h"
+#include "core/instance.h"
+#include "util/json.h"
+
+namespace mecsc::core {
+
+/// Format version written into every document.
+inline constexpr int kIoFormatVersion = 1;
+
+/// Serializes a full instance (topology + placements + providers + cost
+/// constants).
+util::JsonValue instance_to_json(const Instance& inst);
+
+/// Rebuilds an instance. Throws util::JsonError on malformed documents and
+/// std::invalid_argument on semantically invalid ones (bad ids, negative
+/// capacities, unknown congestion kind, version mismatch).
+Instance instance_from_json(const util::JsonValue& doc);
+
+/// Serializes a strategy profile together with its cost summary.
+util::JsonValue assignment_to_json(const Assignment& a);
+
+/// Rebinds a serialized profile to `inst`. Throws std::invalid_argument if
+/// the profile does not fit the instance (size mismatch, invalid cloudlet
+/// ids, capacity violations).
+Assignment assignment_from_json(const Instance& inst,
+                                const util::JsonValue& doc);
+
+/// Convenience text-file helpers (throw std::runtime_error on I/O errors).
+std::string read_text_file(const std::string& path);
+void write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace mecsc::core

@@ -1,0 +1,74 @@
+#include "core/lcf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace mecsc::core {
+
+LcfResult run_lcf(const Instance& inst, const LcfOptions& options) {
+  assert(options.coordinated_fraction >= 0.0 &&
+         options.coordinated_fraction <= 1.0);
+  const std::size_t n = inst.provider_count();
+
+  // Step 1: approximate solution for the non-selfish problem.
+  ApproResult appro = run_appro(inst, options.appro);
+
+  // Step 2: Largest Cost First — coordinate the ⌊ξ|N|⌋ providers whose
+  // caching cost under ζ is highest (their strategies have the largest
+  // influence on the social cost).
+  const auto coordinated_count = static_cast<std::size_t>(
+      std::floor(options.coordinated_fraction * static_cast<double>(n)));
+  std::vector<ProviderId> by_cost(n);
+  std::iota(by_cost.begin(), by_cost.end(), ProviderId{0});
+  std::stable_sort(by_cost.begin(), by_cost.end(),
+                   [&](ProviderId a, ProviderId b) {
+                     return appro.assignment.provider_cost(a) >
+                            appro.assignment.provider_cost(b);
+                   });
+  std::vector<bool> coordinated(n, false);
+  for (std::size_t k = 0; k < coordinated_count; ++k) {
+    coordinated[by_cost[k]] = true;
+  }
+
+  // Build the starting profile: coordinated players sit at their ζ seats;
+  // selfish players start remote (or warm-start at ζ).
+  Assignment start(inst);
+  for (ProviderId l = 0; l < n; ++l) {
+    const bool place = coordinated[l] || options.selfish_start_at_appro;
+    if (!place) continue;
+    const std::size_t seat = appro.assignment.choice(l);
+    if (seat != kRemote) {
+      // Seats come from a feasible assignment, so they always fit.
+      assert(start.can_move(l, seat));
+      start.move(l, seat);
+    }
+  }
+
+  // Step 3: the rest best-respond to a pure NE.
+  std::vector<bool> movable(n);
+  for (ProviderId l = 0; l < n; ++l) movable[l] = !coordinated[l];
+  GameResult game =
+      best_response_dynamics(std::move(start), movable, options.dynamics);
+
+  LcfResult result{std::move(game.assignment),
+                   std::move(appro),
+                   std::move(coordinated),
+                   0.0,
+                   0.0,
+                   game.rounds,
+                   game.moves,
+                   game.converged};
+  for (ProviderId l = 0; l < n; ++l) {
+    const double c = result.assignment.provider_cost(l);
+    if (result.coordinated[l]) {
+      result.coordinated_cost += c;
+    } else {
+      result.selfish_cost += c;
+    }
+  }
+  return result;
+}
+
+}  // namespace mecsc::core

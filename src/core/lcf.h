@@ -1,0 +1,60 @@
+// Algorithm 2 ("LCF", Largest-Cost-First): the approximation-restricted
+// Stackelberg strategy (§III-C).
+//
+// The infrastructure provider (leader):
+//  1. computes the Appro solution ζ for the fully coordinated problem;
+//  2. selects the ⌊ξ|N|⌋ providers whose caching cost under ζ is largest
+//     and pins them to their ζ strategies (coordinated players);
+//  3. lets the remaining (1-ξ)|N| selfish providers best-respond until the
+//     restricted congestion game reaches a pure Nash equilibrium.
+//
+// Theorem 1 bounds the Price of Anarchy of this mechanism by
+// 2δκ/(1-v) · (1/(4v) + 1 - ξ).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/appro.h"
+#include "core/assignment.h"
+#include "core/congestion_game.h"
+#include "core/instance.h"
+#include "util/rng.h"
+
+namespace mecsc::core {
+
+struct LcfOptions {
+  /// ξ: fraction of providers coordinated by the leader (paper default:
+  /// 1-ξ = 0.3).
+  double coordinated_fraction = 0.7;
+  ApproOptions appro;
+  BestResponseOptions dynamics;
+  /// Where the selfish players start before best-responding: true = at
+  /// their Appro seats (warm start), false = at the remote cloud (services
+  /// begin uncached, §II-B). The reached equilibrium may differ; the paper's
+  /// narrative (services start in remote clouds) matches the default.
+  bool selfish_start_at_appro = false;
+};
+
+struct LcfResult {
+  Assignment assignment;
+  /// Appro's full solution ζ (also the coordinated players' strategies).
+  ApproResult appro;
+  /// coordinated[l] == true iff the leader pinned provider l.
+  std::vector<bool> coordinated;
+  /// Σ cost over coordinated / selfish providers in the final profile.
+  double coordinated_cost = 0.0;
+  double selfish_cost = 0.0;
+  /// Stats of the selfish best-response phase.
+  std::size_t game_rounds = 0;
+  std::size_t game_moves = 0;
+  bool converged = false;
+
+  double social_cost() const { return coordinated_cost + selfish_cost; }
+};
+
+/// Runs the LCF mechanism. The result's assignment is feasible and — when
+/// `converged` — a Nash equilibrium of the selfish sub-game.
+LcfResult run_lcf(const Instance& inst, const LcfOptions& options = {});
+
+}  // namespace mecsc::core

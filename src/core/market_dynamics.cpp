@@ -1,0 +1,145 @@
+#include "core/market_dynamics.h"
+
+#include <cassert>
+
+#include "core/congestion_game.h"
+#include "util/timer.h"
+
+namespace mecsc::core {
+
+const char* replan_policy_name(ReplanPolicy policy) {
+  switch (policy) {
+    case ReplanPolicy::FullRecompute:
+      return "full-recompute";
+    case ReplanPolicy::IncrementalRepair:
+      return "incremental-repair";
+  }
+  return "?";
+}
+
+double migration_cost(const Instance& inst, ProviderId l, std::size_t from,
+                      std::size_t to) {
+  if (to == kRemote || from == to) return 0.0;  // destroying is free
+  const ServiceProvider& p = inst.providers[l];
+  const double hops =
+      from == kRemote
+          ? inst.network.cloudlet_to_dc_hops(to, p.home_dc)  // initial ship
+          : inst.network.cloudlet_to_cloudlet_hops(from, to);
+  return inst.cost.transfer_price_per_gb * p.service_data_gb * hops;
+}
+
+namespace {
+
+/// Sub-instance of the active providers, with the pool-id mapping.
+struct ActiveView {
+  Instance sub;
+  std::vector<ProviderId> pool_id;  // sub index -> pool index
+};
+
+ActiveView make_view(const Instance& pool, const std::vector<bool>& active) {
+  ActiveView view{Instance{pool.network, {}, pool.cost}, {}};
+  for (ProviderId l = 0; l < pool.provider_count(); ++l) {
+    if (active[l]) {
+      view.sub.providers.push_back(pool.providers[l]);
+      view.pool_id.push_back(l);
+    }
+  }
+  return view;
+}
+
+}  // namespace
+
+MarketDynamicsResult simulate_market(const Instance& pool,
+                                     const MarketDynamicsParams& params,
+                                     util::Rng& rng) {
+  const std::size_t n = pool.provider_count();
+  assert(params.initial_providers <= n);
+
+  std::vector<bool> active(n, false);
+  // Seat of each pool provider under the previous epoch's plan (kRemote for
+  // inactive providers: their instances are not cached anywhere).
+  std::vector<std::size_t> seat(n, kRemote);
+  std::vector<bool> was_active(n, false);
+
+  // Epoch 0 starts with a random initial population.
+  for (const std::size_t idx :
+       rng.sample_without_replacement(n, params.initial_providers)) {
+    active[idx] = true;
+  }
+
+  MarketDynamicsResult result;
+  for (std::size_t epoch = 0; epoch < params.epochs; ++epoch) {
+    EpochStats stats;
+    stats.epoch = epoch;
+
+    if (epoch > 0) {
+      // Departures: cached instance destroyed, original lives on.
+      for (ProviderId l = 0; l < n; ++l) {
+        if (active[l] && rng.bernoulli(params.departure_probability)) {
+          active[l] = false;
+          seat[l] = kRemote;
+          ++stats.departures;
+        }
+      }
+      // Arrivals from the inactive part of the pool.
+      const auto want = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(
+                                 2.0 * params.arrival_rate)));
+      std::vector<ProviderId> inactive;
+      for (ProviderId l = 0; l < n; ++l) {
+        if (!active[l]) inactive.push_back(l);
+      }
+      rng.shuffle(inactive);
+      for (std::size_t k = 0; k < std::min(want, inactive.size()); ++k) {
+        active[inactive[k]] = true;
+        ++stats.arrivals;
+      }
+    }
+
+    // --- Re-plan the active set. -----------------------------------------
+    const ActiveView view = make_view(pool, active);
+    util::Timer timer;
+    Assignment plan(view.sub);
+    if (params.policy == ReplanPolicy::FullRecompute) {
+      const LcfResult lcf = run_lcf(view.sub, params.lcf);
+      plan = lcf.assignment;
+      stats.equilibrium = lcf.converged;
+    } else {
+      // Inherit seats (jointly feasible: they were feasible last epoch and
+      // departures only freed capacity), then repair by best response.
+      for (std::size_t j = 0; j < view.pool_id.size(); ++j) {
+        const std::size_t s = seat[view.pool_id[j]];
+        if (s != kRemote) {
+          assert(plan.can_move(j, s));
+          plan.move(j, s);
+        }
+      }
+      const GameResult game = best_response_dynamics(
+          std::move(plan),
+          std::vector<bool>(view.sub.provider_count(), true));
+      plan = game.assignment;
+      stats.equilibrium = game.converged;
+    }
+    stats.replan_ms = timer.elapsed_ms();
+
+    // --- Accounting. -------------------------------------------------------
+    stats.active_providers = view.sub.provider_count();
+    stats.social_cost = plan.social_cost();
+    for (std::size_t j = 0; j < view.pool_id.size(); ++j) {
+      const ProviderId l = view.pool_id[j];
+      const std::size_t new_seat = plan.choice(j);
+      stats.migration_cost +=
+          migration_cost(view.sub, j, seat[l], new_seat);
+      if (was_active[l] && new_seat != seat[l]) ++stats.migrations;
+      seat[l] = new_seat;
+    }
+    was_active = active;
+
+    result.total_social_cost += stats.social_cost;
+    result.total_migration_cost += stats.migration_cost;
+    result.epochs.push_back(stats);
+  }
+  return result;
+}
+
+}  // namespace mecsc::core

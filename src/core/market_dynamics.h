@@ -1,0 +1,96 @@
+// Dynamic service market: temporary caching over time (§II-B: "services are
+// only cached for temporary and their original services are still kept in
+// remote data centers").
+//
+// Providers arrive and depart across epochs. Each epoch the mechanism
+// re-plans the active providers, either by re-running the full LCF
+// mechanism (best placement, but cached instances may migrate between
+// cloudlets, which costs bandwidth to re-ship the service image) or by
+// incremental repair (continuing providers keep their seats; everyone
+// selfish best-responds from the previous profile, minimizing churn).
+// The tension between placement quality and migration churn is the module's
+// subject; bench_dynamics quantifies it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/assignment.h"
+#include "core/instance.h"
+#include "core/lcf.h"
+#include "util/rng.h"
+
+namespace mecsc::core {
+
+/// How the market re-plans each epoch.
+enum class ReplanPolicy {
+  /// Re-run the full LCF mechanism on the active set from scratch.
+  FullRecompute,
+  /// Keep continuing providers seated; run best-response dynamics from the
+  /// inherited profile (new arrivals start remote). No leader coordination
+  /// beyond the inherited seats.
+  IncrementalRepair,
+};
+
+const char* replan_policy_name(ReplanPolicy policy);
+
+struct MarketDynamicsParams {
+  std::size_t epochs = 20;
+  /// Expected number of newly arriving providers per epoch (Poisson-ish:
+  /// drawn uniformly from [0, 2*rate]).
+  double arrival_rate = 6.0;
+  /// Each active provider departs independently with this probability at
+  /// the start of an epoch (its cached instance is destroyed; the original
+  /// in the remote DC lives on).
+  double departure_probability = 0.08;
+  std::size_t initial_providers = 40;
+  ReplanPolicy policy = ReplanPolicy::FullRecompute;
+  LcfOptions lcf;
+};
+
+/// Per-epoch market telemetry.
+struct EpochStats {
+  std::size_t epoch = 0;
+  std::size_t active_providers = 0;
+  std::size_t arrivals = 0;
+  std::size_t departures = 0;
+  /// Continuing providers whose cached instance changed cloudlet (or moved
+  /// between cached and remote) relative to the previous epoch.
+  std::size_t migrations = 0;
+  double social_cost = 0.0;
+  /// Bandwidth cost of re-shipping migrated service images this epoch.
+  double migration_cost = 0.0;
+  double replan_ms = 0.0;
+  bool equilibrium = false;  ///< selfish sub-game converged
+};
+
+struct MarketDynamicsResult {
+  std::vector<EpochStats> epochs;
+  /// Σ over epochs of social cost (the per-epoch operating bill).
+  double total_social_cost = 0.0;
+  /// Σ over epochs of migration cost (the churn bill).
+  double total_migration_cost = 0.0;
+
+  double total_cost() const {
+    return total_social_cost + total_migration_cost;
+  }
+};
+
+/// Simulates `params.epochs` epochs of the market over `pool` (a provider
+/// population to draw arrivals from; `params.initial_providers` of them are
+/// active at epoch 0). Deterministic given `rng`'s state.
+///
+/// Migration pricing: moving a cached instance from cloudlet a to cloudlet b
+/// re-ships the service image over hops(a, b); caching a previously remote
+/// service ships it from the home DC; destroying a cached instance is free
+/// (the original was never removed).
+MarketDynamicsResult simulate_market(const Instance& pool,
+                                     const MarketDynamicsParams& params,
+                                     util::Rng& rng);
+
+/// Exposed for tests: the migration cost of one provider moving from seat
+/// `from` to seat `to` (seats are cloudlet ids or kRemote).
+double migration_cost(const Instance& inst, ProviderId l, std::size_t from,
+                      std::size_t to);
+
+}  // namespace mecsc::core

@@ -1,0 +1,111 @@
+#include "core/poa.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "core/appro.h"
+#include "core/congestion_game.h"
+#include "core/social_optimum.h"
+#include "core/virtual_cloudlet.h"
+
+namespace mecsc::core {
+
+double theorem1_bound_at(double delta, double kappa, double xi, double v) {
+  assert(v > 0.0 && v < 1.0);
+  assert(xi >= 0.0 && xi <= 1.0);
+  assert(delta > 0.0 && kappa > 0.0);
+  return 2.0 * delta * kappa / (1.0 - v) * (1.0 / (4.0 * v) + 1.0 - xi);
+}
+
+double theorem1_bound(double delta, double kappa, double xi) {
+  double best = std::numeric_limits<double>::infinity();
+  // The bound is smooth in v; a fine grid over (0,1) is plenty.
+  for (int k = 1; k < 1000; ++k) {
+    const double v = static_cast<double>(k) / 1000.0;
+    best = std::min(best, theorem1_bound_at(delta, kappa, xi, v));
+  }
+  return best;
+}
+
+PoaResult estimate_poa(const Instance& inst, const PoaOptions& options,
+                       util::Rng& rng) {
+  PoaResult result;
+  const std::size_t n = inst.provider_count();
+
+  // --- Denominator: exact OPT when affordable. ---------------------------
+  const SocialOptimumResult opt = solve_social_optimum(
+      inst, SocialOptimumOptions{.node_limit = 5'000'000});
+  if (opt.proven_optimal) {
+    result.optimum_cost = opt.cost;
+    result.optimum_exact = true;
+  } else {
+    result.optimum_cost = social_cost_lower_bound(inst);
+    result.optimum_exact = false;
+  }
+
+  // --- Coordinated players (ξ > 0: the LCF rule). -------------------------
+  std::vector<bool> coordinated(n, false);
+  Assignment pinned(inst);
+  if (options.coordinated_fraction > 0.0) {
+    LcfOptions lcf_opts = options.lcf;
+    lcf_opts.coordinated_fraction = options.coordinated_fraction;
+    const LcfResult lcf = run_lcf(inst, lcf_opts);
+    coordinated = lcf.coordinated;
+    for (ProviderId l = 0; l < n; ++l) {
+      if (coordinated[l]) {
+        const std::size_t seat = lcf.appro.assignment.choice(l);
+        if (seat != kRemote && pinned.can_move(l, seat)) pinned.move(l, seat);
+      }
+    }
+  }
+  std::vector<bool> movable(n);
+  for (ProviderId l = 0; l < n; ++l) movable[l] = !coordinated[l];
+
+  // --- Worst/best NE over randomized restarts. ----------------------------
+  result.worst_equilibrium_cost = 0.0;
+  result.best_equilibrium_cost = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < options.restarts; ++r) {
+    Assignment start = pinned;
+    // Random initial strategies for the selfish players (feasible by
+    // construction: each move is admission-checked).
+    for (ProviderId l = 0; l < n; ++l) {
+      if (!movable[l]) continue;
+      const auto pick = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(inst.cloudlet_count())));
+      if (pick < inst.cloudlet_count() && start.can_move(l, pick)) {
+        start.move(l, pick);
+      }
+    }
+    util::Rng order_rng = rng.split();
+    BestResponseOptions bro;
+    bro.shuffle_rng = &order_rng;
+    const GameResult game =
+        best_response_dynamics(std::move(start), movable, bro);
+    if (!game.converged) continue;
+    assert(is_nash_equilibrium(game.assignment, movable));
+    const double c = game.assignment.social_cost();
+    result.worst_equilibrium_cost = std::max(result.worst_equilibrium_cost, c);
+    result.best_equilibrium_cost = std::min(result.best_equilibrium_cost, c);
+    ++result.equilibria_found;
+  }
+  if (result.equilibria_found == 0) {
+    result.best_equilibrium_cost = 0.0;
+  }
+  if (result.optimum_cost > 0.0) {
+    result.empirical_poa = result.worst_equilibrium_cost / result.optimum_cost;
+  }
+
+  // --- Theorem-1 bound with the instance's δ, κ. ---------------------------
+  const VirtualCloudletSplit split = split_cloudlets(inst);
+  if (split.a_max > 0.0 && split.b_max > 0.0) {
+    result.theoretical_bound =
+        theorem1_bound(split.delta_max(inst), split.kappa_max(inst),
+                       options.coordinated_fraction);
+  }
+  return result;
+}
+
+}  // namespace mecsc::core

@@ -1,0 +1,59 @@
+// Price-of-Anarchy analysis (§II-E, Theorem 1).
+//
+// PoA = (worst social cost over pure Nash equilibria) / OPT. Theorem 1
+// bounds the PoA of the approximation-restricted LCF mechanism by
+//     2δκ/(1-v) · (1/(4v) + 1 - ξ),   v ∈ (0, 1).
+// This module evaluates that bound (optimizing v numerically) and estimates
+// the empirical PoA by driving best-response dynamics to equilibrium from
+// many randomized starting profiles and player orders, keeping the worst
+// equilibrium found.
+#pragma once
+
+#include <cstddef>
+
+#include "core/assignment.h"
+#include "core/instance.h"
+#include "core/lcf.h"
+#include "util/rng.h"
+
+namespace mecsc::core {
+
+/// Theorem-1 bound for fixed v. Preconditions: v in (0,1), xi in [0,1],
+/// delta, kappa > 0.
+double theorem1_bound_at(double delta, double kappa, double xi, double v);
+
+/// Theorem-1 bound minimized over v on a fine grid (the bound holds for
+/// every v, so the tightest one is the meaningful figure).
+double theorem1_bound(double delta, double kappa, double xi);
+
+struct PoaOptions {
+  /// Fraction of providers the leader coordinates (ξ); 0 = fully selfish
+  /// game.
+  double coordinated_fraction = 0.0;
+  /// Number of randomized restarts of best-response dynamics.
+  std::size_t restarts = 30;
+  LcfOptions lcf;
+};
+
+struct PoaResult {
+  /// Social cost of the worst / best equilibrium found.
+  double worst_equilibrium_cost = 0.0;
+  double best_equilibrium_cost = 0.0;
+  /// Denominator used for the ratios (exact OPT when provably solved).
+  double optimum_cost = 0.0;
+  bool optimum_exact = false;
+  /// worst_equilibrium_cost / optimum_cost.
+  double empirical_poa = 0.0;
+  /// Theorem-1 bound evaluated with the instance's δ, κ and ξ.
+  double theoretical_bound = 0.0;
+  std::size_t equilibria_found = 0;
+};
+
+/// Estimates the empirical PoA of the (ξ-coordinated) game on `inst`.
+/// Uses the exact social optimum when the instance is small enough to solve
+/// within the node budget; otherwise falls back to the congestion-free
+/// lower bound (making the reported PoA an upper estimate).
+PoaResult estimate_poa(const Instance& inst, const PoaOptions& options,
+                       util::Rng& rng);
+
+}  // namespace mecsc::core

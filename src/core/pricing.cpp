@@ -1,0 +1,81 @@
+#include "core/pricing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+#include "core/congestion_game.h"
+
+namespace mecsc::core {
+
+PricingResult decentralize_by_pricing(const Instance& inst,
+                                      const PricingOptions& options) {
+  const std::size_t m = inst.cloudlet_count();
+  const ApproResult appro = run_appro(inst, options.appro);
+
+  PricingResult result{std::vector<double>(m, 0.0), Assignment(inst),
+                       std::vector<std::size_t>(m, 0), 0, 0, 0.0, 0.0};
+  for (CloudletId i = 0; i < m; ++i) {
+    result.target_occupancy[i] = appro.assignment.occupancy(i);
+  }
+
+  const std::vector<bool> movable(inst.provider_count(), true);
+  double step = options.step;
+  std::size_t best_gap = static_cast<std::size_t>(-1);
+  std::vector<double> best_prices = result.prices;
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+    BestResponseOptions bro;
+    bro.cloudlet_surcharge = &result.prices;
+    const GameResult game =
+        best_response_dynamics(Assignment(inst), movable, bro);
+    assert(game.converged);
+
+    std::size_t gap = 0;
+    for (CloudletId i = 0; i < m; ++i) {
+      const auto occ = static_cast<std::ptrdiff_t>(game.assignment.occupancy(i));
+      const auto target =
+          static_cast<std::ptrdiff_t>(result.target_occupancy[i]);
+      gap += static_cast<std::size_t>(std::abs(occ - target));
+    }
+    if (gap < best_gap) {
+      best_gap = gap;
+      best_prices = result.prices;
+    }
+    if (gap == 0) break;
+
+    // Tâtonnement step: price pressure proportional to the occupancy error.
+    for (CloudletId i = 0; i < m; ++i) {
+      const auto occ = static_cast<double>(game.assignment.occupancy(i));
+      const auto target = static_cast<double>(result.target_occupancy[i]);
+      result.prices[i] =
+          std::max(0.0, result.prices[i] + step * (occ - target));
+    }
+    step *= options.step_decay;
+  }
+
+  // Final equilibrium under the best prices found.
+  result.prices = std::move(best_prices);
+  BestResponseOptions bro;
+  bro.cloudlet_surcharge = &result.prices;
+  GameResult final_game =
+      best_response_dynamics(Assignment(inst), movable, bro);
+  assert(final_game.converged);
+  result.assignment = std::move(final_game.assignment);
+
+  result.occupancy_gap = 0;
+  for (CloudletId i = 0; i < m; ++i) {
+    const auto occ =
+        static_cast<std::ptrdiff_t>(result.assignment.occupancy(i));
+    const auto target =
+        static_cast<std::ptrdiff_t>(result.target_occupancy[i]);
+    result.occupancy_gap += static_cast<std::size_t>(std::abs(occ - target));
+    result.revenue +=
+        result.prices[i] * static_cast<double>(result.assignment.occupancy(i));
+  }
+  result.social_cost = result.assignment.social_cost();
+  return result;
+}
+
+}  // namespace mecsc::core

@@ -1,0 +1,59 @@
+// Posted-price decentralization of the coordinated solution (extension).
+//
+// LCF stabilizes the market by *contract*: coordinated providers are pinned
+// to their Appro seats. An alternative lever the infrastructure provider
+// owns is *pricing*: post a price π_i on each cloudlet, let everyone act
+// selfishly, and choose the prices so the resulting equilibrium reproduces
+// the coordinated placement's congestion profile. Prices enter each
+// provider's cost as a fixed per-cloudlet surcharge, which preserves the
+// exact-potential structure (Lemma 3 still applies at any fixed π), so
+// best-response dynamics converge at every pricing iterate.
+//
+// The price search is a tâtonnement: after reaching equilibrium under the
+// current prices, raise π on over-subscribed cloudlets (occupancy above the
+// Appro target) and lower it on under-subscribed ones, with a decaying step
+// size. Prices are transfers from providers to the leader — they steer
+// behaviour but are excluded from the social cost.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/appro.h"
+#include "core/assignment.h"
+#include "core/instance.h"
+
+namespace mecsc::core {
+
+struct PricingOptions {
+  std::size_t max_iterations = 120;
+  /// Initial price step per unit of occupancy error.
+  double step = 0.2;
+  /// Multiplicative step decay per iteration (simulated-annealing-style
+  /// cooling toward a fixed point).
+  double step_decay = 0.97;
+  ApproOptions appro;
+};
+
+struct PricingResult {
+  /// Final posted price per cloudlet (>= 0).
+  std::vector<double> prices;
+  /// Equilibrium of the priced game under `prices`.
+  Assignment assignment;
+  /// Appro's target occupancy per cloudlet.
+  std::vector<std::size_t> target_occupancy;
+  std::size_t iterations = 0;
+  /// Σ_i |occupancy_i - target_i| at the end.
+  std::size_t occupancy_gap = 0;
+  /// Social cost of the final placement (price transfers excluded).
+  double social_cost = 0.0;
+  /// Total price revenue collected by the leader at the final equilibrium.
+  double revenue = 0.0;
+};
+
+/// Runs the tâtonnement. The result's assignment is feasible and a pure NE
+/// of the priced game.
+PricingResult decentralize_by_pricing(const Instance& inst,
+                                      const PricingOptions& options = {});
+
+}  // namespace mecsc::core

@@ -1,0 +1,128 @@
+#include "core/social_optimum.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+namespace mecsc::core {
+
+namespace {
+
+struct SearchState {
+  const Instance* inst;
+  std::size_t node_limit;
+  std::size_t nodes = 0;
+  bool budget_hit = false;
+  Assignment current;
+  std::vector<ProviderId> order;
+  std::vector<double> suffix_lb;  // optimistic cost of providers order[k..]
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::optional<Assignment> best;
+
+  explicit SearchState(const Instance& instance)
+      : inst(&instance), node_limit(0), current(instance) {}
+};
+
+/// Social-cost increase caused by provider l joining target given the
+/// current partial profile: own cost plus the congestion bump imposed on
+/// the target's existing tenants.
+double marginal_cost(const Assignment& a, ProviderId l, std::size_t target) {
+  if (target == kRemote) return remote_cost(a.instance(), l);
+  const std::size_t k = a.occupancy(target);  // tenants before joining
+  const Instance& inst = a.instance();
+  // Own cost at occupancy k+1, plus the congestion bump imposed on the k
+  // existing tenants: k·(g(k+1) − g(k)) with g the per-tenant congestion.
+  const double bump =
+      k == 0 ? 0.0
+             : static_cast<double>(k) * (congestion_cost(inst, target, k + 1) -
+                                         congestion_cost(inst, target, k));
+  return cache_cost(inst, l, target, k + 1) + bump;
+}
+
+void dfs(SearchState& st, std::size_t depth, double cost_so_far) {
+  if (st.nodes >= st.node_limit) {
+    st.budget_hit = true;
+    return;
+  }
+  ++st.nodes;
+  if (cost_so_far + st.suffix_lb[depth] >= st.best_cost - 1e-12) return;
+  if (depth == st.order.size()) {
+    st.best_cost = cost_so_far;
+    st.best = st.current;
+    return;
+  }
+  const ProviderId l = st.order[depth];
+  const Instance& inst = *st.inst;
+
+  // Candidate targets sorted by marginal cost (cheap first finds strong
+  // incumbents early).
+  std::vector<std::size_t> targets;
+  targets.push_back(kRemote);
+  for (CloudletId i = 0; i < inst.cloudlet_count(); ++i) {
+    if (st.current.can_move(l, i)) targets.push_back(i);
+  }
+  std::sort(targets.begin(), targets.end(),
+            [&](std::size_t x, std::size_t y) {
+              return marginal_cost(st.current, l, x) <
+                     marginal_cost(st.current, l, y);
+            });
+  for (const std::size_t t : targets) {
+    const double inc = marginal_cost(st.current, l, t);
+    st.current.move(l, t);
+    dfs(st, depth + 1, cost_so_far + inc);
+    st.current.move(l, kRemote);
+    if (st.budget_hit) return;
+  }
+}
+
+}  // namespace
+
+double social_cost_lower_bound(const Instance& inst) {
+  double total = 0.0;
+  for (ProviderId l = 0; l < inst.provider_count(); ++l) {
+    double best = remote_cost(inst, l);
+    for (CloudletId i = 0; i < inst.cloudlet_count(); ++i) {
+      if (!demand_fits(inst, l, i)) continue;
+      best = std::min(best, flat_cache_cost(inst, l, i));
+    }
+    total += best;
+  }
+  return total;
+}
+
+SocialOptimumResult solve_social_optimum(const Instance& inst,
+                                         const SocialOptimumOptions& options) {
+  SearchState st(inst);
+  st.node_limit = options.node_limit;
+  const std::size_t n = inst.provider_count();
+  st.order.resize(n);
+  std::iota(st.order.begin(), st.order.end(), ProviderId{0});
+  // Biggest consumers first: their placement constrains the rest the most.
+  std::stable_sort(st.order.begin(), st.order.end(),
+                   [&](ProviderId a, ProviderId b) {
+                     return inst.providers[a].compute_demand() >
+                            inst.providers[b].compute_demand();
+                   });
+
+  // Admissible per-provider bound: cheapest congestion-free option.
+  st.suffix_lb.assign(n + 1, 0.0);
+  for (std::size_t k = n; k-- > 0;) {
+    const ProviderId l = st.order[k];
+    double best = remote_cost(inst, l);
+    for (CloudletId i = 0; i < inst.cloudlet_count(); ++i) {
+      if (!demand_fits(inst, l, i)) continue;
+      best = std::min(best, flat_cache_cost(inst, l, i));
+    }
+    st.suffix_lb[k] = st.suffix_lb[k + 1] + best;
+  }
+
+  dfs(st, 0, 0.0);
+  assert(st.best.has_value() && "remote-for-all is always feasible");
+  SocialOptimumResult result{std::move(*st.best), st.best_cost,
+                             !st.budget_hit, st.nodes};
+  return result;
+}
+
+}  // namespace mecsc::core

@@ -1,0 +1,42 @@
+// Exact congestion-aware social optimum (OPT of Lemma 2 / Theorem 1).
+//
+// The service caching problem is NP-hard, so the exact solver is a
+// branch-and-bound over the full strategy space {remote} ∪ CL per provider,
+// with an admissible lower bound (each unassigned provider pays at least its
+// cheapest congestion-free option). Practical to ~15 providers x ~8
+// cloudlets — enough for the Lemma-2 ratio study and the PoA study, where it
+// is the denominator of the empirical ratios. A fast LP-free lower bound for
+// large instances is also provided.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "core/assignment.h"
+#include "core/instance.h"
+
+namespace mecsc::core {
+
+struct SocialOptimumOptions {
+  /// Search-node budget; when exceeded the incumbent is returned with
+  /// proven_optimal = false.
+  std::size_t node_limit = 20'000'000;
+};
+
+struct SocialOptimumResult {
+  Assignment assignment;
+  double cost = 0.0;
+  bool proven_optimal = false;
+  std::size_t nodes_explored = 0;
+};
+
+/// Exact minimizer of Eq. (6) subject to both capacity constraints.
+SocialOptimumResult solve_social_optimum(
+    const Instance& inst, const SocialOptimumOptions& options = {});
+
+/// Cheap lower bound on the social optimum, valid for any instance size:
+/// Σ_l min(remote_l, min_i flat cost of l at i) — every provider pays at
+/// least its best congestion-free price.
+double social_cost_lower_bound(const Instance& inst);
+
+}  // namespace mecsc::core

@@ -1,0 +1,23 @@
+// Shared identifiers for the service-caching core.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+namespace mecsc::core {
+
+/// Index of a network service provider in Instance::providers.
+using ProviderId = std::size_t;
+
+/// Index of a cloudlet in MecNetwork::cloudlets().
+using CloudletId = std::size_t;
+
+/// Index of a data center in MecNetwork::data_centers().
+using DataCenterId = std::size_t;
+
+/// Strategy value meaning "do not cache": the service keeps being served by
+/// its original instance in the remote data center ("to cache or not to
+/// cache").
+inline constexpr std::size_t kRemote = std::numeric_limits<std::size_t>::max();
+
+}  // namespace mecsc::core

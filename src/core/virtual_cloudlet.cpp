@@ -1,0 +1,62 @@
+#include "core/virtual_cloudlet.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mecsc::core {
+
+std::size_t VirtualCloudletSplit::total_slots() const {
+  std::size_t total = 0;
+  for (std::size_t s : slots) total += s;
+  return total;
+}
+
+double VirtualCloudletSplit::delta(const Instance& inst, std::size_t i) const {
+  assert(a_max > 0.0);
+  return inst.network.cloudlets()[i].compute_capacity / a_max;
+}
+
+double VirtualCloudletSplit::kappa(const Instance& inst, std::size_t i) const {
+  assert(b_max > 0.0);
+  return inst.network.cloudlets()[i].bandwidth_capacity / b_max;
+}
+
+double VirtualCloudletSplit::delta_max(const Instance& inst) const {
+  double best = 0.0;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    best = std::max(best, delta(inst, i));
+  }
+  return best;
+}
+
+double VirtualCloudletSplit::kappa_max(const Instance& inst) const {
+  double best = 0.0;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    best = std::max(best, kappa(inst, i));
+  }
+  return best;
+}
+
+VirtualCloudletSplit split_cloudlets(const Instance& inst,
+                                     double a_max_override,
+                                     double b_max_override) {
+  VirtualCloudletSplit split;
+  split.a_max =
+      a_max_override > 0.0 ? a_max_override : inst.max_compute_demand();
+  split.b_max =
+      b_max_override > 0.0 ? b_max_override : inst.max_bandwidth_demand();
+  split.slots.resize(inst.cloudlet_count(), 0);
+  if (split.a_max <= 0.0 || split.b_max <= 0.0) return split;  // no demand
+  for (std::size_t i = 0; i < inst.cloudlet_count(); ++i) {
+    const net::Cloudlet& cl = inst.network.cloudlets()[i];
+    const auto by_compute =
+        static_cast<std::size_t>(std::floor(cl.compute_capacity / split.a_max));
+    const auto by_bandwidth = static_cast<std::size_t>(
+        std::floor(cl.bandwidth_capacity / split.b_max));
+    split.slots[i] = std::min(by_compute, by_bandwidth);
+  }
+  return split;
+}
+
+}  // namespace mecsc::core

@@ -1,0 +1,48 @@
+// Virtual-cloudlet splitting (§III-B, Eq. (7)-(8)).
+//
+// Appro ignores congestion first: each cloudlet CL_i is split into
+//     n_i = min{ ⌊C(CL_i)/a_max⌋, ⌊B(CL_i)/b_max⌋ }
+// virtual cloudlets, each able to cache one service instance of any
+// provider (its capacity is the maximum demand, so admission never fails).
+// δ = C/a_max and κ = B/b_max also define the approximation ratio 2δκ of
+// Lemma 2 and enter the PoA bound of Theorem 1.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/instance.h"
+
+namespace mecsc::core {
+
+/// The split of one instance's cloudlets into virtual cloudlets.
+struct VirtualCloudletSplit {
+  double a_max = 0.0;  ///< max_l a_l·r_l
+  double b_max = 0.0;  ///< max_l b_l·r_l
+  /// n_i per cloudlet (Eq. (7)); 0 when the cloudlet cannot hold even the
+  /// largest service.
+  std::vector<std::size_t> slots;
+
+  /// Total number of virtual cloudlets.
+  std::size_t total_slots() const;
+
+  /// δ_i = C(CL_i)/a_max for cloudlet i (∞-safe: requires a_max > 0).
+  double delta(const Instance& inst, std::size_t i) const;
+  /// κ_i = B(CL_i)/b_max for cloudlet i.
+  double kappa(const Instance& inst, std::size_t i) const;
+
+  /// Network-wide δ and κ (the paper treats them as uniform constants; we
+  /// take the maximum over cloudlets, the value for which Lemma 2's bound
+  /// holds for every cloudlet).
+  double delta_max(const Instance& inst) const;
+  double kappa_max(const Instance& inst) const;
+};
+
+/// Computes Eq. (7) for every cloudlet. When `a_max_override`/`b_max_override`
+/// are positive they replace the instance-derived maxima (the paper's Fig. 7
+/// sweeps a_max and b_max as free parameters).
+VirtualCloudletSplit split_cloudlets(const Instance& inst,
+                                     double a_max_override = 0.0,
+                                     double b_max_override = 0.0);
+
+}  // namespace mecsc::core

@@ -1,0 +1,62 @@
+#include "net/graph.h"
+
+#include <cassert>
+
+namespace mecsc::net {
+
+NodeId Graph::add_nodes(std::size_t count) {
+  const NodeId first = adjacency_.size();
+  adjacency_.resize(adjacency_.size() + count);
+  return first;
+}
+
+EdgeId Graph::add_edge(NodeId u, NodeId v, double length,
+                       double bandwidth_mbps) {
+  assert(u != v && "self-loops are not allowed");
+  assert(u < adjacency_.size() && v < adjacency_.size());
+  assert(length >= 0.0);
+  const EdgeId id = edges_.size();
+  edges_.push_back(Edge{u, v, length, bandwidth_mbps});
+  adjacency_[u].push_back(id);
+  adjacency_[v].push_back(id);
+  return id;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  if (u >= adjacency_.size()) return false;
+  for (EdgeId e : adjacency_[u]) {
+    if (edges_[e].other(u) == v) return true;
+  }
+  return false;
+}
+
+std::size_t Graph::component_count() const {
+  if (adjacency_.empty()) return 0;
+  std::vector<bool> seen(adjacency_.size(), false);
+  std::size_t components = 0;
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < adjacency_.size(); ++start) {
+    if (seen[start]) continue;
+    ++components;
+    stack.push_back(start);
+    seen[start] = true;
+    while (!stack.empty()) {
+      const NodeId n = stack.back();
+      stack.pop_back();
+      for (EdgeId e : adjacency_[n]) {
+        const NodeId m = edges_[e].other(n);
+        if (!seen[m]) {
+          seen[m] = true;
+          stack.push_back(m);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+bool Graph::connected() const {
+  return node_count() <= 1 || component_count() == 1;
+}
+
+}  // namespace mecsc::net

@@ -1,0 +1,68 @@
+// Undirected weighted graph used to model network topologies (switch-level
+// connectivity of the two-tiered MEC network). Nodes are dense 0-based ids;
+// edges carry a length (propagation metric) and a bandwidth capacity.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mecsc::net {
+
+using NodeId = std::size_t;
+using EdgeId = std::size_t;
+
+/// One undirected edge.
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+  double length = 1.0;        ///< distance/latency metric (>= 0)
+  double bandwidth_mbps = 0;  ///< link capacity in Mbps
+
+  /// The endpoint that is not `from`. Precondition: from is u or v.
+  NodeId other(NodeId from) const { return from == u ? v : u; }
+};
+
+/// Undirected graph with adjacency lists. Parallel edges are allowed
+/// (transit-stub composition can create them); self-loops are rejected.
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t node_count) : adjacency_(node_count) {}
+
+  std::size_t node_count() const { return adjacency_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  /// Appends `count` fresh isolated nodes, returning the id of the first.
+  NodeId add_nodes(std::size_t count);
+
+  /// Adds an undirected edge; returns its id. Precondition: u != v, both
+  /// ids valid, length >= 0.
+  EdgeId add_edge(NodeId u, NodeId v, double length = 1.0,
+                  double bandwidth_mbps = 0.0);
+
+  const Edge& edge(EdgeId e) const { return edges_[e]; }
+  std::span<const Edge> edges() const { return edges_; }
+
+  /// Edge ids incident to `n`.
+  std::span<const EdgeId> incident_edges(NodeId n) const {
+    return adjacency_[n];
+  }
+
+  std::size_t degree(NodeId n) const { return adjacency_[n].size(); }
+
+  /// True if an edge (u, v) already exists (either orientation).
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// True if every node can reach every other node.
+  bool connected() const;
+
+  /// Number of connected components (0 for the empty graph).
+  std::size_t component_count() const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> adjacency_;
+};
+
+}  // namespace mecsc::net

@@ -1,0 +1,140 @@
+#include "net/mec_network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace mecsc::net {
+
+MecNetwork::MecNetwork(Graph topology, const MecNetworkParams& params,
+                       util::Rng& rng,
+                       const std::vector<NodeId>& edge_preference)
+    : topology_(std::move(topology)) {
+  const std::size_t n = topology_.node_count();
+  assert(n >= 2);
+  const std::size_t cloudlet_count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(n) *
+                                  params.cloudlet_fraction));
+  const std::size_t dc_count =
+      std::min(params.data_center_count, n - cloudlet_count);
+  assert(dc_count >= 1 && "topology too small to host any data center");
+
+  std::vector<bool> used(n, false);
+
+  // --- Cloudlet placement: edge-preferred nodes first, shuffled so repeated
+  // builds with different rng seeds explore different placements.
+  std::vector<NodeId> pref = edge_preference;
+  rng.shuffle(pref);
+  std::vector<NodeId> chosen;
+  for (NodeId v : pref) {
+    if (chosen.size() >= cloudlet_count) break;
+    if (v < n && !used[v]) {
+      used[v] = true;
+      chosen.push_back(v);
+    }
+  }
+  if (chosen.size() < cloudlet_count) {
+    // Fill from lowest-degree (most peripheral) unused nodes; ties broken by
+    // shuffled order.
+    std::vector<NodeId> rest;
+    for (NodeId v = 0; v < n; ++v) {
+      if (!used[v]) rest.push_back(v);
+    }
+    rng.shuffle(rest);
+    std::stable_sort(rest.begin(), rest.end(), [&](NodeId a, NodeId b) {
+      return topology_.degree(a) < topology_.degree(b);
+    });
+    for (NodeId v : rest) {
+      if (chosen.size() >= cloudlet_count) break;
+      used[v] = true;
+      chosen.push_back(v);
+    }
+  }
+  for (NodeId v : chosen) {
+    const auto vms = static_cast<double>(
+        rng.uniform_int(static_cast<std::int64_t>(params.vms_lo),
+                        static_cast<std::int64_t>(params.vms_hi)));
+    const double per_vm_bw = rng.uniform_real(params.vm_bandwidth_lo_mbps,
+                                              params.vm_bandwidth_hi_mbps);
+    cloudlets_.push_back(Cloudlet{v, vms, vms * per_vm_bw});
+  }
+
+  // --- Data-center placement: highest-degree unused nodes (the core).
+  std::vector<NodeId> rest;
+  for (NodeId v = 0; v < n; ++v) {
+    if (!used[v]) rest.push_back(v);
+  }
+  rng.shuffle(rest);
+  std::stable_sort(rest.begin(), rest.end(), [&](NodeId a, NodeId b) {
+    return topology_.degree(a) > topology_.degree(b);
+  });
+  for (std::size_t i = 0; i < dc_count; ++i) {
+    data_centers_.push_back(DataCenter{rest[i]});
+  }
+
+  compute_distances();
+}
+
+MecNetwork::MecNetwork(Graph topology, std::vector<Cloudlet> cloudlets,
+                       std::vector<DataCenter> data_centers)
+    : topology_(std::move(topology)),
+      cloudlets_(std::move(cloudlets)),
+      data_centers_(std::move(data_centers)) {
+  assert(!cloudlets_.empty() && !data_centers_.empty());
+  for (const auto& cl : cloudlets_) {
+    assert(cl.node < topology_.node_count());
+    (void)cl;
+  }
+  for (const auto& dc : data_centers_) {
+    assert(dc.node < topology_.node_count());
+    (void)dc;
+  }
+  compute_distances();
+}
+
+void MecNetwork::compute_distances() {
+  // Hop counts; the cost model prices update traffic per hop.
+  cl_dc_hops_.assign(cloudlets_.size() * data_centers_.size(), kUnreachable);
+  cl_cl_hops_.assign(cloudlets_.size() * cloudlets_.size(), kUnreachable);
+  for (std::size_t c = 0; c < cloudlets_.size(); ++c) {
+    const ShortestPathTree t = bfs_hops(topology_, cloudlets_[c].node);
+    for (std::size_t d = 0; d < data_centers_.size(); ++d) {
+      cl_dc_hops_[c * data_centers_.size() + d] =
+          t.distance[data_centers_[d].node];
+    }
+    for (std::size_t c2 = 0; c2 < cloudlets_.size(); ++c2) {
+      cl_cl_hops_[c * cloudlets_.size() + c2] =
+          t.distance[cloudlets_[c2].node];
+    }
+  }
+}
+
+double MecNetwork::cloudlet_to_dc_hops(std::size_t cl, std::size_t dc) const {
+  assert(cl < cloudlets_.size() && dc < data_centers_.size());
+  return cl_dc_hops_[cl * data_centers_.size() + dc];
+}
+
+double MecNetwork::cloudlet_to_cloudlet_hops(std::size_t a,
+                                             std::size_t b) const {
+  assert(a < cloudlets_.size() && b < cloudlets_.size());
+  return cl_cl_hops_[a * cloudlets_.size() + b];
+}
+
+std::size_t MecNetwork::nearest_dc(std::size_t cl) const {
+  assert(cl < cloudlets_.size());
+  std::size_t best = 0;
+  for (std::size_t d = 1; d < data_centers_.size(); ++d) {
+    if (cloudlet_to_dc_hops(cl, d) < cloudlet_to_dc_hops(cl, best)) best = d;
+  }
+  return best;
+}
+
+double MecNetwork::max_cloudlet_dc_hops() const {
+  double best = 0.0;
+  for (double h : cl_dc_hops_) {
+    if (h != kUnreachable) best = std::max(best, h);
+  }
+  return best;
+}
+
+}  // namespace mecsc::net

@@ -1,0 +1,95 @@
+// Two-tiered mobile edge-cloud (MEC) network model: G = (CL ∪ DC, E).
+//
+// Built on top of a switch-level topology (transit-stub or AS1755), this
+// module selects which nodes host cloudlets (10% of the network size,
+// placed at the network edge = stub/low-degree nodes, matching §IV-A) and
+// which host the remote data centers (5, placed at well-connected core
+// nodes), assigns resource capacities, and precomputes the distance
+// matrices the cost model consumes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/graph.h"
+#include "net/shortest_path.h"
+#include "util/rng.h"
+
+namespace mecsc::net {
+
+/// A cloudlet: an edge site with finite computing (VM) and bandwidth
+/// capacity, managed by the infrastructure provider (§II-A).
+struct Cloudlet {
+  NodeId node = 0;              ///< attachment point in the switch graph
+  double compute_capacity = 0;  ///< C(CL_i), in VM units
+  double bandwidth_capacity = 0;  ///< B(CL_i), in Mbps
+};
+
+/// A remote data center. Capacity is unconstrained (§II-A: "we do not
+/// consider the capacity constraint of each data center").
+struct DataCenter {
+  NodeId node = 0;
+};
+
+/// Knobs for building an MecNetwork from a raw topology; defaults follow the
+/// paper's parameter settings (§IV-A).
+struct MecNetworkParams {
+  double cloudlet_fraction = 0.10;  ///< |CL| = fraction * node count
+  std::size_t data_center_count = 5;
+  std::size_t vms_lo = 15;  ///< VMs per cloudlet drawn from [vms_lo, vms_hi]
+  std::size_t vms_hi = 30;
+  double vm_bandwidth_lo_mbps = 10.0;   ///< per-VM bandwidth in [10, 100] Mbps
+  double vm_bandwidth_hi_mbps = 100.0;
+};
+
+/// The two-tiered MEC network: topology + cloudlet/DC placement +
+/// capacities + hop distances.
+class MecNetwork {
+ public:
+  /// Builds an MEC network over `topology`. `edge_preference` orders
+  /// candidate cloudlet nodes: nodes listed there are used first (pass the
+  /// stub nodes of a transit-stub graph); remaining cloudlets are drawn from
+  /// the lowest-degree unused nodes. Data centers go to the highest-degree
+  /// nodes not used by cloudlets.
+  MecNetwork(Graph topology, const MecNetworkParams& params, util::Rng& rng,
+             const std::vector<NodeId>& edge_preference = {});
+
+  /// Builds from explicit placements (deserialization path): the cloudlet /
+  /// data-center sets are taken verbatim and only the distance matrices are
+  /// recomputed. Preconditions: all node ids valid, at least one of each.
+  MecNetwork(Graph topology, std::vector<Cloudlet> cloudlets,
+             std::vector<DataCenter> data_centers);
+
+  const Graph& topology() const { return topology_; }
+  const std::vector<Cloudlet>& cloudlets() const { return cloudlets_; }
+  const std::vector<DataCenter>& data_centers() const { return data_centers_; }
+
+  std::size_t cloudlet_count() const { return cloudlets_.size(); }
+  std::size_t data_center_count() const { return data_centers_.size(); }
+
+  /// Hop distance between cloudlet `cl` and data center `dc` (by index).
+  double cloudlet_to_dc_hops(std::size_t cl, std::size_t dc) const;
+
+  /// Hop distance between two cloudlets (by index).
+  double cloudlet_to_cloudlet_hops(std::size_t a, std::size_t b) const;
+
+  /// Index of the data center closest (in hops) to cloudlet `cl`.
+  std::size_t nearest_dc(std::size_t cl) const;
+
+  /// Largest cloudlet-to-DC hop distance in the network (normalization
+  /// constant for cost scaling).
+  double max_cloudlet_dc_hops() const;
+
+ private:
+  void compute_distances();
+
+  Graph topology_;
+  std::vector<Cloudlet> cloudlets_;
+  std::vector<DataCenter> data_centers_;
+  // hops_[cl * data_centers_.size() + dc]
+  std::vector<double> cl_dc_hops_;
+  // hops between cloudlets, row-major cloudlet_count x cloudlet_count
+  std::vector<double> cl_cl_hops_;
+};
+
+}  // namespace mecsc::net

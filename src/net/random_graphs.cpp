@@ -1,0 +1,139 @@
+#include "net/random_graphs.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <vector>
+
+namespace mecsc::net {
+
+namespace {
+
+/// Joins components by chaining one node of each to the next (deterministic
+/// given the component labeling).
+void patch_connectivity(Graph& g, util::Rng& rng, double length_lo,
+                        double length_hi, double bw_lo, double bw_hi) {
+  std::vector<std::size_t> comp(g.node_count(), g.node_count());
+  std::size_t count = 0;
+  std::vector<NodeId> representative;
+  std::vector<NodeId> stack;
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    if (comp[s] != g.node_count()) continue;
+    representative.push_back(s);
+    comp[s] = count;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const NodeId n = stack.back();
+      stack.pop_back();
+      for (EdgeId e : g.incident_edges(n)) {
+        const NodeId m = g.edge(e).other(n);
+        if (comp[m] == g.node_count()) {
+          comp[m] = count;
+          stack.push_back(m);
+        }
+      }
+    }
+    ++count;
+  }
+  for (std::size_t c = 1; c < representative.size(); ++c) {
+    g.add_edge(representative[c - 1], representative[c],
+               rng.uniform_real(length_lo, length_hi),
+               rng.uniform_real(bw_lo, bw_hi));
+  }
+}
+
+}  // namespace
+
+Graph generate_erdos_renyi(const ErdosRenyiParams& params, util::Rng& rng) {
+  assert(params.node_count >= 1);
+  assert(params.edge_probability >= 0.0 && params.edge_probability <= 1.0);
+  Graph g(params.node_count);
+  for (NodeId u = 0; u < params.node_count; ++u) {
+    for (NodeId v = u + 1; v < params.node_count; ++v) {
+      if (rng.bernoulli(params.edge_probability)) {
+        g.add_edge(u, v, rng.uniform_real(params.length_lo, params.length_hi),
+                   rng.uniform_real(params.bandwidth_lo_mbps,
+                                    params.bandwidth_hi_mbps));
+      }
+    }
+  }
+  patch_connectivity(g, rng, params.length_lo, params.length_hi,
+                     params.bandwidth_lo_mbps, params.bandwidth_hi_mbps);
+  return g;
+}
+
+Graph generate_barabasi_albert(const BarabasiAlbertParams& params,
+                               util::Rng& rng) {
+  const std::size_t m = std::max<std::size_t>(params.edges_per_node, 1);
+  assert(params.node_count > m);
+  Graph g(params.node_count);
+  // Seed clique of m+1 nodes.
+  for (NodeId u = 0; u <= m; ++u) {
+    for (NodeId v = u + 1; v <= m; ++v) {
+      g.add_edge(u, v, rng.uniform_real(params.length_lo, params.length_hi),
+                 rng.uniform_real(params.bandwidth_lo_mbps,
+                                  params.bandwidth_hi_mbps));
+    }
+  }
+  // Preferential attachment via the endpoint-repetition trick: sampling a
+  // uniform endpoint of a uniform existing edge IS degree-proportional.
+  for (NodeId n = m + 1; n < params.node_count; ++n) {
+    std::set<NodeId> targets;
+    while (targets.size() < m) {
+      const auto e = static_cast<EdgeId>(
+          rng.uniform_int(0, static_cast<std::int64_t>(g.edge_count()) - 1));
+      const NodeId pick =
+          rng.bernoulli(0.5) ? g.edge(e).u : g.edge(e).v;
+      if (pick != n) targets.insert(pick);
+    }
+    for (const NodeId t : targets) {
+      g.add_edge(n, t, rng.uniform_real(params.length_lo, params.length_hi),
+                 rng.uniform_real(params.bandwidth_lo_mbps,
+                                  params.bandwidth_hi_mbps));
+    }
+  }
+  return g;
+}
+
+DegreeStats degree_stats(const Graph& g) {
+  DegreeStats s;
+  if (g.node_count() == 0) return s;
+  s.min = g.degree(0);
+  double sum = 0.0, sq = 0.0;
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    const std::size_t d = g.degree(n);
+    s.min = std::min(s.min, d);
+    s.max = std::max(s.max, d);
+    sum += static_cast<double>(d);
+    sq += static_cast<double>(d) * static_cast<double>(d);
+  }
+  const auto n = static_cast<double>(g.node_count());
+  s.mean = sum / n;
+  s.variance = sq / n - s.mean * s.mean;
+  return s;
+}
+
+double clustering_coefficient(const Graph& g) {
+  // Adjacency sets with parallel edges collapsed.
+  std::vector<std::set<NodeId>> adj(g.node_count());
+  for (const Edge& e : g.edges()) {
+    adj[e.u].insert(e.v);
+    adj[e.v].insert(e.u);
+  }
+  std::size_t triangles3 = 0;  // each triangle counted 3 times
+  std::size_t triples = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const std::size_t d = adj[v].size();
+    if (d < 2) continue;
+    triples += d * (d - 1) / 2;
+    for (auto it = adj[v].begin(); it != adj[v].end(); ++it) {
+      for (auto jt = std::next(it); jt != adj[v].end(); ++jt) {
+        if (adj[*it].count(*jt)) ++triangles3;
+      }
+    }
+  }
+  if (triples == 0) return 0.0;
+  return static_cast<double>(triangles3) / static_cast<double>(triples);
+}
+
+}  // namespace mecsc::net

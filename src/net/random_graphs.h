@@ -1,0 +1,63 @@
+// Additional random-graph families: Erdős–Rényi G(n, p) and
+// Barabási–Albert preferential attachment.
+//
+// The paper's experiments use GT-ITM transit-stub graphs and the measured
+// AS1755 backbone; these families serve as *sensitivity substrates* — the
+// MEC builder accepts any connected graph, so experiments can check that
+// the mechanism's behaviour is not an artifact of the transit-stub shape
+// (bench_topology_sensitivity) — and as adversarial inputs for property
+// tests.
+#pragma once
+
+#include "net/graph.h"
+#include "util/rng.h"
+
+namespace mecsc::net {
+
+struct ErdosRenyiParams {
+  std::size_t node_count = 50;
+  double edge_probability = 0.1;
+  double length_lo = 1.0;  ///< per-edge length drawn uniformly
+  double length_hi = 4.0;
+  double bandwidth_lo_mbps = 500.0;
+  double bandwidth_hi_mbps = 5000.0;
+};
+
+/// G(n, p), patched to connectivity by chaining components with one extra
+/// edge each (same policy as the Waxman generator).
+Graph generate_erdos_renyi(const ErdosRenyiParams& params, util::Rng& rng);
+
+struct BarabasiAlbertParams {
+  std::size_t node_count = 50;
+  /// Edges added per new node (also the seed-clique size).
+  std::size_t edges_per_node = 2;
+  double length_lo = 1.0;
+  double length_hi = 4.0;
+  double bandwidth_lo_mbps = 500.0;
+  double bandwidth_hi_mbps = 5000.0;
+};
+
+/// Barabási–Albert scale-free graph: new nodes attach to existing nodes
+/// with probability proportional to degree. Always connected.
+Graph generate_barabasi_albert(const BarabasiAlbertParams& params,
+                               util::Rng& rng);
+
+// --- Structural metrics ------------------------------------------------------
+
+/// Degree distribution statistics of a graph.
+struct DegreeStats {
+  double mean = 0.0;
+  std::size_t min = 0;
+  std::size_t max = 0;
+  /// Degree variance; heavy-tailed families (BA) have much larger variance
+  /// than homogeneous ones (ER) at equal mean degree.
+  double variance = 0.0;
+};
+
+DegreeStats degree_stats(const Graph& g);
+
+/// Global clustering coefficient: 3 x triangles / connected triples
+/// (0 for graphs with no triple). Parallel edges are counted once.
+double clustering_coefficient(const Graph& g);
+
+}  // namespace mecsc::net

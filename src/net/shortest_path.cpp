@@ -1,0 +1,101 @@
+#include "net/shortest_path.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace mecsc::net {
+
+std::vector<NodeId> ShortestPathTree::path_to(NodeId target) const {
+  if (target >= distance.size() || distance[target] == kUnreachable) {
+    return {};
+  }
+  std::vector<NodeId> path;
+  NodeId cur = target;
+  path.push_back(cur);
+  while (cur != source) {
+    cur = parent[cur];
+    path.push_back(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+ShortestPathTree dijkstra(const Graph& g, NodeId source) {
+  assert(source < g.node_count());
+  ShortestPathTree t;
+  t.source = source;
+  t.distance.assign(g.node_count(), kUnreachable);
+  t.parent.assign(g.node_count(), source);
+  t.parent_edge.assign(g.node_count(), 0);
+  for (NodeId v = 0; v < g.node_count(); ++v) t.parent[v] = v;
+
+  using Item = std::pair<double, NodeId>;  // (distance, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  t.distance[source] = 0.0;
+  t.parent[source] = source;
+  pq.emplace(0.0, source);
+  while (!pq.empty()) {
+    const auto [d, n] = pq.top();
+    pq.pop();
+    if (d > t.distance[n]) continue;  // stale entry
+    for (EdgeId e : g.incident_edges(n)) {
+      const Edge& edge = g.edge(e);
+      const NodeId m = edge.other(n);
+      const double nd = d + edge.length;
+      if (nd < t.distance[m]) {
+        t.distance[m] = nd;
+        t.parent[m] = n;
+        t.parent_edge[m] = e;
+        pq.emplace(nd, m);
+      }
+    }
+  }
+  return t;
+}
+
+ShortestPathTree bfs_hops(const Graph& g, NodeId source) {
+  assert(source < g.node_count());
+  ShortestPathTree t;
+  t.source = source;
+  t.distance.assign(g.node_count(), kUnreachable);
+  t.parent.assign(g.node_count(), source);
+  t.parent_edge.assign(g.node_count(), 0);
+  for (NodeId v = 0; v < g.node_count(); ++v) t.parent[v] = v;
+
+  std::queue<NodeId> q;
+  t.distance[source] = 0.0;
+  q.push(source);
+  while (!q.empty()) {
+    const NodeId n = q.front();
+    q.pop();
+    for (EdgeId e : g.incident_edges(n)) {
+      const NodeId m = g.edge(e).other(n);
+      if (t.distance[m] == kUnreachable) {
+        t.distance[m] = t.distance[n] + 1.0;
+        t.parent[m] = n;
+        t.parent_edge[m] = e;
+        q.push(m);
+      }
+    }
+  }
+  return t;
+}
+
+DistanceMatrix::DistanceMatrix(const Graph& g, bool by_hops)
+    : n_(g.node_count()), d_(n_ * n_, kUnreachable) {
+  for (NodeId s = 0; s < n_; ++s) {
+    const ShortestPathTree t = by_hops ? bfs_hops(g, s) : dijkstra(g, s);
+    for (NodeId v = 0; v < n_; ++v) d_[s * n_ + v] = t.distance[v];
+  }
+}
+
+double DistanceMatrix::diameter() const {
+  double best = 0.0;
+  for (double d : d_) {
+    if (d != kUnreachable) best = std::max(best, d);
+  }
+  return best;
+}
+
+}  // namespace mecsc::net

@@ -1,0 +1,53 @@
+// Shortest-path computations over net::Graph: Dijkstra by edge length,
+// BFS by hop count, and cached all-pairs matrices. The MEC cost model uses
+// hop/length distances between cloudlets and data centers for update-traffic
+// pricing and remote-access latency.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "net/graph.h"
+
+namespace mecsc::net {
+
+/// Sentinel distance for unreachable nodes.
+inline constexpr double kUnreachable = std::numeric_limits<double>::infinity();
+
+/// Result of a single-source shortest-path run.
+struct ShortestPathTree {
+  NodeId source = 0;
+  std::vector<double> distance;    ///< distance[v] or kUnreachable
+  std::vector<NodeId> parent;      ///< parent[v] on the tree; source's parent
+                                   ///< is itself; unreachable nodes keep it too
+  std::vector<EdgeId> parent_edge; ///< edge to parent (undefined for source)
+
+  /// Reconstructs the node path source -> target (empty if unreachable).
+  std::vector<NodeId> path_to(NodeId target) const;
+};
+
+/// Dijkstra by Edge::length. O((V + E) log V).
+ShortestPathTree dijkstra(const Graph& g, NodeId source);
+
+/// BFS hop distances (every edge counts 1).
+ShortestPathTree bfs_hops(const Graph& g, NodeId source);
+
+/// Dense all-pairs distance matrix, computed by running Dijkstra from every
+/// node. Suitable for the topology sizes in the paper (<= ~400 nodes).
+class DistanceMatrix {
+ public:
+  /// If `by_hops` is true, distances are hop counts instead of lengths.
+  explicit DistanceMatrix(const Graph& g, bool by_hops = false);
+
+  std::size_t node_count() const { return n_; }
+  double at(NodeId u, NodeId v) const { return d_[u * n_ + v]; }
+
+  /// Largest finite pairwise distance (0 for empty/singleton graphs).
+  double diameter() const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> d_;
+};
+
+}  // namespace mecsc::net

@@ -1,0 +1,118 @@
+#include "net/topology_zoo.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace mecsc::net {
+
+Graph as1755_topology() {
+  // Published Rocketfuel backbone statistics for AS1755 (Ebone):
+  // 87 routers, 161 links.
+  constexpr std::size_t kNodes = 87;
+  constexpr std::size_t kLinks = 161;
+  constexpr std::size_t kCore = 4;  // fully meshed dense core
+
+  // Fixed seed makes this function a pure constant; experiments that "use
+  // AS1755" are reproducible across runs and machines.
+  util::Rng rng(0xA51755);
+  Graph g(kNodes);
+
+  // Core mesh.
+  for (NodeId u = 0; u < kCore; ++u) {
+    for (NodeId v = u + 1; v < kCore; ++v) {
+      g.add_edge(u, v, 1.0, rng.uniform_real(2000.0, 10000.0));
+    }
+  }
+
+  // Preferential attachment: each new node connects to 1-2 existing nodes
+  // chosen with probability proportional to degree (+1). This yields the
+  // heavy-tailed degree shape of measured router-level ISP maps.
+  for (NodeId n = kCore; n < kNodes; ++n) {
+    const int stubs = rng.bernoulli(0.55) ? 2 : 1;
+    for (int s = 0; s < stubs; ++s) {
+      // Weighted pick over existing nodes by degree + 1.
+      std::size_t total = 0;
+      for (NodeId m = 0; m < n; ++m) total += g.degree(m) + 1;
+      auto pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(total) - 1));
+      NodeId target = 0;
+      for (NodeId m = 0; m < n; ++m) {
+        const std::size_t w = g.degree(m) + 1;
+        if (pick < w) {
+          target = m;
+          break;
+        }
+        pick -= w;
+      }
+      if (!g.has_edge(n, target)) {
+        g.add_edge(n, target, rng.uniform_real(1.0, 4.0),
+                   rng.uniform_real(500.0, 5000.0));
+      }
+    }
+  }
+
+  // Top up to exactly kLinks with random shortcut links (avoiding
+  // duplicates), biased toward the core like real ISP shortcut links.
+  while (g.edge_count() < kLinks) {
+    const auto u = static_cast<NodeId>(rng.uniform_int(0, kNodes - 1));
+    const auto v = static_cast<NodeId>(
+        rng.uniform_int(0, rng.bernoulli(0.4) ? kCore - 1 : kNodes - 1));
+    if (u == v || g.has_edge(u, v)) continue;
+    g.add_edge(u, v, rng.uniform_real(1.0, 4.0),
+               rng.uniform_real(500.0, 5000.0));
+  }
+  return g;
+}
+
+Graph parse_edge_list(const std::string& text) {
+  struct Row {
+    std::size_t u, v;
+    double length, bw;
+  };
+  std::vector<Row> rows;
+  std::size_t max_id = 0;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    Row r{};
+    if (!(ls >> r.u)) continue;  // blank/comment-only line
+    if (!(ls >> r.v >> r.length >> r.bw)) {
+      throw std::invalid_argument("edge list line " + std::to_string(lineno) +
+                                  ": expected 'u v length bandwidth'");
+    }
+    if (r.u == r.v) {
+      throw std::invalid_argument("edge list line " + std::to_string(lineno) +
+                                  ": self-loop");
+    }
+    if (r.length < 0.0) {
+      throw std::invalid_argument("edge list line " + std::to_string(lineno) +
+                                  ": negative length");
+    }
+    max_id = std::max({max_id, r.u, r.v});
+    rows.push_back(r);
+  }
+  Graph g(rows.empty() ? 0 : max_id + 1);
+  for (const Row& r : rows) g.add_edge(r.u, r.v, r.length, r.bw);
+  return g;
+}
+
+std::string to_edge_list(const Graph& g) {
+  std::ostringstream os;
+  os.precision(17);  // round-trips double exactly
+  os << "# " << g.node_count() << " nodes, " << g.edge_count() << " edges\n";
+  for (const Edge& e : g.edges()) {
+    os << e.u << " " << e.v << " " << e.length << " " << e.bandwidth_mbps
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mecsc::net

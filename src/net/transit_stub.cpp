@@ -1,0 +1,106 @@
+#include "net/transit_stub.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace mecsc::net {
+
+TransitStubGraph generate_transit_stub(const TransitStubParams& params,
+                                       util::Rng& rng) {
+  assert(params.transit_domains >= 1);
+  assert(params.nodes_per_transit >= 1);
+  assert(params.nodes_per_stub >= 1);
+
+  TransitStubGraph ts;
+  std::size_t next_domain = 0;
+
+  // --- Transit tier -------------------------------------------------------
+  // One Waxman graph per transit domain; domains are chained by a single
+  // inter-domain link each (GT-ITM links domains along a top-level Waxman
+  // graph; with the small domain counts used here a chain is equivalent and
+  // keeps the construction deterministic in shape).
+  std::vector<std::vector<NodeId>> transit_domain_nodes;
+  for (std::size_t d = 0; d < params.transit_domains; ++d) {
+    WaxmanParams wp = params.transit_waxman;
+    wp.node_count = params.nodes_per_transit;
+    const SpatialGraph sg = generate_waxman(wp, rng);
+    const NodeId base = ts.graph.add_nodes(sg.graph.node_count());
+    for (const Edge& e : sg.graph.edges()) {
+      ts.graph.add_edge(base + e.u, base + e.v,
+                        e.length * params.transit_length_scale,
+                        e.bandwidth_mbps);
+    }
+    std::vector<NodeId> ids;
+    for (NodeId n = 0; n < sg.graph.node_count(); ++n) {
+      ids.push_back(base + n);
+      ts.kind.push_back(NodeKind::Transit);
+      ts.domain.push_back(next_domain);
+      ts.transit_nodes.push_back(base + n);
+    }
+    transit_domain_nodes.push_back(std::move(ids));
+    ++next_domain;
+  }
+  for (std::size_t d = 1; d < transit_domain_nodes.size(); ++d) {
+    const auto& a = transit_domain_nodes[d - 1];
+    const auto& b = transit_domain_nodes[d];
+    const NodeId u = a[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(a.size()) - 1))];
+    const NodeId v = b[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(b.size()) - 1))];
+    ts.graph.add_edge(u, v, params.transit_length_scale,
+                      rng.uniform_real(params.transit_waxman.bandwidth_lo_mbps,
+                                       params.transit_waxman.bandwidth_hi_mbps));
+  }
+
+  // --- Stub tier ----------------------------------------------------------
+  for (const NodeId attach : ts.transit_nodes) {
+    for (std::size_t s = 0; s < params.stubs_per_transit_node; ++s) {
+      WaxmanParams wp = params.stub_waxman;
+      wp.node_count = params.nodes_per_stub;
+      const SpatialGraph sg = generate_waxman(wp, rng);
+      const NodeId base = ts.graph.add_nodes(sg.graph.node_count());
+      for (const Edge& e : sg.graph.edges()) {
+        ts.graph.add_edge(base + e.u, base + e.v, e.length, e.bandwidth_mbps);
+      }
+      for (NodeId n = 0; n < sg.graph.node_count(); ++n) {
+        ts.kind.push_back(NodeKind::Stub);
+        ts.domain.push_back(next_domain);
+        ts.stub_nodes.push_back(base + n);
+      }
+      // Attach the stub domain to its transit node through one gateway.
+      const NodeId gw = base + static_cast<NodeId>(rng.uniform_int(
+                                   0,
+                                   static_cast<std::int64_t>(
+                                       sg.graph.node_count()) -
+                                       1));
+      ts.graph.add_edge(attach, gw, params.transit_length_scale * 0.5,
+                        rng.uniform_real(params.stub_waxman.bandwidth_lo_mbps,
+                                         params.stub_waxman.bandwidth_hi_mbps));
+      ++next_domain;
+    }
+  }
+
+  assert(ts.graph.connected());
+  return ts;
+}
+
+TransitStubGraph generate_transit_stub_sized(std::size_t target_nodes,
+                                             util::Rng& rng) {
+  assert(target_nodes >= 8);
+  TransitStubParams p;
+  // Per-transit-node subtree size = 1 + stubs * nodes_per_stub.
+  p.stubs_per_transit_node = 3;
+  p.nodes_per_stub = 4;
+  const std::size_t per_transit_node =
+      1 + p.stubs_per_transit_node * p.nodes_per_stub;  // 13
+  // Choose transit breadth to land near the target.
+  std::size_t total_transit_nodes =
+      std::max<std::size_t>(1, (target_nodes + per_transit_node / 2) /
+                                   per_transit_node);
+  p.transit_domains = total_transit_nodes <= 4 ? 1 : (total_transit_nodes + 5) / 6;
+  p.nodes_per_transit =
+      std::max<std::size_t>(1, total_transit_nodes / p.transit_domains);
+  return generate_transit_stub(p, rng);
+}
+
+}  // namespace mecsc::net

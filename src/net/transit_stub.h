@@ -1,0 +1,61 @@
+// GT-ITM-style transit-stub topology generator.
+//
+// GT-ITM (Georgia Tech Internetwork Topology Models) composes internet-like
+// graphs hierarchically: a small Waxman graph of *transit domains*, each
+// transit node expanded into a Waxman *transit network*, and several *stub
+// domains* (Waxman again) hanging off each transit node. The paper generates
+// its 50-400 node simulation topologies with GT-ITM; this module is a from-
+// scratch reimplementation of that construction (see DESIGN.md /
+// Substitutions).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/graph.h"
+#include "net/waxman.h"
+#include "util/rng.h"
+
+namespace mecsc::net {
+
+/// Shape parameters of the transit-stub hierarchy.
+struct TransitStubParams {
+  std::size_t transit_domains = 1;        ///< top-level domains
+  std::size_t nodes_per_transit = 4;      ///< nodes per transit domain
+  std::size_t stubs_per_transit_node = 3; ///< stub domains per transit node
+  std::size_t nodes_per_stub = 4;         ///< nodes per stub domain
+  WaxmanParams transit_waxman{.node_count = 0, .alpha = 0.6, .beta = 0.6};
+  WaxmanParams stub_waxman{.node_count = 0, .alpha = 0.42, .beta = 0.42};
+  /// Length multiplier applied to inter-domain (transit) links: transit
+  /// links span geographically larger distances than stub-local links.
+  double transit_length_scale = 10.0;
+};
+
+/// Classification of each generated node.
+enum class NodeKind { Transit, Stub };
+
+/// A generated transit-stub topology.
+struct TransitStubGraph {
+  Graph graph;
+  std::vector<NodeKind> kind;         ///< per node
+  std::vector<std::size_t> domain;    ///< domain index per node (stub domains
+                                      ///< and transit domains share one
+                                      ///< numbering space)
+  std::vector<NodeId> transit_nodes;  ///< ids of all transit nodes
+  std::vector<NodeId> stub_nodes;     ///< ids of all stub nodes
+};
+
+/// Generates a connected transit-stub graph. Total node count is
+/// transit_domains * nodes_per_transit * (1 + stubs_per_transit_node *
+/// nodes_per_stub).
+TransitStubGraph generate_transit_stub(const TransitStubParams& params,
+                                       util::Rng& rng);
+
+/// Convenience: picks hierarchy parameters so the total node count is close
+/// to `target_nodes` (matching the paper's "network size 50..400" knob),
+/// then generates the graph. Guaranteed to produce a connected graph whose
+/// size is within ~20% of the target.
+TransitStubGraph generate_transit_stub_sized(std::size_t target_nodes,
+                                             util::Rng& rng);
+
+}  // namespace mecsc::net

@@ -1,0 +1,95 @@
+#include "net/waxman.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace mecsc::net {
+
+namespace {
+double euclid(const SpatialGraph& sg, NodeId u, NodeId v) {
+  const double dx = sg.x[u] - sg.x[v];
+  const double dy = sg.y[u] - sg.y[v];
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Labels each node with its component id; returns component count.
+std::size_t label_components(const Graph& g, std::vector<std::size_t>& comp) {
+  comp.assign(g.node_count(), g.node_count());
+  std::size_t next = 0;
+  std::vector<NodeId> stack;
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    if (comp[s] != g.node_count()) continue;
+    comp[s] = next;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const NodeId n = stack.back();
+      stack.pop_back();
+      for (EdgeId e : g.incident_edges(n)) {
+        const NodeId m = g.edge(e).other(n);
+        if (comp[m] == g.node_count()) {
+          comp[m] = comp[n];
+          stack.push_back(m);
+        }
+      }
+    }
+    ++next;
+  }
+  return next;
+}
+}  // namespace
+
+SpatialGraph generate_waxman(const WaxmanParams& params, util::Rng& rng) {
+  assert(params.node_count >= 1);
+  assert(params.alpha > 0.0 && params.alpha <= 1.0);
+  assert(params.beta > 0.0 && params.beta <= 1.0);
+
+  SpatialGraph sg;
+  sg.graph = Graph(params.node_count);
+  sg.x.resize(params.node_count);
+  sg.y.resize(params.node_count);
+  for (std::size_t i = 0; i < params.node_count; ++i) {
+    sg.x[i] = rng.uniform_real(0.0, 1.0);
+    sg.y[i] = rng.uniform_real(0.0, 1.0);
+  }
+
+  const double max_dist = std::sqrt(2.0);  // unit-square diagonal
+  auto draw_bandwidth = [&] {
+    return rng.uniform_real(params.bandwidth_lo_mbps,
+                            params.bandwidth_hi_mbps);
+  };
+
+  for (NodeId u = 0; u < params.node_count; ++u) {
+    for (NodeId v = u + 1; v < params.node_count; ++v) {
+      const double d = euclid(sg, u, v);
+      const double p =
+          params.alpha * std::exp(-d / (params.beta * max_dist));
+      if (rng.bernoulli(p)) {
+        sg.graph.add_edge(u, v, d, draw_bandwidth());
+      }
+    }
+  }
+
+  // Patch connectivity: repeatedly join the two closest nodes that are in
+  // different components.
+  std::vector<std::size_t> comp;
+  while (label_components(sg.graph, comp) > 1) {
+    double best = std::numeric_limits<double>::infinity();
+    NodeId bu = 0, bv = 0;
+    for (NodeId u = 0; u < params.node_count; ++u) {
+      for (NodeId v = u + 1; v < params.node_count; ++v) {
+        if (comp[u] == comp[v]) continue;
+        const double d = euclid(sg, u, v);
+        if (d < best) {
+          best = d;
+          bu = u;
+          bv = v;
+        }
+      }
+    }
+    sg.graph.add_edge(bu, bv, best, draw_bandwidth());
+  }
+  return sg;
+}
+
+}  // namespace mecsc::net

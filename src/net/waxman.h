@@ -1,0 +1,41 @@
+// Waxman random graph generator (Waxman 1988), the edge model used inside
+// GT-ITM's transit and stub domains. Nodes are scattered uniformly in the
+// unit square; an edge (u, v) appears with probability
+//   p(u, v) = alpha * exp(-d(u, v) / (beta * L)),
+// where d is Euclidean distance and L the maximum possible distance.
+// The generator then patches connectivity by linking components along their
+// nearest pair, so the returned graph is always connected (GT-ITM retries
+// until connected; patching is deterministic and cheaper).
+#pragma once
+
+#include <vector>
+
+#include "net/graph.h"
+#include "util/rng.h"
+
+namespace mecsc::net {
+
+/// Parameters of the Waxman model.
+struct WaxmanParams {
+  std::size_t node_count = 50;
+  double alpha = 0.4;  ///< edge density knob, in (0, 1]
+  double beta = 0.4;   ///< edge length decay knob, in (0, 1]
+  /// Range from which each created link's bandwidth (Mbps) is drawn.
+  double bandwidth_lo_mbps = 1000.0;
+  double bandwidth_hi_mbps = 10000.0;
+};
+
+/// A generated topology together with node coordinates (kept because the
+/// MEC builder places cloudlets "at the network edge", i.e. low-degree /
+/// peripheral nodes).
+struct SpatialGraph {
+  Graph graph;
+  std::vector<double> x;  ///< unit-square coordinates per node
+  std::vector<double> y;
+};
+
+/// Generates a connected Waxman graph. Edge length is the Euclidean
+/// distance between endpoints.
+SpatialGraph generate_waxman(const WaxmanParams& params, util::Rng& rng);
+
+}  // namespace mecsc::net

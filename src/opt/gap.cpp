@@ -1,0 +1,336 @@
+#include "opt/gap.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "opt/mcmf.h"
+#include "opt/simplex.h"
+
+namespace mecsc::opt {
+
+namespace {
+constexpr double kEps = 1e-7;
+}
+
+GapSolution evaluate_gap_assignment(
+    const GapInstance& instance, const std::vector<std::size_t>& assignment) {
+  GapSolution sol;
+  sol.assignment = assignment;
+  if (assignment.size() != instance.num_items) return sol;
+  std::vector<double> load(instance.num_knapsacks, 0.0);
+  double cost = 0.0;
+  for (std::size_t j = 0; j < instance.num_items; ++j) {
+    const std::size_t i = assignment[j];
+    if (i >= instance.num_knapsacks) return sol;
+    if (!instance.admissible(i, j)) return sol;
+    load[i] += instance.weight_at(i, j);
+    cost += instance.cost_at(i, j);
+  }
+  sol.feasible = true;
+  sol.cost = cost;
+  sol.within_capacity = true;
+  for (std::size_t i = 0; i < instance.num_knapsacks; ++i) {
+    if (load[i] > instance.capacity[i] + kEps) sol.within_capacity = false;
+  }
+  return sol;
+}
+
+// ---------------------------------------------------------------------------
+// Shmoys-Tardos LP rounding
+// ---------------------------------------------------------------------------
+
+GapSolution solve_gap_shmoys_tardos(const GapInstance& instance) {
+  GapSolution sol;
+  const std::size_t m = instance.num_knapsacks;
+  const std::size_t n = instance.num_items;
+  if (n == 0) {
+    sol.feasible = true;
+    sol.within_capacity = true;
+    sol.lp_bound = 0.0;
+    return sol;
+  }
+  if (m == 0) return sol;
+
+  // Variable index per admissible (knapsack, item) pair.
+  std::vector<std::ptrdiff_t> var(m * n, -1);
+  std::size_t num_vars = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (instance.admissible(i, j)) var[i * n + j] = static_cast<std::ptrdiff_t>(num_vars++);
+    }
+  }
+
+  LpProblem lp;
+  lp.num_vars = num_vars;
+  lp.objective.assign(num_vars, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto v = var[i * n + j];
+      if (v >= 0) lp.objective[static_cast<std::size_t>(v)] = instance.cost_at(i, j);
+    }
+  }
+  // Each item fully assigned.
+  for (std::size_t j = 0; j < n; ++j) {
+    LpConstraint con;
+    con.rel = Relation::Equal;
+    con.rhs = 1.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto v = var[i * n + j];
+      if (v >= 0) con.terms.emplace_back(static_cast<std::size_t>(v), 1.0);
+    }
+    if (con.terms.empty()) return sol;  // item admits no knapsack
+    lp.constraints.push_back(std::move(con));
+  }
+  // Knapsack capacities.
+  for (std::size_t i = 0; i < m; ++i) {
+    LpConstraint con;
+    con.rel = Relation::LessEq;
+    con.rhs = instance.capacity[i];
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto v = var[i * n + j];
+      if (v >= 0) {
+        con.terms.emplace_back(static_cast<std::size_t>(v),
+                               instance.weight_at(i, j));
+      }
+    }
+    lp.constraints.push_back(std::move(con));
+  }
+
+  const LpSolution lp_sol = solve_lp(lp);
+  if (lp_sol.status != LpStatus::Optimal) return sol;
+  sol.lp_bound = lp_sol.objective;
+
+  // --- Rounding: build slots per knapsack --------------------------------
+  // For knapsack i with fractional items sorted by weight (descending),
+  // create ceil(sum of fractions) slots and pour the fractions into slots of
+  // unit fractional capacity. An item whose fraction straddles a slot
+  // boundary appears in both slots. The fractional solution is then a
+  // fractional perfect matching between items and slots, so an integral
+  // matching of cost <= LP cost exists; we extract it with min-cost flow.
+  struct SlotEdge {
+    std::size_t item;
+    std::size_t slot;  // global slot id
+    double cost;
+  };
+  std::vector<SlotEdge> edges;
+  std::vector<std::size_t> slot_knapsack;  // global slot id -> knapsack
+
+  for (std::size_t i = 0; i < m; ++i) {
+    std::vector<std::pair<std::size_t, double>> frac;  // (item, x)
+    double total = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto v = var[i * n + j];
+      if (v < 0) continue;
+      const double x = lp_sol.x[static_cast<std::size_t>(v)];
+      if (x > kEps) {
+        frac.emplace_back(j, std::min(x, 1.0));
+        total += x;
+      }
+    }
+    if (frac.empty()) continue;
+    std::sort(frac.begin(), frac.end(),
+              [&](const auto& a, const auto& b) {
+                return instance.weight_at(i, a.first) >
+                       instance.weight_at(i, b.first);
+              });
+    const auto slot_count = static_cast<std::size_t>(std::ceil(total - kEps));
+    const std::size_t slot_base = slot_knapsack.size();
+    for (std::size_t s = 0; s < slot_count; ++s) slot_knapsack.push_back(i);
+
+    double slot_room = 1.0;
+    std::size_t slot = 0;
+    for (auto& [item, x] : frac) {
+      double remaining = x;
+      while (remaining > kEps) {
+        assert(slot < slot_count);
+        const double put = std::min(remaining, slot_room);
+        edges.push_back(SlotEdge{item, slot_base + slot,
+                                 instance.cost_at(i, item)});
+        remaining -= put;
+        slot_room -= put;
+        if (slot_room <= kEps) {
+          ++slot;
+          slot_room = 1.0;
+        }
+      }
+    }
+  }
+
+  // --- Integral matching via min-cost flow --------------------------------
+  const std::size_t num_slots = slot_knapsack.size();
+  // Nodes: 0 = source, 1..n = items, n+1..n+num_slots = slots, last = sink.
+  MinCostFlow flow(2 + n + num_slots);
+  const std::size_t source = 0;
+  const std::size_t sink = 1 + n + num_slots;
+  for (std::size_t j = 0; j < n; ++j) flow.add_arc(source, 1 + j, 1, 0.0);
+  std::vector<std::size_t> edge_arc(edges.size());
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    edge_arc[e] =
+        flow.add_arc(1 + edges[e].item, 1 + n + edges[e].slot, 1, edges[e].cost);
+  }
+  for (std::size_t s = 0; s < num_slots; ++s) {
+    flow.add_arc(1 + n + s, sink, 1, 0.0);
+  }
+  const auto fr = flow.solve(source, sink);
+  if (fr.flow != static_cast<std::int64_t>(n)) {
+    // Should not happen when the LP was feasible; treat defensively.
+    return sol;
+  }
+
+  sol.assignment.assign(n, 0);
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    if (flow.flow_on(edge_arc[e]) > 0) {
+      sol.assignment[edges[e].item] = slot_knapsack[edges[e].slot];
+    }
+  }
+  const GapSolution checked = evaluate_gap_assignment(instance, sol.assignment);
+  sol.feasible = checked.feasible;
+  sol.cost = checked.cost;
+  sol.within_capacity = checked.within_capacity;
+  return sol;
+}
+
+// ---------------------------------------------------------------------------
+// Exact branch-and-bound
+// ---------------------------------------------------------------------------
+
+namespace {
+struct BnbState {
+  const GapInstance* instance;
+  std::size_t node_limit;
+  std::size_t nodes = 0;
+  std::vector<double> remaining;            // capacity left per knapsack
+  std::vector<std::size_t> current;         // partial assignment
+  std::vector<std::size_t> best_assignment;
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> item_order;      // most-constrained first
+  std::vector<double> suffix_lb;            // optimistic bound for items k..n-1
+};
+
+void bnb_dfs(BnbState& st, std::size_t depth, double cost_so_far) {
+  if (++st.nodes > st.node_limit) return;
+  const GapInstance& inst = *st.instance;
+  if (cost_so_far + st.suffix_lb[depth] >= st.best_cost - 1e-12) return;
+  if (depth == st.item_order.size()) {
+    st.best_cost = cost_so_far;
+    st.best_assignment = st.current;
+    return;
+  }
+  const std::size_t item = st.item_order[depth];
+  // Try knapsacks cheapest-first so good incumbents appear early.
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < inst.num_knapsacks; ++i) {
+    if (inst.weight_at(i, item) <= st.remaining[i] + 1e-12) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return inst.cost_at(a, item) < inst.cost_at(b, item);
+  });
+  for (const std::size_t i : order) {
+    st.remaining[i] -= inst.weight_at(i, item);
+    st.current[item] = i;
+    bnb_dfs(st, depth + 1, cost_so_far + inst.cost_at(i, item));
+    st.remaining[i] += inst.weight_at(i, item);
+  }
+}
+}  // namespace
+
+GapSolution solve_gap_exact(const GapInstance& instance,
+                            std::size_t node_limit) {
+  GapSolution sol;
+  const std::size_t n = instance.num_items;
+  if (n == 0) {
+    sol.feasible = true;
+    sol.within_capacity = true;
+    return sol;
+  }
+  BnbState st;
+  st.instance = &instance;
+  st.node_limit = node_limit;
+  st.remaining = instance.capacity;
+  st.current.assign(n, 0);
+
+  // Order items by fewest admissible knapsacks, then by heaviest minimum
+  // weight (fail-first).
+  st.item_order.resize(n);
+  std::iota(st.item_order.begin(), st.item_order.end(), 0u);
+  auto options_of = [&](std::size_t j) {
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < instance.num_knapsacks; ++i) {
+      if (instance.admissible(i, j)) ++k;
+    }
+    return k;
+  };
+  std::stable_sort(st.item_order.begin(), st.item_order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return options_of(a) < options_of(b);
+                   });
+
+  // Optimistic suffix bound: sum of each remaining item's cheapest
+  // admissible cost (capacities ignored).
+  st.suffix_lb.assign(n + 1, 0.0);
+  for (std::size_t k = n; k-- > 0;) {
+    const std::size_t j = st.item_order[k];
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < instance.num_knapsacks; ++i) {
+      if (instance.admissible(i, j)) best = std::min(best, instance.cost_at(i, j));
+    }
+    if (best == std::numeric_limits<double>::infinity()) return sol;  // stuck
+    st.suffix_lb[k] = st.suffix_lb[k + 1] + best;
+  }
+
+  bnb_dfs(st, 0, 0.0);
+  if (st.best_assignment.empty()) return sol;  // infeasible or limit w/o incumbent
+  return evaluate_gap_assignment(instance, st.best_assignment);
+}
+
+// ---------------------------------------------------------------------------
+// Regret greedy
+// ---------------------------------------------------------------------------
+
+GapSolution solve_gap_greedy(const GapInstance& instance) {
+  GapSolution sol;
+  const std::size_t n = instance.num_items;
+  const std::size_t m = instance.num_knapsacks;
+  std::vector<double> remaining = instance.capacity;
+  std::vector<std::size_t> assignment(n, m);
+  std::vector<bool> done(n, false);
+
+  for (std::size_t round = 0; round < n; ++round) {
+    double best_regret = -1.0;
+    std::size_t pick_item = n, pick_knapsack = m;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (done[j]) continue;
+      double c1 = std::numeric_limits<double>::infinity();
+      double c2 = std::numeric_limits<double>::infinity();
+      std::size_t k1 = m;
+      for (std::size_t i = 0; i < m; ++i) {
+        if (instance.weight_at(i, j) > remaining[i] + 1e-12) continue;
+        const double c = instance.cost_at(i, j);
+        if (c < c1) {
+          c2 = c1;
+          c1 = c;
+          k1 = i;
+        } else if (c < c2) {
+          c2 = c;
+        }
+      }
+      if (k1 == m) return sol;  // item j cannot be placed anymore
+      const double regret =
+          c2 == std::numeric_limits<double>::infinity() ? 1e18 : c2 - c1;
+      if (regret > best_regret) {
+        best_regret = regret;
+        pick_item = j;
+        pick_knapsack = k1;
+      }
+    }
+    done[pick_item] = true;
+    assignment[pick_item] = pick_knapsack;
+    remaining[pick_knapsack] -= instance.weight_at(pick_knapsack, pick_item);
+  }
+  return evaluate_gap_assignment(instance, assignment);
+}
+
+}  // namespace mecsc::opt

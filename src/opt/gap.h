@@ -1,0 +1,82 @@
+// Generalized Assignment Problem solvers.
+//
+// The paper's Appro algorithm (Algorithm 1) reduces congestion-free service
+// caching to GAP and invokes the Shmoys-Tardos approximation [34]. This
+// module provides three solvers:
+//
+//  * solve_gap_shmoys_tardos — the [34] framework: solve the LP relaxation
+//    (own simplex), then round via the slot-bipartite-graph construction
+//    with a min-cost matching. Cost is <= LP optimum <= integral optimum;
+//    each knapsack's load exceeds its capacity by at most the largest item
+//    placed in it (the classic bicriteria (1, 2) guarantee behind the
+//    2-approximation).
+//  * solve_gap_exact — branch-and-bound, for small instances (ground truth
+//    in tests and the Lemma-2 ratio study).
+//  * solve_gap_greedy — regret-based greedy, the cheap fallback used by the
+//    OffloadCache baseline.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace mecsc::opt {
+
+/// A GAP instance: assign each of n items to one of m knapsacks.
+/// cost/weight are row-major [knapsack * num_items + item].
+/// weight(i, j) > capacity[i] marks the pair as inadmissible.
+struct GapInstance {
+  std::size_t num_knapsacks = 0;
+  std::size_t num_items = 0;
+  std::vector<double> capacity;  ///< size num_knapsacks
+  std::vector<double> cost;      ///< size num_knapsacks * num_items
+  std::vector<double> weight;    ///< size num_knapsacks * num_items
+
+  double cost_at(std::size_t knapsack, std::size_t item) const {
+    return cost[knapsack * num_items + item];
+  }
+  double weight_at(std::size_t knapsack, std::size_t item) const {
+    return weight[knapsack * num_items + item];
+  }
+  bool admissible(std::size_t knapsack, std::size_t item) const {
+    return weight_at(knapsack, item) <= capacity[knapsack];
+  }
+};
+
+struct GapSolution {
+  bool feasible = false;  ///< every item assigned to an admissible knapsack
+  /// assignment[item] = knapsack index (valid when feasible).
+  std::vector<std::size_t> assignment;
+  double cost = 0.0;
+  /// True if every knapsack's load is within its stated capacity. The
+  /// Shmoys-Tardos rounding may legitimately return false here (loads can
+  /// exceed capacity by at most one item) — callers that need hard
+  /// capacities handle the relaxation (Appro sizes virtual cloudlets so the
+  /// relaxed load still fits the physical cloudlet).
+  bool within_capacity = false;
+  /// Objective of the LP relaxation (lower bound on the integral optimum);
+  /// set by the Shmoys-Tardos solver.
+  std::optional<double> lp_bound;
+};
+
+/// Validates an assignment against the instance; recomputes cost and
+/// capacity slack.
+GapSolution evaluate_gap_assignment(const GapInstance& instance,
+                                    const std::vector<std::size_t>& assignment);
+
+/// Shmoys-Tardos LP rounding. Returns feasible = false when even the LP
+/// relaxation is infeasible (some item admits no knapsack, or total weight
+/// cannot fit fractionally).
+GapSolution solve_gap_shmoys_tardos(const GapInstance& instance);
+
+/// Exact branch-and-bound; practical up to ~20 items x ~10 knapsacks.
+/// `node_limit` bounds the search (returns best found so far when hit).
+GapSolution solve_gap_exact(const GapInstance& instance,
+                            std::size_t node_limit = 50'000'000);
+
+/// Greedy: repeatedly commits the (item, knapsack) pair with the largest
+/// regret (difference between the item's best and second-best remaining
+/// option). Feasible w.r.t. capacities whenever it succeeds.
+GapSolution solve_gap_greedy(const GapInstance& instance);
+
+}  // namespace mecsc::opt

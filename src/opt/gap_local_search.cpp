@@ -1,0 +1,93 @@
+#include "opt/gap_local_search.h"
+
+#include <cassert>
+#include <vector>
+
+namespace mecsc::opt {
+
+GapSolution improve_gap_local_search(const GapInstance& instance,
+                                     GapSolution start,
+                                     LocalSearchStats* stats,
+                                     std::size_t max_passes) {
+  LocalSearchStats local;
+  local.cost_before = start.cost;
+  local.cost_after = start.cost;
+  if (!start.feasible || !start.within_capacity) {
+    if (stats != nullptr) *stats = local;
+    return start;
+  }
+  const std::size_t n = instance.num_items;
+  const std::size_t m = instance.num_knapsacks;
+  std::vector<std::size_t>& assign = start.assignment;
+  std::vector<double> slack(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) slack[i] = instance.capacity[i];
+  for (std::size_t j = 0; j < n; ++j) {
+    slack[assign[j]] -= instance.weight_at(assign[j], j);
+  }
+  constexpr double kEps = 1e-9;
+
+  for (std::size_t pass = 0; pass < max_passes; ++pass) {
+    ++local.passes;
+    bool improved = false;
+
+    // Shift: move one item to a different knapsack with room.
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t from = assign[j];
+      for (std::size_t to = 0; to < m; ++to) {
+        if (to == from) continue;
+        if (instance.weight_at(to, j) > slack[to] + kEps) continue;
+        const double delta =
+            instance.cost_at(to, j) - instance.cost_at(from, j);
+        if (delta < -kEps) {
+          slack[from] += instance.weight_at(from, j);
+          slack[to] -= instance.weight_at(to, j);
+          assign[j] = to;
+          start.cost += delta;
+          ++local.shift_moves;
+          improved = true;
+          break;
+        }
+      }
+    }
+
+    // Swap: exchange the knapsacks of two items.
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = a + 1; b < n; ++b) {
+        const std::size_t ka = assign[a], kb = assign[b];
+        if (ka == kb) continue;
+        // Feasibility after the swap: each side's slack gains its leaving
+        // item's weight and loses the entering item's weight.
+        const double slack_a =
+            slack[ka] + instance.weight_at(ka, a) - instance.weight_at(ka, b);
+        const double slack_b =
+            slack[kb] + instance.weight_at(kb, b) - instance.weight_at(kb, a);
+        if (slack_a < -kEps || slack_b < -kEps) continue;
+        const double delta = instance.cost_at(ka, b) +
+                             instance.cost_at(kb, a) -
+                             instance.cost_at(ka, a) -
+                             instance.cost_at(kb, b);
+        if (delta < -kEps) {
+          slack[ka] = slack_a;
+          slack[kb] = slack_b;
+          assign[a] = kb;
+          assign[b] = ka;
+          start.cost += delta;
+          ++local.swap_moves;
+          improved = true;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+
+  // Re-validate from scratch (also recomputes the exact cost, shedding any
+  // accumulated floating-point drift).
+  GapSolution result = evaluate_gap_assignment(instance, assign);
+  assert(result.feasible && result.within_capacity);
+  local.cost_after = result.cost;
+  result.lp_bound = start.lp_bound;
+  if (stats != nullptr) *stats = local;
+  return result;
+}
+
+}  // namespace mecsc::opt

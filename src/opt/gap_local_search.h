@@ -1,0 +1,34 @@
+// Local-search post-improvement for GAP solutions.
+//
+// Takes any feasible assignment (e.g. from the greedy or the Shmoys-Tardos
+// rounding) and applies shift moves (reassign one item) and swap moves
+// (exchange the knapsacks of two items) until no move improves the cost.
+// Each accepted move strictly lowers the objective and preserves capacity
+// feasibility, so the search terminates. Used by tests to measure how far
+// the constructive solvers are from local optimality, and exposed for
+// callers that can afford the extra polish.
+#pragma once
+
+#include <cstddef>
+
+#include "opt/gap.h"
+
+namespace mecsc::opt {
+
+struct LocalSearchStats {
+  std::size_t shift_moves = 0;
+  std::size_t swap_moves = 0;
+  std::size_t passes = 0;
+  double cost_before = 0.0;
+  double cost_after = 0.0;
+};
+
+/// Improves `start` in place. Precondition: start.feasible &&
+/// start.within_capacity (returns start unchanged otherwise). `stats` is
+/// optional.
+GapSolution improve_gap_local_search(const GapInstance& instance,
+                                     GapSolution start,
+                                     LocalSearchStats* stats = nullptr,
+                                     std::size_t max_passes = 100);
+
+}  // namespace mecsc::opt

@@ -1,0 +1,245 @@
+#include "opt/simplex.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace mecsc::opt {
+
+namespace {
+
+/// Dense tableau simplex working state.
+///
+/// Layout: rows 0..m-1 are constraints, row m is the phase objective.
+/// Columns 0..total_cols-1 are variables (structural, then slack/surplus,
+/// then artificial), column total_cols is the rhs.
+class Tableau {
+ public:
+  Tableau(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  void pivot(std::size_t pr, std::size_t pc) {
+    const double pivot_val = at(pr, pc);
+    assert(std::abs(pivot_val) > 0.0);
+    const double inv = 1.0 / pivot_val;
+    for (std::size_t c = 0; c < cols_; ++c) at(pr, c) *= inv;
+    at(pr, pc) = 1.0;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == pr) continue;
+      const double factor = at(r, pc);
+      if (factor == 0.0) continue;
+      for (std::size_t c = 0; c < cols_; ++c) {
+        at(r, c) -= factor * at(pr, c);
+      }
+      at(r, pc) = 0.0;
+    }
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+struct RunResult {
+  LpStatus status = LpStatus::Optimal;
+  std::size_t iterations_used = 0;
+};
+
+/// Runs simplex iterations on the last row's objective until optimal,
+/// unbounded, or the iteration budget is exhausted. `allowed_cols` marks
+/// columns eligible to enter the basis.
+RunResult run_simplex(Tableau& t, std::vector<std::size_t>& basis,
+                      const std::vector<bool>& allowed_cols,
+                      std::size_t max_iterations, double eps) {
+  const std::size_t m = t.rows() - 1;         // constraint rows
+  const std::size_t rhs_col = t.cols() - 1;   // rhs column
+  const std::size_t obj_row = m;
+
+  RunResult res;
+  bool use_bland = false;
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    // Dantzig pricing switches to Bland's rule after a long stall-prone run
+    // to guarantee termination on degenerate problems.
+    if (iter > 4 * (m + t.cols())) use_bland = true;
+
+    // Entering column: negative reduced cost.
+    std::size_t enter = rhs_col;
+    double best = -eps;
+    for (std::size_t c = 0; c + 1 < t.cols(); ++c) {
+      if (!allowed_cols[c]) continue;
+      const double rc = t.at(obj_row, c);
+      if (use_bland) {
+        if (rc < -eps) {
+          enter = c;
+          break;
+        }
+      } else if (rc < best) {
+        best = rc;
+        enter = c;
+      }
+    }
+    if (enter == rhs_col) {
+      res.iterations_used = iter;
+      return res;  // optimal
+    }
+
+    // Leaving row: minimum ratio test; Bland tie-break on basis variable id.
+    std::size_t leave = m;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < m; ++r) {
+      const double a = t.at(r, enter);
+      if (a > eps) {
+        const double ratio = t.at(r, rhs_col) / a;
+        if (ratio < best_ratio - eps ||
+            (ratio < best_ratio + eps && leave != m &&
+             basis[r] < basis[leave])) {
+          best_ratio = ratio;
+          leave = r;
+        }
+      }
+    }
+    if (leave == m) {
+      res.status = LpStatus::Unbounded;
+      res.iterations_used = iter;
+      return res;
+    }
+
+    t.pivot(leave, enter);
+    basis[leave] = enter;
+  }
+  res.status = LpStatus::IterationLimit;
+  res.iterations_used = max_iterations;
+  return res;
+}
+
+}  // namespace
+
+LpSolution solve_lp(const LpProblem& problem, const SimplexOptions& options) {
+  assert(problem.objective.size() == problem.num_vars);
+  const std::size_t n = problem.num_vars;
+  const std::size_t m = problem.constraints.size();
+  const double eps = options.eps;
+
+  // Column plan: structural | slack/surplus | artificial | rhs.
+  std::size_t slack_count = 0;
+  for (const auto& c : problem.constraints) {
+    if (c.rel != Relation::Equal) ++slack_count;
+  }
+  const std::size_t slack_base = n;
+  const std::size_t art_base = n + slack_count;
+  const std::size_t art_count = m;  // one artificial per row (simple & safe)
+  const std::size_t total_cols = art_base + art_count + 1;
+  const std::size_t rhs_col = total_cols - 1;
+
+  Tableau t(m + 1, total_cols);
+  std::vector<std::size_t> basis(m);
+
+  std::size_t next_slack = slack_base;
+  for (std::size_t r = 0; r < m; ++r) {
+    const LpConstraint& con = problem.constraints[r];
+    double sign = 1.0;
+    if (con.rhs < 0.0) sign = -1.0;  // normalize to rhs >= 0
+    for (const auto& [var, coef] : con.terms) {
+      assert(var < n);
+      t.at(r, var) += sign * coef;
+    }
+    t.at(r, rhs_col) = sign * con.rhs;
+    Relation rel = con.rel;
+    if (sign < 0.0) {
+      if (rel == Relation::LessEq) {
+        rel = Relation::GreaterEq;
+      } else if (rel == Relation::GreaterEq) {
+        rel = Relation::LessEq;
+      }
+    }
+    if (rel == Relation::LessEq) {
+      t.at(r, next_slack++) = 1.0;  // slack
+    } else if (rel == Relation::GreaterEq) {
+      t.at(r, next_slack++) = -1.0;  // surplus
+    }
+    // Artificial variable for every row starts in the basis.
+    t.at(r, art_base + r) = 1.0;
+    basis[r] = art_base + r;
+  }
+
+  // ---- Phase 1: minimize sum of artificials. ----
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < total_cols; ++c) {
+      // objective row = -(sum of artificial rows) so reduced costs of the
+      // basic artificials are zero.
+      if (c < art_base || c == rhs_col) {
+        t.at(m, c) -= t.at(r, c);
+      }
+    }
+  }
+  std::vector<bool> allowed(total_cols - 1, true);
+  RunResult p1 = run_simplex(t, basis, allowed, options.max_iterations, eps);
+  if (p1.status == LpStatus::IterationLimit) {
+    return LpSolution{LpStatus::IterationLimit, 0.0, {}};
+  }
+  // Phase-1 objective value is -t(m, rhs); feasible iff ~0.
+  if (t.at(m, rhs_col) < -1e-6) {
+    return LpSolution{LpStatus::Infeasible, 0.0, {}};
+  }
+
+  // Drive any artificial still in the basis out (or confirm its row is
+  // redundant / zero).
+  for (std::size_t r = 0; r < m; ++r) {
+    if (basis[r] < art_base) continue;
+    std::size_t enter = rhs_col;
+    for (std::size_t c = 0; c < art_base; ++c) {
+      if (std::abs(t.at(r, c)) > eps) {
+        enter = c;
+        break;
+      }
+    }
+    if (enter != rhs_col) {
+      t.pivot(r, enter);
+      basis[r] = enter;
+    }
+    // else: redundant row; the artificial stays basic at value 0.
+  }
+
+  // ---- Phase 2: original objective; artificial columns barred. ----
+  for (std::size_t c = 0; c < total_cols; ++c) t.at(m, c) = 0.0;
+  for (std::size_t c = 0; c < n; ++c) t.at(m, c) = problem.objective[c];
+  // Express objective in terms of nonbasic variables.
+  for (std::size_t r = 0; r < m; ++r) {
+    const double coef = t.at(m, basis[r]);
+    if (coef == 0.0) continue;
+    for (std::size_t c = 0; c < total_cols; ++c) {
+      t.at(m, c) -= coef * t.at(r, c);
+    }
+  }
+  for (std::size_t c = art_base; c + 1 < total_cols; ++c) allowed[c] = false;
+
+  const std::size_t remaining =
+      options.max_iterations > p1.iterations_used
+          ? options.max_iterations - p1.iterations_used
+          : 0;
+  RunResult p2 = run_simplex(t, basis, allowed, remaining, eps);
+  if (p2.status != LpStatus::Optimal) {
+    return LpSolution{p2.status, 0.0, {}};
+  }
+
+  LpSolution sol;
+  sol.status = LpStatus::Optimal;
+  sol.x.assign(n, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    if (basis[r] < n) sol.x[basis[r]] = t.at(r, rhs_col);
+  }
+  double obj = 0.0;
+  for (std::size_t c = 0; c < n; ++c) obj += problem.objective[c] * sol.x[c];
+  sol.objective = obj;
+  return sol;
+}
+
+}  // namespace mecsc::opt

@@ -1,0 +1,53 @@
+// Dense two-phase primal simplex LP solver.
+//
+// Substrate for the Shmoys-Tardos GAP approximation (the LP relaxation of
+// the generalized assignment problem). Problems are stated as
+//     minimize    c^T x
+//     subject to  a_k^T x (<= | = | >=) b_k   for each constraint k
+//                 x >= 0.
+// The solver builds a dense tableau with slack/artificial columns, runs
+// phase 1 (drive artificials to zero) then phase 2, and uses Dantzig pricing
+// with a Bland's-rule fallback to guarantee termination.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mecsc::opt {
+
+enum class Relation { LessEq, Equal, GreaterEq };
+
+/// One linear constraint: sum of coefficient*variable terms `rel` rhs.
+struct LpConstraint {
+  /// Sparse terms as (variable index, coefficient). A variable may appear at
+  /// most once.
+  std::vector<std::pair<std::size_t, double>> terms;
+  Relation rel = Relation::LessEq;
+  double rhs = 0.0;
+};
+
+/// A linear program in minimization form over nonnegative variables.
+struct LpProblem {
+  std::size_t num_vars = 0;
+  std::vector<double> objective;  ///< size num_vars
+  std::vector<LpConstraint> constraints;
+};
+
+enum class LpStatus { Optimal, Infeasible, Unbounded, IterationLimit };
+
+struct LpSolution {
+  LpStatus status = LpStatus::IterationLimit;
+  double objective = 0.0;
+  std::vector<double> x;  ///< primal values, size num_vars (valid if Optimal)
+};
+
+struct SimplexOptions {
+  std::size_t max_iterations = 200000;
+  /// Feasibility/optimality tolerance.
+  double eps = 1e-9;
+};
+
+/// Solves the LP. Constraints with negative rhs are normalized internally.
+LpSolution solve_lp(const LpProblem& problem, const SimplexOptions& options = {});
+
+}  // namespace mecsc::opt

@@ -1,0 +1,70 @@
+// Slotted transportation solver: the exact inner problem of Algorithm 1.
+//
+// Algorithm 1 splits each cloudlet CL_i into n_i virtual cloudlets, each
+// restricted to hold a single cached service instance. With one item per
+// knapsack and knapsack-independent item weights, the GAP instance collapses
+// to a transportation problem: assign each item (service) to a group
+// (cloudlet) with at most `slots[g]` items per group, minimizing the sum of
+// item-group costs. Its LP is integral, so min-cost flow solves it exactly —
+// the "2-approximation" requirement of [34] is met with ratio 1.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mecsc::opt {
+
+/// Instance: cost[g * num_items + j] = cost of putting item j in group g;
+/// slots[g] = number of single-item virtual cloudlets of group g. A cost of
+/// kInadmissible (or any value >= kInadmissibleThreshold) marks a forbidden
+/// pair.
+struct TransportationInstance {
+  std::size_t num_groups = 0;
+  std::size_t num_items = 0;
+  std::vector<std::size_t> slots;  ///< size num_groups
+  std::vector<double> cost;        ///< size num_groups * num_items
+
+  double cost_at(std::size_t group, std::size_t item) const {
+    return cost[group * num_items + item];
+  }
+};
+
+inline constexpr double kInadmissible = 1e17;
+inline constexpr double kInadmissibleThreshold = 1e16;
+
+struct TransportationSolution {
+  bool feasible = false;
+  /// assignment[item] = group (valid when feasible).
+  std::vector<std::size_t> assignment;
+  double cost = 0.0;
+};
+
+/// Solves the instance optimally via min-cost max-flow. Infeasible when the
+/// items outnumber the admissible slots.
+TransportationSolution solve_transportation(
+    const TransportationInstance& instance);
+
+/// Transportation with *convex group costs*: the k-th item placed in group g
+/// (1-based) additionally pays slot_costs[g][k-1] on top of its item-group
+/// cost. slot_costs[g] must be non-decreasing (convexity), and its length is
+/// the group's slot capacity. Solved exactly by min-cost flow: convex slot
+/// arcs saturate cheapest-first, so an integral optimum over
+///   Σ_j cost(g_j, j) + Σ_g Σ_{k<=load_g} slot_costs[g][k-1]
+/// is returned. Used by Appro's congestion-aware mode, where
+/// slot_costs[i][k-1] = (α_i+β_i)·u·(2k-1) telescopes to the exact quadratic
+/// congestion term of the social cost.
+struct ConvexTransportationInstance {
+  std::size_t num_groups = 0;
+  std::size_t num_items = 0;
+  std::vector<std::vector<double>> slot_costs;  ///< per group, non-decreasing
+  std::vector<double> cost;  ///< row-major [group * num_items + item]
+
+  double cost_at(std::size_t group, std::size_t item) const {
+    return cost[group * num_items + item];
+  }
+};
+
+TransportationSolution solve_convex_transportation(
+    const ConvexTransportationInstance& instance);
+
+}  // namespace mecsc::opt

@@ -1,0 +1,79 @@
+// Test-bed emulator: a software stand-in for the paper's physical test-bed
+// (5 hardware switches + 5 servers, OVS/VXLAN overlay on AS1755, Ryu
+// controller — §IV-C). See DESIGN.md / Substitutions.
+//
+// Given a placement (Assignment), the emulator replays a request trace
+// through a discrete-event model of the overlay: requests travel hop by hop
+// from the user region to the serving instance (edge cloudlet or remote
+// DC), share link bandwidth with concurrent flows, queue at the serving
+// node, and — for cached services — ship consistency updates back to the
+// original instance. It reports *measured* quantities: per-request latency,
+// bytes moved, per-cloudlet concurrency, and the measured social cost
+// (the same Eq. (3) price components, but charged on observed traffic and
+// observed congestion instead of the analytic model).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/assignment.h"
+#include "core/instance.h"
+#include "sim/workload.h"
+#include "util/stats.h"
+
+namespace mecsc::sim {
+
+struct EmuParams {
+  /// Overlay link rate (the test-bed switches' 10G SFP+ uplinks), shared
+  /// per concurrent flow toward the same serving node.
+  double link_rate_mbps = 10000.0;
+  /// Serving rate of a cloudlet/DC server in GB/s (i7-8700-class box
+  /// streaming-processing its request payloads).
+  double server_rate_gbps = 2.0;
+  /// Per-hop forwarding + propagation latency in seconds.
+  double per_hop_latency_s = 0.0005;
+  /// VXLAN encapsulation overhead on transferred bytes.
+  double vxlan_overhead = 1.05;
+  /// Remote data centers are provisioned with this many times the edge
+  /// server rate (they are uncapacitated in the model).
+  double dc_speedup = 8.0;
+};
+
+/// A cloudlet outage window [at_s, recover_s). Requests that would be served
+/// by a cached instance on the failed cloudlet *fail over* to the original
+/// instance in the provider's home data center — exactly the recovery story
+/// that motivates keeping originals alive (§II-B: "their original services
+/// are still kept in remote data centers for later use when the cached
+/// service is destroyed").
+struct FailureEvent {
+  core::CloudletId cloudlet = 0;
+  double at_s = 0.0;
+  double recover_s = 0.0;
+};
+
+struct EmulationResult {
+  /// Measured social cost in the same units as Assignment::social_cost():
+  /// transfer dollars on observed bytes*hops + processing/congestion dollars
+  /// on observed load + instantiation of every cached service.
+  double measured_social_cost = 0.0;
+  /// Per-provider measured cost (size = provider count).
+  std::vector<double> provider_cost;
+  util::Summary request_latency_s;
+  double total_transfer_gb = 0.0;  ///< bytes*hops actually moved (incl. updates)
+  /// Time-weighted average number of simultaneously active services per
+  /// cloudlet (the measured congestion level |σ_i| of Eq. (1)).
+  std::vector<double> avg_concurrency;
+  std::size_t requests_served = 0;
+  /// Requests redirected to the remote original because their serving
+  /// cloudlet was inside an outage window.
+  std::size_t failovers = 0;
+};
+
+/// Replays `trace` against the placement `a`, honoring any cloudlet outage
+/// windows in `failures`. Deterministic.
+EmulationResult replay(const core::Assignment& a,
+                       std::span<const Request> trace,
+                       const EmuParams& params = {},
+                       std::span<const FailureEvent> failures = {});
+
+}  // namespace mecsc::sim

@@ -1,0 +1,31 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <limits>
+
+namespace mecsc::sim {
+
+void EventQueue::schedule_at(SimTime at, Callback cb) {
+  assert(at >= now_ && "cannot schedule into the past");
+  heap_.push(Item{at, next_seq_++, std::move(cb)});
+}
+
+void EventQueue::schedule_in(SimTime delay, Callback cb) {
+  assert(delay >= 0.0);
+  schedule_at(now_ + delay, std::move(cb));
+}
+
+std::size_t EventQueue::run(SimTime until) {
+  std::size_t fired = 0;
+  while (!heap_.empty() && heap_.top().at <= until) {
+    // Copy out before pop so the callback may schedule further events.
+    Item item = std::move(const_cast<Item&>(heap_.top()));
+    heap_.pop();
+    now_ = item.at;
+    item.cb();
+    ++fired;
+  }
+  return fired;
+}
+
+}  // namespace mecsc::sim

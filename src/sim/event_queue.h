@@ -1,0 +1,57 @@
+// Discrete-event simulation core: a time-ordered queue of callbacks.
+// Substrate of the test-bed emulator (DESIGN.md / Substitutions).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <vector>
+
+namespace mecsc::sim {
+
+/// Simulation clock in seconds.
+using SimTime = double;
+
+/// A minimal deterministic event loop. Events scheduled for the same time
+/// fire in insertion order (a monotone sequence number breaks ties), which
+/// keeps replays bit-for-bit reproducible.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulation time (0 before the first event fires).
+  SimTime now() const { return now_; }
+
+  /// Schedules `cb` to fire at absolute time `at` (>= now()).
+  void schedule_at(SimTime at, Callback cb);
+
+  /// Schedules `cb` to fire `delay` seconds from now (delay >= 0).
+  void schedule_in(SimTime delay, Callback cb);
+
+  /// Number of pending events.
+  std::size_t pending() const { return heap_.size(); }
+
+  /// Runs until the queue drains or `until` is passed (infinity = drain).
+  /// Returns the number of events fired.
+  std::size_t run(SimTime until = std::numeric_limits<double>::infinity());
+
+ private:
+  struct Item {
+    SimTime at;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Item, std::vector<Item>, Later> heap_;
+};
+
+}  // namespace mecsc::sim

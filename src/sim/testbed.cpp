@@ -1,0 +1,73 @@
+#include "sim/testbed.h"
+
+#include <cassert>
+
+#include "core/baselines.h"
+#include "core/lcf.h"
+#include "util/timer.h"
+
+namespace mecsc::sim {
+
+std::string algorithm_name(Algorithm alg) {
+  switch (alg) {
+    case Algorithm::Lcf:
+      return "LCF";
+    case Algorithm::JoOffloadCache:
+      return "JoOffloadCache";
+    case Algorithm::OffloadCache:
+      return "OffloadCache";
+  }
+  return "?";
+}
+
+core::Assignment run_algorithm(const core::Instance& inst, Algorithm alg,
+                               double one_minus_xi, double* elapsed_ms) {
+  util::Timer timer;
+  core::Assignment result(inst);
+  switch (alg) {
+    case Algorithm::Lcf: {
+      core::LcfOptions options;
+      options.coordinated_fraction = 1.0 - one_minus_xi;
+      result = run_lcf(inst, options).assignment;
+      break;
+    }
+    case Algorithm::JoOffloadCache:
+      result = core::run_jo_offload_cache(inst);
+      break;
+    case Algorithm::OffloadCache:
+      result = core::run_offload_cache(inst);
+      break;
+  }
+  if (elapsed_ms != nullptr) *elapsed_ms = timer.elapsed_ms();
+  return result;
+}
+
+TestbedRun run_testbed(const TestbedConfig& config, util::Rng& rng) {
+  core::InstanceParams params = config.instance;
+  params.use_as1755 = true;
+  params.provider_count = config.provider_count;
+  const core::Instance inst = core::generate_instance(params, rng);
+  const std::vector<Request> trace =
+      generate_workload(inst, config.workload, rng);
+
+  TestbedRun run;
+  for (const Algorithm alg : {Algorithm::Lcf, Algorithm::JoOffloadCache,
+                              Algorithm::OffloadCache}) {
+    TestbedAlgorithmResult r;
+    r.algorithm = alg;
+    const core::Assignment a =
+        run_algorithm(inst, alg, config.one_minus_xi, &r.algorithm_ms);
+    assert(a.feasible());
+    r.analytic_social_cost = a.social_cost();
+    const EmulationResult emu = replay(a, trace, config.emu);
+    r.measured_social_cost = emu.measured_social_cost;
+    r.request_latency_s = emu.request_latency_s;
+    for (core::ProviderId l = 0; l < inst.provider_count(); ++l) {
+      if (a.choice(l) != core::kRemote) ++r.cached_services;
+    }
+    run.results.push_back(r);
+  }
+  return run;
+}
+
+}  // namespace mecsc::sim

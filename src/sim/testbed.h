@@ -1,0 +1,59 @@
+// End-to-end test-bed scenario runner (§IV-C).
+//
+// Reproduces the paper's test-bed pipeline in software: build the AS1755
+// overlay MEC network, generate providers, run a placement algorithm (LCF /
+// JoOffloadCache / OffloadCache), then replay a request workload through the
+// emulator and report *measured* social cost, request latency, and the
+// algorithm's wall-clock running time.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/assignment.h"
+#include "core/instance.h"
+#include "sim/emulation.h"
+#include "sim/workload.h"
+#include "util/rng.h"
+
+namespace mecsc::sim {
+
+enum class Algorithm { Lcf, JoOffloadCache, OffloadCache };
+
+/// Display name used in tables ("LCF", "JoOffloadCache", "OffloadCache").
+std::string algorithm_name(Algorithm alg);
+
+/// Runs one placement algorithm on `inst`; returns the assignment and fills
+/// `elapsed_ms` with the wall-clock running time of the algorithm itself.
+/// `one_minus_xi` is the selfish fraction (only used by LCF).
+core::Assignment run_algorithm(const core::Instance& inst, Algorithm alg,
+                               double one_minus_xi, double* elapsed_ms);
+
+struct TestbedConfig {
+  std::size_t provider_count = 100;
+  double one_minus_xi = 0.3;  ///< paper's test-bed default
+  core::InstanceParams instance;  ///< use_as1755 is forced on
+  WorkloadParams workload;
+  EmuParams emu;
+};
+
+/// Result of one algorithm inside a test-bed run.
+struct TestbedAlgorithmResult {
+  Algorithm algorithm = Algorithm::Lcf;
+  double analytic_social_cost = 0.0;  ///< model cost of the placement
+  double measured_social_cost = 0.0;  ///< emulator-metered cost
+  double algorithm_ms = 0.0;          ///< placement running time
+  util::Summary request_latency_s;
+  std::size_t cached_services = 0;    ///< providers placed in cloudlets
+};
+
+struct TestbedRun {
+  std::vector<TestbedAlgorithmResult> results;  ///< one per algorithm
+};
+
+/// Builds the AS1755 scenario, replays the same workload under each
+/// algorithm's placement, and collects the measurements. Deterministic
+/// given `rng`'s state.
+TestbedRun run_testbed(const TestbedConfig& config, util::Rng& rng);
+
+}  // namespace mecsc::sim

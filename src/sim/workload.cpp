@@ -1,0 +1,35 @@
+#include "sim/workload.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mecsc::sim {
+
+std::vector<Request> generate_workload(const core::Instance& inst,
+                                       const WorkloadParams& params,
+                                       util::Rng& rng) {
+  assert(params.horizon_s > 0.0);
+  std::vector<Request> trace;
+  for (core::ProviderId l = 0; l < inst.provider_count(); ++l) {
+    const auto r = inst.providers[l].requests;
+    if (r == 0) continue;
+    const double rate = static_cast<double>(r) / params.horizon_s;
+    double t = 0.0;
+    for (std::size_t k = 0; k < r; ++k) {
+      t += rng.exponential(rate);
+      if (t > params.horizon_s) t = params.horizon_s;  // clamp the tail
+      trace.push_back(Request{
+          l, t,
+          rng.uniform_real(params.request_mb_lo, params.request_mb_hi) /
+              1024.0});
+    }
+  }
+  std::sort(trace.begin(), trace.end(),
+            [](const Request& a, const Request& b) {
+              if (a.arrival_s != b.arrival_s) return a.arrival_s < b.arrival_s;
+              return a.provider < b.provider;
+            });
+  return trace;
+}
+
+}  // namespace mecsc::sim

@@ -1,0 +1,34 @@
+// Request-trace generation for the test-bed emulator. Each provider's r_l
+// user requests become timestamped arrivals (Poisson process) carrying the
+// per-request traffic volume of §IV-A (10-200 MB).
+#pragma once
+
+#include <vector>
+
+#include "core/instance.h"
+#include "util/rng.h"
+
+namespace mecsc::sim {
+
+/// One user request to be replayed.
+struct Request {
+  core::ProviderId provider = 0;
+  double arrival_s = 0.0;  ///< simulated arrival time
+  double size_gb = 0.0;    ///< payload carried to the serving instance
+};
+
+struct WorkloadParams {
+  /// Length of the replayed interval; each provider's requests arrive as a
+  /// Poisson process with rate r_l / horizon.
+  double horizon_s = 60.0;
+  /// Per-request payload range (paper: 10-200 MB).
+  double request_mb_lo = 10.0;
+  double request_mb_hi = 200.0;
+};
+
+/// Generates the full trace (all providers interleaved, sorted by arrival).
+std::vector<Request> generate_workload(const core::Instance& inst,
+                                       const WorkloadParams& params,
+                                       util::Rng& rng);
+
+}  // namespace mecsc::sim

@@ -1,0 +1,404 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace mecsc::util {
+
+namespace {
+[[noreturn]] void type_error(const char* want) {
+  throw JsonError(std::string("json: value is not ") + want);
+}
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (const auto* b = std::get_if<bool>(&value_)) return *b;
+  type_error("a bool");
+}
+
+double JsonValue::as_number() const {
+  if (const auto* d = std::get_if<double>(&value_)) return *d;
+  type_error("a number");
+}
+
+const std::string& JsonValue::as_string() const {
+  if (const auto* s = std::get_if<std::string>(&value_)) return *s;
+  type_error("a string");
+}
+
+const JsonArray& JsonValue::as_array() const {
+  if (const auto* a = std::get_if<JsonArray>(&value_)) return *a;
+  type_error("an array");
+}
+
+const JsonObject& JsonValue::as_object() const {
+  if (const auto* o = std::get_if<JsonObject>(&value_)) return *o;
+  type_error("an object");
+}
+
+JsonArray& JsonValue::as_array() {
+  if (auto* a = std::get_if<JsonArray>(&value_)) return *a;
+  type_error("an array");
+}
+
+JsonObject& JsonValue::as_object() {
+  if (auto* o = std::get_if<JsonObject>(&value_)) return *o;
+  type_error("an object");
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonObject& o = as_object();
+  const auto it = o.find(key);
+  if (it == o.end()) throw JsonError("json: missing key '" + key + "'");
+  return it->second;
+}
+
+bool JsonValue::contains(const std::string& key) const {
+  const auto* o = std::get_if<JsonObject>(&value_);
+  return o != nullptr && o->count(key) > 0;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void escape_to(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\b':
+        os << "\\b";
+        break;
+      case '\f':
+        os << "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          os << buf;
+        } else {
+          os << ch;
+        }
+    }
+  }
+  os << '"';
+}
+
+void number_to(std::ostringstream& os, double d) {
+  if (!std::isfinite(d)) throw JsonError("json: non-finite number");
+  // Integers are emitted without a fractional part for readability.
+  if (d == std::floor(d) && std::abs(d) < 1e15) {
+    os << static_cast<long long>(d);
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  os << buf;
+}
+
+struct Dumper {
+  std::ostringstream os;
+  int indent;
+
+  void newline(int depth) {
+    if (indent <= 0) return;
+    os << '\n' << std::string(static_cast<std::size_t>(indent * depth), ' ');
+  }
+
+  void dump(const JsonValue& v, int depth) {
+    if (v.is_null()) {
+      os << "null";
+    } else if (v.is_bool()) {
+      os << (v.as_bool() ? "true" : "false");
+    } else if (v.is_number()) {
+      number_to(os, v.as_number());
+    } else if (v.is_string()) {
+      escape_to(os, v.as_string());
+    } else if (v.is_array()) {
+      const JsonArray& a = v.as_array();
+      if (a.empty()) {
+        os << "[]";
+        return;
+      }
+      os << '[';
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (i > 0) os << (indent > 0 ? "," : ",");
+        newline(depth + 1);
+        dump(a[i], depth + 1);
+      }
+      newline(depth);
+      os << ']';
+    } else {
+      const JsonObject& o = v.as_object();
+      if (o.empty()) {
+        os << "{}";
+        return;
+      }
+      os << '{';
+      bool first = true;
+      for (const auto& [key, val] : o) {
+        if (!first) os << ',';
+        first = false;
+        newline(depth + 1);
+        escape_to(os, key);
+        os << (indent > 0 ? ": " : ":");
+        dump(val, depth + 1);
+      }
+      newline(depth);
+      os << '}';
+    }
+  }
+};
+
+}  // namespace
+
+std::string JsonValue::dump(int indent) const {
+  Dumper d;
+  d.indent = indent;
+  d.dump(*this, 0);
+  return d.os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    skip_ws();
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+
+  [[noreturn]] void fail(const std::string& what) {
+    throw JsonError("json parse error at offset " + std::to_string(pos_) +
+                    ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t len = std::char_traits<char>::length(lit);
+    if (text_.compare(pos_, len, lit) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return JsonValue(parse_string());
+    if (c == 't') {
+      if (consume_literal("true")) return JsonValue(true);
+      fail("bad literal");
+    }
+    if (c == 'f') {
+      if (consume_literal("false")) return JsonValue(false);
+      fail("bad literal");
+    }
+    if (c == 'n') {
+      if (consume_literal("null")) return JsonValue(nullptr);
+      fail("bad literal");
+    }
+    return parse_number();
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonObject o;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(o));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      o[std::move(key)] = parse_value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return JsonValue(std::move(o));
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonArray a;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(a));
+    }
+    while (true) {
+      a.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return JsonValue(std::move(a));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs unsupported —
+          // the interchange format never emits them).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("bad escape character");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string token = text_.substr(start, pos_ - start);
+    try {
+      std::size_t used = 0;
+      const double d = std::stod(token, &used);
+      if (used != token.size()) fail("bad number '" + token + "'");
+      return JsonValue(d);
+    } catch (const std::logic_error&) {
+      fail("bad number '" + token + "'");
+    }
+  }
+};
+
+}  // namespace
+
+JsonValue parse_json(const std::string& text) {
+  Parser p(text);
+  return p.parse_document();
+}
+
+}  // namespace mecsc::util

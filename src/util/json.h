@@ -1,0 +1,90 @@
+// Minimal JSON value model, parser, and serializer.
+//
+// Substrate for the instance/solution interchange format (core/io.h) and
+// the mecsc CLI: experiments can be generated once, solved by different
+// algorithm configurations, and evaluated elsewhere. Self-contained (no
+// third-party dependency), supports the full JSON grammar except for
+// numbers outside double range.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace mecsc::util {
+
+class JsonValue;
+
+using JsonArray = std::vector<JsonValue>;
+/// std::map keeps keys sorted, making serialization deterministic.
+using JsonObject = std::map<std::string, JsonValue>;
+
+/// Thrown by the parser (with position info) and by typed accessors.
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One JSON value: null, bool, number, string, array, or object.
+class JsonValue {
+ public:
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}
+  JsonValue(bool b) : value_(b) {}
+  JsonValue(double d) : value_(d) {}
+  JsonValue(int i) : value_(static_cast<double>(i)) {}
+  JsonValue(long long i) : value_(static_cast<double>(i)) {}
+  JsonValue(std::size_t i) : value_(static_cast<double>(i)) {}
+  JsonValue(const char* s) : value_(std::string(s)) {}
+  JsonValue(std::string s) : value_(std::move(s)) {}
+  JsonValue(JsonArray a) : value_(std::move(a)) {}
+  JsonValue(JsonObject o) : value_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(value_); }
+  bool is_object() const { return std::holds_alternative<JsonObject>(value_); }
+
+  /// Typed accessors; throw JsonError on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  const JsonObject& as_object() const;
+  JsonArray& as_array();
+  JsonObject& as_object();
+
+  /// Object member access; throws JsonError when absent or not an object.
+  const JsonValue& at(const std::string& key) const;
+
+  /// True when this is an object containing `key`.
+  bool contains(const std::string& key) const;
+
+  /// Convenience typed lookups with mandatory presence.
+  double number_at(const std::string& key) const { return at(key).as_number(); }
+  const std::string& string_at(const std::string& key) const {
+    return at(key).as_string();
+  }
+
+  /// Serializes; `indent` > 0 pretty-prints with that many spaces per level.
+  std::string dump(int indent = 0) const;
+
+  bool operator==(const JsonValue& other) const { return value_ == other.value_; }
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      value_;
+};
+
+/// Parses a complete JSON document; throws JsonError with the byte offset
+/// of the first problem. Trailing non-whitespace is an error.
+JsonValue parse_json(const std::string& text);
+
+}  // namespace mecsc::util

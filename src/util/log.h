@@ -1,0 +1,48 @@
+// Minimal leveled logging. Experiments run quiet by default; set the level
+// to Debug to trace algorithm internals (best-response steps, LP pivots).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mecsc::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the global minimum level that is actually emitted.
+void set_log_level(LogLevel level);
+
+/// Current global level.
+LogLevel log_level();
+
+/// Emits one line to stderr if `level` >= the global level.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, os_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+/// Stream-style helpers: LOG_INFO() << "solved in " << t << "s";
+#define MECSC_LOG(level) ::mecsc::util::detail::LogStream(level)
+#define LOG_DEBUG() MECSC_LOG(::mecsc::util::LogLevel::Debug)
+#define LOG_INFO() MECSC_LOG(::mecsc::util::LogLevel::Info)
+#define LOG_WARN() MECSC_LOG(::mecsc::util::LogLevel::Warn)
+#define LOG_ERROR() MECSC_LOG(::mecsc::util::LogLevel::Error)
+
+}  // namespace mecsc::util

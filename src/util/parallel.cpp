@@ -1,0 +1,50 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+namespace mecsc::util {
+
+std::size_t default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : hw;
+}
+
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t threads) {
+  if (count == 0) return;
+  std::size_t workers =
+      threads == 0 ? default_thread_count() : threads;
+  workers = std::min(workers, count);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace mecsc::util

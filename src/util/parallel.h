@@ -1,0 +1,38 @@
+// Minimal data-parallel helpers for the experiment harness.
+//
+// Benches repeat independent seeded experiments; parallel_for fans them out
+// across hardware threads while keeping results deterministic (each index
+// writes only its own slot, and all randomness is derived from per-index
+// seeds, never from thread identity or timing).
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace mecsc::util {
+
+/// Number of worker threads parallel_for uses by default.
+std::size_t default_thread_count();
+
+/// Runs fn(i) for every i in [0, count) across up to `threads` threads
+/// (0 = default_thread_count()). Blocks until all complete. If any
+/// invocation throws, one of the exceptions is rethrown after all workers
+/// finish. fn must be safe to call concurrently for distinct i.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                  std::size_t threads = 0);
+
+/// Maps fn over [0, count), collecting results in index order.
+/// fn must return a default-constructible, movable T.
+template <typename T, typename Fn>
+std::vector<T> parallel_map(std::size_t count, Fn&& fn,
+                            std::size_t threads = 0) {
+  std::vector<T> out(count);
+  parallel_for(
+      count, [&](std::size_t i) { out[i] = fn(i); }, threads);
+  return out;
+}
+
+}  // namespace mecsc::util

@@ -1,0 +1,130 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace mecsc::util {
+
+std::uint64_t splitmix64_next(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = splitmix64_next(sm);
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>((*this)());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = max() - max() % range;
+  std::uint64_t x;
+  do {
+    x = (*this)();
+  } while (x >= limit);
+  return lo + static_cast<std::int64_t>(x % range);
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  assert(lo <= hi);
+  // 53 random mantissa bits -> uniform in [0, 1).
+  const double u =
+      static_cast<double>((*this)() >> 11) * (1.0 / 9007199254740992.0);
+  return lo + u * (hi - lo);
+}
+
+bool Rng::bernoulli(double p) { return uniform_real(0.0, 1.0) < p; }
+
+double Rng::exponential(double lambda) {
+  assert(lambda > 0.0);
+  double u;
+  do {
+    u = uniform_real(0.0, 1.0);
+  } while (u <= 0.0);
+  return -std::log(u) / lambda;
+}
+
+double Rng::normal(double mean, double stddev) {
+  // Marsaglia polar method; one value per call keeps the stream simple to
+  // reason about (no hidden cached spare).
+  double u, v, s;
+  do {
+    u = uniform_real(-1.0, 1.0);
+    v = uniform_real(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  return mean + stddev * u * std::sqrt(-2.0 * std::log(s) / s);
+}
+
+std::int64_t Rng::zipf(std::int64_t n, double s) {
+  assert(n >= 1);
+  if (zipf_n_ != n || zipf_s_ != s) {
+    zipf_cdf_.assign(static_cast<std::size_t>(n), 0.0);
+    double acc = 0.0;
+    for (std::int64_t k = 1; k <= n; ++k) {
+      acc += 1.0 / std::pow(static_cast<double>(k), s);
+      zipf_cdf_[static_cast<std::size_t>(k - 1)] = acc;
+    }
+    for (auto& c : zipf_cdf_) c /= acc;
+    zipf_n_ = n;
+    zipf_s_ = s;
+  }
+  const double u = uniform_real(0.0, 1.0);
+  // Binary search for the first CDF entry >= u.
+  std::size_t lo = 0, hi = zipf_cdf_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (zipf_cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return static_cast<std::int64_t>(lo) + 1;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  assert(k <= n);
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  // Partial Fisher-Yates: only the first k positions need to be randomized.
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto j = static_cast<std::size_t>(uniform_int(
+        static_cast<std::int64_t>(i), static_cast<std::int64_t>(n) - 1));
+    using std::swap;
+    swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+Rng Rng::split() { return Rng((*this)()); }
+
+}  // namespace mecsc::util

@@ -1,0 +1,92 @@
+// Streaming and batch statistics used by the benchmark harness to aggregate
+// repeated experiment runs (mean, variance, confidence intervals,
+// percentiles, histograms).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mecsc::util {
+
+/// Welford streaming accumulator: numerically stable mean/variance without
+/// storing samples.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double x);
+
+  /// Number of observations added so far.
+  std::size_t count() const { return n_; }
+
+  /// Sample mean; 0 when empty.
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+  /// Unbiased sample variance; 0 with fewer than two observations.
+  double variance() const;
+
+  /// Sample standard deviation.
+  double stddev() const;
+
+  /// Smallest / largest observation; 0 when empty.
+  double min() const { return n_ == 0 ? 0.0 : min_; }
+  double max() const { return n_ == 0 ? 0.0 : max_; }
+
+  /// Half-width of the normal-approximation 95% confidence interval of the
+  /// mean (1.96 * stddev / sqrt(n)); 0 with fewer than two observations.
+  double ci95_halfwidth() const;
+
+  /// Merges another accumulator into this one (parallel aggregation).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary over an explicit sample vector.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a Summary. The input is copied and sorted internally.
+Summary summarize(std::vector<double> samples);
+
+/// Linear-interpolation percentile of a *sorted* sample vector;
+/// q in [0, 100]. Returns 0 for an empty vector.
+double percentile_sorted(const std::vector<double>& sorted, double q);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets; values outside
+/// the range are clamped into the first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t total() const { return total_; }
+  const std::vector<std::size_t>& buckets() const { return counts_; }
+
+  /// Lower edge of bucket b.
+  double bucket_lo(std::size_t b) const;
+
+  /// Renders a compact ASCII bar chart (one line per bucket).
+  std::string to_string() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace mecsc::util

@@ -1,0 +1,56 @@
+// Fixed-width text tables and CSV emission. Every bench binary prints its
+// figure/table through this module so the output format is uniform and easy
+// to diff against EXPERIMENTS.md.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace mecsc::util {
+
+/// One table cell: text, integer, or real.
+using Cell = std::variant<std::string, long long, double>;
+
+/// A simple column-aligned table builder.
+///
+/// Usage:
+///   Table t({"size", "LCF", "JoOffloadCache"});
+///   t.add_row({50LL, 1.23, 4.56});
+///   std::cout << t.to_string();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; the row must have exactly as many cells as there are
+  /// headers.
+  void add_row(std::vector<Cell> row);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return headers_.size(); }
+
+  /// Pretty fixed-width rendering with a header separator.
+  std::string to_string() const;
+
+  /// RFC-4180-ish CSV rendering (quotes cells containing separators).
+  std::string to_csv() const;
+
+  /// Number of decimal places used for double cells (default 3).
+  void set_precision(int digits) { precision_ = digits; }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 3;
+};
+
+/// Formats a double with fixed precision (helper shared with benches).
+std::string format_double(double v, int precision);
+
+/// Prints a titled section banner around a table to the given stream:
+/// used by bench binaries to label each sub-figure.
+void print_section(std::ostream& os, const std::string& title,
+                   const Table& table);
+
+}  // namespace mecsc::util

@@ -1,0 +1,175 @@
+#include "core/appro.h"
+
+#include <gtest/gtest.h>
+
+#include "core/social_optimum.h"
+#include "util/rng.h"
+
+namespace mecsc::core {
+namespace {
+
+Instance make(std::uint64_t seed, std::size_t network = 80,
+              std::size_t providers = 40) {
+  util::Rng rng(seed);
+  InstanceParams p;
+  p.network_size = network;
+  p.provider_count = providers;
+  return generate_instance(p, rng);
+}
+
+ApproOptions literal_mode() {
+  ApproOptions options;
+  options.congestion_aware = false;  // Algorithm 1 exactly as written
+  return options;
+}
+
+TEST(Appro, SolutionIsFeasibleBothModes) {
+  // Lemma 1: the Appro solution is feasible.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Instance inst = make(seed);
+    const ApproResult aware = run_appro(inst);
+    EXPECT_TRUE(aware.assignment.feasible()) << "seed " << seed;
+    const ApproResult literal = run_appro(inst, literal_mode());
+    EXPECT_TRUE(literal.assignment.feasible()) << "seed " << seed;
+    EXPECT_EQ(literal.evicted_to_remote, 0u)
+        << "single-instance virtual cloudlets never overload";
+  }
+}
+
+TEST(Appro, LiteralModeRespectsSlotCounts) {
+  const Instance inst = make(2);
+  const ApproResult r = run_appro(inst, literal_mode());
+  for (CloudletId i = 0; i < inst.cloudlet_count(); ++i) {
+    EXPECT_LE(r.assignment.occupancy(i), r.split.slots[i]);
+  }
+}
+
+TEST(Appro, CongestionAwareModeNoWorseSocially) {
+  // The strengthened default optimizes the true social cost over a superset
+  // of the literal mode's feasible placements; summed over seeds it must not
+  // lose.
+  double aware = 0.0, literal = 0.0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Instance inst = make(seed);
+    aware += run_appro(inst).assignment.social_cost();
+    literal += run_appro(inst, literal_mode()).assignment.social_cost();
+  }
+  EXPECT_LE(aware, literal * 1.001);
+}
+
+TEST(Appro, CongestionAwareInternalizesExternalities) {
+  // In the congestion-aware placement, no single reassignment of one cached
+  // provider to the remote tier may lower the *social* cost (the solver
+  // already weighed each provider's marginal congestion).
+  const Instance inst = make(12);
+  const ApproResult r = run_appro(inst);
+  const double base = r.assignment.social_cost();
+  for (ProviderId l = 0; l < inst.provider_count(); ++l) {
+    if (r.assignment.choice(l) == kRemote) continue;
+    Assignment moved = r.assignment;
+    moved.move(l, kRemote);
+    EXPECT_GE(moved.social_cost(), base - 1e-9) << "provider " << l;
+  }
+}
+
+TEST(Appro, FlatCostIsOptimalForRestrictedProblem) {
+  // The transportation inner solver is exact for the congestion-free slotted
+  // problem, so no other slot-respecting placement can have lower flat cost.
+  // Spot-check against random slot-respecting placements.
+  const Instance inst = make(3, 60, 20);
+  const ApproResult r = run_appro(inst, literal_mode());
+  util::Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::size_t> used(inst.cloudlet_count(), 0);
+    double flat = 0.0;
+    for (ProviderId l = 0; l < inst.provider_count(); ++l) {
+      const auto pick = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(inst.cloudlet_count())));
+      if (pick < inst.cloudlet_count() && used[pick] < r.split.slots[pick] &&
+          demand_fits(inst, l, pick)) {
+        ++used[pick];
+        flat += flat_cache_cost(inst, l, pick);
+      } else {
+        flat += remote_cost(inst, l);
+      }
+    }
+    EXPECT_GE(flat, r.flat_cost - 1e-9);
+  }
+}
+
+TEST(Appro, ShmoysTardosPathAlsoFeasible) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Instance inst = make(seed, 50, 15);
+    ApproOptions options;
+    options.solver = ApproOptions::InnerSolver::ShmoysTardos;
+    const ApproResult r = run_appro(inst, options);
+    EXPECT_TRUE(r.assignment.feasible()) << "seed " << seed;
+    ASSERT_TRUE(r.lp_bound.has_value());
+    EXPECT_GE(*r.lp_bound, 0.0);
+  }
+}
+
+TEST(Appro, TwoSolversAgreeOnEasyInstances) {
+  // With ample capacity both inner solvers place every provider at its
+  // cheapest flat option; costs should match closely.
+  const Instance inst = make(11, 60, 10);
+  ApproOptions st;
+  st.solver = ApproOptions::InnerSolver::ShmoysTardos;
+  const ApproResult a = run_appro(inst, literal_mode());
+  const ApproResult b = run_appro(inst, st);
+  EXPECT_NEAR(a.flat_cost, b.flat_cost, 0.05 * a.flat_cost);
+}
+
+TEST(Appro, Lemma2ApproximationRatioHolds) {
+  // C < 2·δ·κ·OPT (Lemma 2), with OPT the exact congestion-aware optimum.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Instance inst = make(seed, 50, 8);
+    const ApproResult r = run_appro(inst);
+    const SocialOptimumResult opt = solve_social_optimum(inst);
+    ASSERT_TRUE(opt.proven_optimal);
+    const double delta = r.split.delta_max(inst);
+    const double kappa = r.split.kappa_max(inst);
+    EXPECT_LT(r.assignment.social_cost(),
+              2.0 * delta * kappa * opt.cost + 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(Appro, EmptyProviderSetTrivial) {
+  Instance inst = make(4);
+  inst.providers.clear();
+  const ApproResult r = run_appro(inst);
+  EXPECT_DOUBLE_EQ(r.flat_cost, 0.0);
+  EXPECT_TRUE(r.assignment.feasible());
+}
+
+TEST(Appro, ScarceSlotsSendSomeProvidersRemote) {
+  // Shrink slots by inflating a_max so not everyone can cache.
+  const Instance inst = make(5, 60, 50);
+  ApproOptions options;
+  options.a_max_override = inst.max_compute_demand() * 8.0;
+  const ApproResult r = run_appro(inst, options);
+  std::size_t remote = 0;
+  for (ProviderId l = 0; l < inst.provider_count(); ++l) {
+    if (r.assignment.choice(l) == kRemote) ++remote;
+  }
+  EXPECT_GT(remote, 0u);
+  EXPECT_TRUE(r.assignment.feasible());
+}
+
+TEST(Appro, CachedChoicesBeatRemoteUnderFlatCost) {
+  // The exact transportation solution would never cache a provider whose
+  // flat cache cost exceeds its remote cost (the remote group is always
+  // open).
+  const Instance inst = make(6);
+  const ApproResult r = run_appro(inst, literal_mode());
+  for (ProviderId l = 0; l < inst.provider_count(); ++l) {
+    const std::size_t c = r.assignment.choice(l);
+    if (c != kRemote) {
+      EXPECT_LE(flat_cache_cost(inst, l, c), remote_cost(inst, l) + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mecsc::core

@@ -1,0 +1,175 @@
+#include "core/assignment.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace mecsc::core {
+namespace {
+
+Instance make(std::uint64_t seed = 1, std::size_t providers = 25) {
+  util::Rng rng(seed);
+  InstanceParams p;
+  p.network_size = 80;
+  p.provider_count = providers;
+  return generate_instance(p, rng);
+}
+
+TEST(Assignment, StartsAllRemote) {
+  const Instance inst = make();
+  const Assignment a(inst);
+  for (ProviderId l = 0; l < inst.provider_count(); ++l) {
+    EXPECT_EQ(a.choice(l), kRemote);
+  }
+  for (CloudletId i = 0; i < inst.cloudlet_count(); ++i) {
+    EXPECT_EQ(a.occupancy(i), 0u);
+  }
+  EXPECT_TRUE(a.feasible());
+}
+
+TEST(Assignment, MoveUpdatesOccupancyAndLoads) {
+  const Instance inst = make(2);
+  Assignment a(inst);
+  const double c0 = a.compute_left(0);
+  const double b0 = a.bandwidth_left(0);
+  ASSERT_TRUE(a.can_move(0, 0));
+  a.move(0, 0);
+  EXPECT_EQ(a.choice(0), 0u);
+  EXPECT_EQ(a.occupancy(0), 1u);
+  EXPECT_NEAR(a.compute_left(0), c0 - inst.providers[0].compute_demand(),
+              1e-9);
+  EXPECT_NEAR(a.bandwidth_left(0), b0 - inst.providers[0].bandwidth_demand(),
+              1e-9);
+  a.move(0, kRemote);
+  EXPECT_EQ(a.occupancy(0), 0u);
+  EXPECT_NEAR(a.compute_left(0), c0, 1e-9);
+  EXPECT_NEAR(a.bandwidth_left(0), b0, 1e-9);
+}
+
+TEST(Assignment, MoveBetweenCloudlets) {
+  const Instance inst = make(3);
+  Assignment a(inst);
+  a.move(0, 0);
+  ASSERT_TRUE(a.can_move(0, 1));
+  a.move(0, 1);
+  EXPECT_EQ(a.occupancy(0), 0u);
+  EXPECT_EQ(a.occupancy(1), 1u);
+  EXPECT_EQ(a.choice(0), 1u);
+}
+
+TEST(Assignment, MoveToSelfIsNoop) {
+  const Instance inst = make(4);
+  Assignment a(inst);
+  a.move(0, 0);
+  a.move(0, 0);
+  EXPECT_EQ(a.occupancy(0), 1u);
+}
+
+TEST(Assignment, CanMoveRejectsOverload) {
+  Instance inst = make(5, 4);
+  // Make provider 0 consume the entire cloudlet 0 compute capacity.
+  inst.providers[0].compute_per_request =
+      inst.network.cloudlets()[0].compute_capacity;
+  inst.providers[0].requests = 1;
+  inst.providers[1].compute_per_request =
+      inst.network.cloudlets()[0].compute_capacity;
+  inst.providers[1].requests = 1;
+  Assignment a(inst);
+  ASSERT_TRUE(a.can_move(0, 0));
+  a.move(0, 0);
+  EXPECT_FALSE(a.can_move(1, 0));
+  EXPECT_TRUE(a.can_move(1, kRemote));
+}
+
+TEST(Assignment, ProviderCostMatchesCostModel) {
+  const Instance inst = make(6);
+  Assignment a(inst);
+  EXPECT_NEAR(a.provider_cost(0), remote_cost(inst, 0), 1e-12);
+  a.move(0, 2);
+  a.move(1, 2);
+  EXPECT_NEAR(a.provider_cost(0), cache_cost(inst, 0, 2, 2), 1e-12);
+  EXPECT_NEAR(a.provider_cost(1), cache_cost(inst, 1, 2, 2), 1e-12);
+}
+
+TEST(Assignment, ProviderCostIfSimulatesJoin) {
+  const Instance inst = make(7);
+  Assignment a(inst);
+  a.move(0, 1);
+  // Provider 1 evaluating cloudlet 1 sees occupancy 2 (tenant + itself).
+  EXPECT_NEAR(a.provider_cost_if(1, 1), cache_cost(inst, 1, 1, 2), 1e-12);
+  // Evaluating an empty cloudlet sees occupancy 1.
+  EXPECT_NEAR(a.provider_cost_if(1, 0), cache_cost(inst, 1, 0, 1), 1e-12);
+  EXPECT_NEAR(a.provider_cost_if(1, kRemote), remote_cost(inst, 1), 1e-12);
+  // provider_cost_if at the current choice equals provider_cost.
+  EXPECT_NEAR(a.provider_cost_if(0, 1), a.provider_cost(0), 1e-12);
+}
+
+TEST(Assignment, SocialCostIsSumOfProviderCosts) {
+  const Instance inst = make(8);
+  Assignment a(inst);
+  for (ProviderId l = 0; l < inst.provider_count(); ++l) {
+    if (a.can_move(l, l % inst.cloudlet_count())) {
+      a.move(l, l % inst.cloudlet_count());
+    }
+  }
+  double sum = 0.0;
+  for (ProviderId l = 0; l < inst.provider_count(); ++l) {
+    sum += a.provider_cost(l);
+  }
+  EXPECT_NEAR(a.social_cost(), sum, 1e-9);
+}
+
+TEST(Assignment, PotentialTracksUnilateralMovesExactly) {
+  // The defining property of an exact potential function: for any unilateral
+  // deviation, ΔΦ == Δcost of the mover.
+  const Instance inst = make(9);
+  util::Rng rng(99);
+  Assignment a(inst);
+  // Random warm-up placement.
+  for (ProviderId l = 0; l < inst.provider_count(); ++l) {
+    const auto t = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(inst.cloudlet_count())));
+    if (t < inst.cloudlet_count() && a.can_move(l, t)) a.move(l, t);
+  }
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto l = static_cast<ProviderId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(inst.provider_count()) - 1));
+    auto target = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(inst.cloudlet_count())));
+    if (target >= inst.cloudlet_count()) target = kRemote;
+    if (!a.can_move(l, target)) continue;
+    const double phi_before = a.potential();
+    const double cost_before = a.provider_cost(l);
+    const double cost_after_predicted = a.provider_cost_if(l, target);
+    a.move(l, target);
+    const double phi_after = a.potential();
+    const double cost_after = a.provider_cost(l);
+    EXPECT_NEAR(cost_after, cost_after_predicted, 1e-9);
+    EXPECT_NEAR(phi_after - phi_before, cost_after - cost_before, 1e-9);
+  }
+}
+
+TEST(Assignment, TenantsListsExactlyResidents) {
+  const Instance inst = make(10);
+  Assignment a(inst);
+  a.move(0, 3);
+  a.move(2, 3);
+  a.move(4, 1);
+  const auto t3 = a.tenants(3);
+  EXPECT_EQ(t3, (std::vector<ProviderId>{0, 2}));
+  EXPECT_EQ(a.tenants(1), (std::vector<ProviderId>{4}));
+  EXPECT_TRUE(a.tenants(0).empty());
+}
+
+TEST(Assignment, EqualityComparesChoices) {
+  const Instance inst = make(11);
+  Assignment a(inst), b(inst);
+  EXPECT_TRUE(a == b);
+  a.move(0, 0);
+  EXPECT_FALSE(a == b);
+  b.move(0, 0);
+  EXPECT_TRUE(a == b);
+}
+
+}  // namespace
+}  // namespace mecsc::core

@@ -1,0 +1,110 @@
+#include "core/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "core/lcf.h"
+#include "util/rng.h"
+
+namespace mecsc::core {
+namespace {
+
+Instance make(std::uint64_t seed, std::size_t network = 100,
+              std::size_t providers = 60) {
+  util::Rng rng(seed);
+  InstanceParams p;
+  p.network_size = network;
+  p.provider_count = providers;
+  return generate_instance(p, rng);
+}
+
+TEST(JoObjective, ExcludesUpdateTerm) {
+  // The Jo objective must not depend on the update fraction (the paper:
+  // "the data updating however is not considered in [23]").
+  Instance inst = make(1);
+  const double before = jo_objective(inst, 0, 0);
+  inst.providers[0].update_fraction = 0.9;
+  EXPECT_DOUBLE_EQ(jo_objective(inst, 0, 0), before);
+  // But the real cost model does depend on it.
+  EXPECT_GE(fixed_cache_cost(inst, 0, 0), before - 1e-9);
+}
+
+TEST(JoOffloadCache, FeasibleAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Instance inst = make(seed);
+    const Assignment a = run_jo_offload_cache(inst);
+    EXPECT_TRUE(a.feasible()) << "seed " << seed;
+  }
+}
+
+TEST(JoOffloadCache, CachesOnlyWhenItsObjectiveSaysSo) {
+  const Instance inst = make(2);
+  const Assignment a = run_jo_offload_cache(inst);
+  for (ProviderId l = 0; l < inst.provider_count(); ++l) {
+    const std::size_t c = a.choice(l);
+    if (c != kRemote) {
+      EXPECT_LT(jo_objective(inst, l, c), remote_cost(inst, l));
+    }
+  }
+}
+
+TEST(OffloadCache, FeasibleAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Instance inst = make(seed);
+    const Assignment a = run_offload_cache(inst);
+    EXPECT_TRUE(a.feasible()) << "seed " << seed;
+  }
+}
+
+TEST(OffloadCache, CachesAggressively) {
+  // OffloadCache never chooses remote while any cloudlet has room; with the
+  // default capacities everyone is cached.
+  const Instance inst = make(3);
+  const Assignment a = run_offload_cache(inst);
+  std::size_t cached = 0;
+  for (ProviderId l = 0; l < inst.provider_count(); ++l) {
+    if (a.choice(l) != kRemote) ++cached;
+  }
+  EXPECT_EQ(cached, inst.provider_count());
+}
+
+TEST(OffloadCache, PrefersUserRegion) {
+  const Instance inst = make(4, 100, 5);  // few providers: no contention
+  const Assignment a = run_offload_cache(inst);
+  for (ProviderId l = 0; l < inst.provider_count(); ++l) {
+    ASSERT_NE(a.choice(l), kRemote);
+    // With no contention, each provider sits at hop distance 0 from its
+    // user region.
+    EXPECT_DOUBLE_EQ(inst.network.cloudlet_to_cloudlet_hops(
+                         inst.providers[l].user_region, a.choice(l)),
+                     0.0);
+  }
+}
+
+TEST(Baselines, PaperOrderingHoldsOnAverage) {
+  // Fig. 2(a): LCF <= JoOffloadCache <= OffloadCache in social cost.
+  // Averaged over seeds (individual draws can tie or flip rarely).
+  double lcf = 0.0, jo = 0.0, oc = 0.0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Instance inst = make(seed);
+    LcfOptions options;
+    options.coordinated_fraction = 0.7;
+    lcf += run_lcf(inst, options).social_cost();
+    jo += run_jo_offload_cache(inst).social_cost();
+    oc += run_offload_cache(inst).social_cost();
+  }
+  EXPECT_LT(lcf, jo);
+  EXPECT_LT(jo, oc);
+}
+
+TEST(Baselines, DeterministicForFixedInstance) {
+  const Instance inst = make(5);
+  const Assignment a1 = run_jo_offload_cache(inst);
+  const Assignment a2 = run_jo_offload_cache(inst);
+  EXPECT_TRUE(a1 == a2);
+  const Assignment b1 = run_offload_cache(inst);
+  const Assignment b2 = run_offload_cache(inst);
+  EXPECT_TRUE(b1 == b2);
+}
+
+}  // namespace
+}  // namespace mecsc::core

@@ -1,0 +1,180 @@
+#include "core/congestion_game.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace mecsc::core {
+namespace {
+
+Instance make(std::uint64_t seed, std::size_t network = 80,
+              std::size_t providers = 30) {
+  util::Rng rng(seed);
+  InstanceParams p;
+  p.network_size = network;
+  p.provider_count = providers;
+  return generate_instance(p, rng);
+}
+
+std::vector<bool> all_movable(const Instance& inst) {
+  return std::vector<bool>(inst.provider_count(), true);
+}
+
+TEST(BestResponse, ReturnsCurrentWhenNoImprovement) {
+  const Instance inst = make(1);
+  Assignment a(inst);
+  // Move provider 0 to its globally best option manually.
+  std::size_t best = kRemote;
+  double best_cost = remote_cost(inst, 0);
+  for (CloudletId i = 0; i < inst.cloudlet_count(); ++i) {
+    if (cache_cost(inst, 0, i, 1) < best_cost && demand_fits(inst, 0, i)) {
+      best = i;
+      best_cost = cache_cost(inst, 0, i, 1);
+    }
+  }
+  if (best != kRemote) a.move(0, best);
+  EXPECT_EQ(best_response(a, 0), a.choice(0));
+}
+
+TEST(BestResponse, FindsStrictlyBetterSeat) {
+  const Instance inst = make(2);
+  Assignment a(inst);  // provider 0 remote
+  const std::size_t target = best_response(a, 0);
+  if (target != kRemote) {
+    EXPECT_LT(a.provider_cost_if(0, target), a.provider_cost(0));
+  }
+}
+
+TEST(BestResponse, IgnoresFullCloudlets) {
+  Instance inst = make(3, 60, 3);
+  // Providers 0 and 1 each fill a cloudlet completely.
+  for (ProviderId l = 0; l < 2; ++l) {
+    inst.providers[l].compute_per_request =
+        inst.network.cloudlets()[l].compute_capacity;
+    inst.providers[l].requests = 1;
+  }
+  // Provider 2 fits nowhere but cloudlet 2+ (cloudlets 0,1 are full).
+  Assignment a(inst);
+  a.move(0, 0);
+  a.move(1, 1);
+  const std::size_t t = best_response(a, 2);
+  EXPECT_NE(t, 0u);
+  EXPECT_NE(t, 1u);
+}
+
+TEST(Dynamics, ConvergesToNash) {
+  // Lemma 3: at least one NE exists and best-response reaches it.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Instance inst = make(seed);
+    const GameResult r =
+        best_response_dynamics(Assignment(inst), all_movable(inst));
+    EXPECT_TRUE(r.converged) << "seed " << seed;
+    EXPECT_TRUE(is_nash_equilibrium(r.assignment, all_movable(inst)))
+        << "seed " << seed;
+    EXPECT_TRUE(r.assignment.feasible());
+  }
+}
+
+TEST(Dynamics, PotentialDecreasesMonotonically) {
+  const Instance inst = make(9);
+  Assignment a(inst);
+  std::vector<bool> movable = all_movable(inst);
+  double phi = a.potential();
+  // Manual best-response loop mirroring the engine, checking Φ each move.
+  for (int round = 0; round < 100; ++round) {
+    bool any = false;
+    for (ProviderId l = 0; l < inst.provider_count(); ++l) {
+      const std::size_t t = best_response(a, l);
+      if (t != a.choice(l)) {
+        a.move(l, t);
+        const double phi2 = a.potential();
+        EXPECT_LT(phi2, phi + 1e-12);
+        phi = phi2;
+        any = true;
+      }
+    }
+    if (!any) break;
+  }
+  EXPECT_TRUE(is_nash_equilibrium(a, movable));
+}
+
+TEST(Dynamics, PinnedPlayersNeverMove) {
+  const Instance inst = make(10);
+  std::vector<bool> movable(inst.provider_count(), true);
+  for (ProviderId l = 0; l < inst.provider_count(); l += 2) {
+    movable[l] = false;  // pin even providers at remote
+  }
+  const GameResult r = best_response_dynamics(Assignment(inst), movable);
+  EXPECT_TRUE(r.converged);
+  for (ProviderId l = 0; l < inst.provider_count(); l += 2) {
+    EXPECT_EQ(r.assignment.choice(l), kRemote);
+  }
+}
+
+TEST(Dynamics, NoMovablePlayersConvergesImmediately) {
+  const Instance inst = make(11);
+  const GameResult r = best_response_dynamics(
+      Assignment(inst), std::vector<bool>(inst.provider_count(), false));
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.moves, 0u);
+  EXPECT_EQ(r.rounds, 1u);
+}
+
+TEST(Dynamics, ShuffledOrdersAlsoConverge) {
+  const Instance inst = make(12);
+  util::Rng rng(5);
+  BestResponseOptions options;
+  options.shuffle_rng = &rng;
+  const GameResult r =
+      best_response_dynamics(Assignment(inst), all_movable(inst), options);
+  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(is_nash_equilibrium(r.assignment, all_movable(inst)));
+}
+
+TEST(Dynamics, EquilibriumCostAtLeastBestCaseBound) {
+  // Sanity: at NE each provider pays at most its remote cost (it could
+  // always deviate to remote).
+  const Instance inst = make(13);
+  const GameResult r =
+      best_response_dynamics(Assignment(inst), all_movable(inst));
+  ASSERT_TRUE(r.converged);
+  for (ProviderId l = 0; l < inst.provider_count(); ++l) {
+    EXPECT_LE(r.assignment.provider_cost(l), remote_cost(inst, l) + 1e-9);
+  }
+}
+
+TEST(IsNash, DetectsNonEquilibrium) {
+  const Instance inst = make(14);
+  Assignment a(inst);  // everyone remote: usually some cloudlet is tempting
+  const GameResult r = best_response_dynamics(a, all_movable(inst));
+  if (r.moves > 0) {
+    EXPECT_FALSE(is_nash_equilibrium(a, all_movable(inst)));
+  }
+}
+
+class DynamicsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DynamicsSweep, NashInvariantsAcrossSeeds) {
+  const Instance inst =
+      make(static_cast<std::uint64_t>(GetParam()) + 100, 70, 25);
+  const GameResult r =
+      best_response_dynamics(Assignment(inst), all_movable(inst));
+  ASSERT_TRUE(r.converged);
+  const Assignment& a = r.assignment;
+  EXPECT_TRUE(a.feasible());
+  // No feasible unilateral deviation improves any provider.
+  for (ProviderId l = 0; l < inst.provider_count(); ++l) {
+    const double mine = a.provider_cost(l);
+    EXPECT_LE(mine, remote_cost(inst, l) + 1e-9);
+    for (CloudletId i = 0; i < inst.cloudlet_count(); ++i) {
+      if (i != a.choice(l) && a.can_move(l, i)) {
+        EXPECT_GE(a.provider_cost_if(l, i), mine - 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicsSweep, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace mecsc::core

@@ -1,0 +1,189 @@
+#include "core/congestion_model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/appro.h"
+#include "core/congestion_game.h"
+#include "core/social_optimum.h"
+#include "util/rng.h"
+
+namespace mecsc::core {
+namespace {
+
+const CongestionKind kAllKinds[] = {
+    CongestionKind::Linear, CongestionKind::Quadratic,
+    CongestionKind::Exponential, CongestionKind::Harmonic};
+
+TEST(CongestionShape, NormalizedAtOne) {
+  // f(1) = 1 for every shape, so Eq. (9)'s congestion-free cost is
+  // shape-independent.
+  for (const auto kind : kAllKinds) {
+    EXPECT_DOUBLE_EQ(congestion_shape(kind, 1), 1.0)
+        << congestion_kind_name(kind);
+  }
+}
+
+TEST(CongestionShape, NonDecreasing) {
+  // The paper's only requirement on the model.
+  for (const auto kind : kAllKinds) {
+    for (std::size_t k = 1; k < 30; ++k) {
+      EXPECT_LE(congestion_shape(kind, k), congestion_shape(kind, k + 1))
+          << congestion_kind_name(kind) << " at k=" << k;
+    }
+  }
+}
+
+TEST(CongestionShape, KnownValues) {
+  EXPECT_DOUBLE_EQ(congestion_shape(CongestionKind::Linear, 5), 5.0);
+  EXPECT_DOUBLE_EQ(congestion_shape(CongestionKind::Quadratic, 4), 16.0);
+  EXPECT_DOUBLE_EQ(congestion_shape(CongestionKind::Exponential, 3), 7.0);
+  EXPECT_NEAR(congestion_shape(CongestionKind::Harmonic, 3),
+              1.0 + 0.5 + 1.0 / 3.0, 1e-12);
+}
+
+TEST(CongestionShape, PrefixSumMatchesLoop) {
+  for (const auto kind : kAllKinds) {
+    double acc = 0.0;
+    for (std::size_t k = 1; k <= 25; ++k) {
+      acc += congestion_shape(kind, k);
+      EXPECT_NEAR(congestion_shape_prefix_sum(kind, k), acc, 1e-9)
+          << congestion_kind_name(kind) << " at k=" << k;
+    }
+    EXPECT_DOUBLE_EQ(congestion_shape_prefix_sum(kind, 0), 0.0);
+  }
+}
+
+TEST(CongestionShape, MarginalsTelescopeToSocialCongestion) {
+  // Σ_{j<=k} marginal(j) == k · f(k): the slot pricing reconstructs the
+  // quadratic (shape-weighted) social congestion term exactly.
+  for (const auto kind : kAllKinds) {
+    double acc = 0.0;
+    for (std::size_t k = 1; k <= 20; ++k) {
+      acc += congestion_shape_marginal(kind, k);
+      EXPECT_NEAR(acc, static_cast<double>(k) * congestion_shape(kind, k),
+                  1e-9)
+          << congestion_kind_name(kind);
+    }
+  }
+}
+
+TEST(CongestionShape, MarginalsNonDecreasing) {
+  // Required for the convex min-cost-flow formulation to be exact.
+  for (const auto kind : kAllKinds) {
+    for (std::size_t k = 1; k < 30; ++k) {
+      EXPECT_LE(congestion_shape_marginal(kind, k),
+                congestion_shape_marginal(kind, k + 1) + 1e-12)
+          << congestion_kind_name(kind) << " at k=" << k;
+    }
+  }
+}
+
+TEST(CongestionShape, Names) {
+  EXPECT_STREQ(congestion_kind_name(CongestionKind::Linear), "linear");
+  EXPECT_STREQ(congestion_kind_name(CongestionKind::Quadratic), "quadratic");
+  EXPECT_STREQ(congestion_kind_name(CongestionKind::Exponential),
+               "exponential");
+  EXPECT_STREQ(congestion_kind_name(CongestionKind::Harmonic), "harmonic");
+}
+
+// --- Game-theoretic properties carry over to every shape -------------------
+
+Instance make(std::uint64_t seed, CongestionKind kind) {
+  util::Rng rng(seed);
+  InstanceParams p;
+  p.network_size = 70;
+  p.provider_count = 25;
+  Instance inst = generate_instance(p, rng);
+  inst.cost.congestion = kind;
+  return inst;
+}
+
+class CongestionKindGameTest
+    : public ::testing::TestWithParam<CongestionKind> {};
+
+TEST_P(CongestionKindGameTest, PotentialIsExactForShape) {
+  const Instance inst = make(5, GetParam());
+  util::Rng rng(9);
+  Assignment a(inst);
+  for (int trial = 0; trial < 150; ++trial) {
+    const auto l = static_cast<ProviderId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(inst.provider_count()) - 1));
+    auto target = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(inst.cloudlet_count())));
+    if (target >= inst.cloudlet_count()) target = kRemote;
+    if (!a.can_move(l, target)) continue;
+    const double phi0 = a.potential();
+    const double c0 = a.provider_cost(l);
+    a.move(l, target);
+    EXPECT_NEAR(a.potential() - phi0, a.provider_cost(l) - c0, 1e-9)
+        << congestion_kind_name(GetParam());
+  }
+}
+
+TEST_P(CongestionKindGameTest, DynamicsConvergeToNash) {
+  const Instance inst = make(6, GetParam());
+  const std::vector<bool> movable(inst.provider_count(), true);
+  const GameResult r = best_response_dynamics(Assignment(inst), movable);
+  EXPECT_TRUE(r.converged) << congestion_kind_name(GetParam());
+  EXPECT_TRUE(is_nash_equilibrium(r.assignment, movable))
+      << congestion_kind_name(GetParam());
+}
+
+TEST_P(CongestionKindGameTest, ApproFeasibleAndInternalizing) {
+  const Instance inst = make(7, GetParam());
+  const ApproResult r = run_appro(inst);
+  EXPECT_TRUE(r.assignment.feasible());
+  // Removing any cached provider must not lower the social cost (the convex
+  // slot pricing already charged its exact marginal congestion).
+  const double base = r.assignment.social_cost();
+  for (ProviderId l = 0; l < inst.provider_count(); ++l) {
+    if (r.assignment.choice(l) == kRemote) continue;
+    Assignment moved = r.assignment;
+    moved.move(l, kRemote);
+    EXPECT_GE(moved.social_cost(), base - 1e-9)
+        << congestion_kind_name(GetParam()) << " provider " << l;
+  }
+}
+
+TEST_P(CongestionKindGameTest, ExactOptimumStillProven) {
+  util::Rng rng(8);
+  InstanceParams p;
+  p.network_size = 50;
+  p.provider_count = 7;
+  Instance inst = generate_instance(p, rng);
+  inst.cost.congestion = GetParam();
+  const SocialOptimumResult opt = solve_social_optimum(inst);
+  ASSERT_TRUE(opt.proven_optimal);
+  EXPECT_NEAR(opt.assignment.social_cost(), opt.cost, 1e-9);
+  // Appro must respect the Lemma-2-style bound against the exact optimum.
+  const ApproResult a = run_appro(inst);
+  EXPECT_GE(a.assignment.social_cost(), opt.cost - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, CongestionKindGameTest,
+    ::testing::Values(CongestionKind::Linear, CongestionKind::Quadratic,
+                      CongestionKind::Exponential, CongestionKind::Harmonic),
+    [](const ::testing::TestParamInfo<CongestionKind>& info) {
+      return congestion_kind_name(info.param);
+    });
+
+TEST(CongestionKinds, SharperShapesSpreadLoadWider) {
+  // With a steeper congestion penalty the equilibrium should use more
+  // distinct cloudlets (or cache less), never concentrate harder.
+  const Instance linear = make(11, CongestionKind::Linear);
+  Instance expo = linear;
+  expo.cost.congestion = CongestionKind::Exponential;
+  const std::vector<bool> movable(linear.provider_count(), true);
+  const auto ne_lin = best_response_dynamics(Assignment(linear), movable);
+  const auto ne_exp = best_response_dynamics(Assignment(expo), movable);
+  std::size_t peak_lin = 0, peak_exp = 0;
+  for (CloudletId i = 0; i < linear.cloudlet_count(); ++i) {
+    peak_lin = std::max(peak_lin, ne_lin.assignment.occupancy(i));
+    peak_exp = std::max(peak_exp, ne_exp.assignment.occupancy(i));
+  }
+  EXPECT_LE(peak_exp, peak_lin);
+}
+
+}  // namespace
+}  // namespace mecsc::core

@@ -1,0 +1,136 @@
+#include "core/delay_model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "core/lcf.h"
+#include "util/rng.h"
+
+namespace mecsc::core {
+namespace {
+
+Instance make(std::uint64_t seed, std::size_t providers = 30) {
+  util::Rng rng(seed);
+  InstanceParams p;
+  p.network_size = 80;
+  p.provider_count = providers;
+  return generate_instance(p, rng);
+}
+
+TEST(DelayModel, CoversEveryProvider) {
+  const Instance inst = make(1);
+  const Assignment a = run_offload_cache(inst);
+  const DelayReport r = evaluate_delay(a);
+  EXPECT_EQ(r.providers.size(), inst.provider_count());
+  EXPECT_EQ(r.cloudlet_utilization.size(), inst.cloudlet_count());
+}
+
+TEST(DelayModel, RemoteProvidersPayNetworkDistance) {
+  const Instance inst = make(2);
+  const Assignment a(inst);  // everyone remote
+  DelayParams params;
+  const DelayReport r = evaluate_delay(a, params);
+  for (const auto& d : r.providers) {
+    const ServiceProvider& p = inst.providers[d.provider];
+    const double hops =
+        inst.network.cloudlet_to_dc_hops(p.user_region, p.home_dc) + 1.0;
+    EXPECT_NEAR(d.network_delay_s, hops * params.per_hop_delay_s, 1e-12);
+    EXPECT_TRUE(d.stable);
+    EXPECT_GT(d.processing_delay_s, 0.0);
+  }
+  // No cloudlet load at all.
+  for (double u : r.cloudlet_utilization) EXPECT_DOUBLE_EQ(u, 0.0);
+  EXPECT_EQ(r.overloaded_providers, 0u);
+}
+
+TEST(DelayModel, UtilizationMatchesHandComputation) {
+  const Instance inst = make(3);
+  Assignment a(inst);
+  ASSERT_TRUE(a.can_move(0, 0));
+  a.move(0, 0);
+  DelayParams params;
+  const DelayReport r = evaluate_delay(a, params);
+  const double lambda =
+      static_cast<double>(inst.providers[0].requests) / params.horizon_s;
+  const double mu = params.per_vm_service_rate *
+                    inst.network.cloudlets()[0].compute_capacity;
+  EXPECT_NEAR(r.cloudlet_utilization[0], lambda / mu, 1e-12);
+}
+
+TEST(DelayModel, QueueingDelayGrowsWithLoad) {
+  const Instance inst = make(4);
+  Assignment light(inst), heavy(inst);
+  light.move(0, 0);
+  // Pile several providers on cloudlet 0.
+  for (ProviderId l = 0; l < 6; ++l) {
+    if (heavy.can_move(l, 0)) heavy.move(l, 0);
+  }
+  const DelayReport rl = evaluate_delay(light);
+  const DelayReport rh = evaluate_delay(heavy);
+  if (rh.providers[0].stable) {
+    EXPECT_GT(rh.providers[0].processing_delay_s,
+              rl.providers[0].processing_delay_s);
+  }
+}
+
+TEST(DelayModel, OverloadDetected) {
+  Instance inst = make(5);
+  // One provider with an absurd request rate cached at cloudlet 0.
+  inst.providers[0].requests = 1000000;
+  inst.providers[0].compute_per_request = 1e-9;  // fits capacity-wise
+  inst.providers[0].bandwidth_per_request = 1e-9;
+  Assignment a(inst);
+  ASSERT_TRUE(a.can_move(0, 0));
+  a.move(0, 0);
+  const DelayReport r = evaluate_delay(a);
+  EXPECT_FALSE(r.providers[0].stable);
+  EXPECT_GE(r.overloaded_providers, 1u);
+  EXPECT_GT(r.cloudlet_utilization[0], 1.0);
+}
+
+TEST(DelayModel, MeanIsRequestWeighted) {
+  const Instance inst = make(6, 2);
+  const Assignment a(inst);  // both remote, delays differ by distance only
+  const DelayReport r = evaluate_delay(a);
+  const auto& p0 = inst.providers[0];
+  const auto& p1 = inst.providers[1];
+  const double w0 = static_cast<double>(p0.requests);
+  const double w1 = static_cast<double>(p1.requests);
+  const double expect = (w0 * r.providers[0].total_s() +
+                         w1 * r.providers[1].total_s()) /
+                        (w0 + w1);
+  EXPECT_NEAR(r.mean_delay_s, expect, 1e-12);
+}
+
+TEST(DelayModel, CachingNearUsersCutsNetworkDelay) {
+  // LCF's cached providers sit closer to their users than the remote DC
+  // path on average.
+  const Instance inst = make(7, 50);
+  const LcfResult lcf = run_lcf(inst);
+  const DelayReport r = evaluate_delay(lcf.assignment);
+  double cached_net = 0.0, remote_net = 0.0;
+  std::size_t cached = 0, remote = 0;
+  for (const auto& d : r.providers) {
+    if (lcf.assignment.choice(d.provider) == kRemote) {
+      remote_net += d.network_delay_s;
+      ++remote;
+    } else {
+      cached_net += d.network_delay_s;
+      ++cached;
+    }
+  }
+  if (cached > 0 && remote > 0) {
+    EXPECT_LT(cached_net / static_cast<double>(cached),
+              remote_net / static_cast<double>(remote) * 1.5);
+  }
+}
+
+TEST(DelayModel, MaxAtLeastMean) {
+  const Instance inst = make(8);
+  const Assignment a = run_jo_offload_cache(inst);
+  const DelayReport r = evaluate_delay(a);
+  EXPECT_GE(r.max_delay_s, r.mean_delay_s - 1e-12);
+}
+
+}  // namespace
+}  // namespace mecsc::core

@@ -1,0 +1,137 @@
+#include "sim/emulation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "core/lcf.h"
+#include "util/rng.h"
+
+namespace mecsc::sim {
+namespace {
+
+struct Scenario {
+  core::Instance inst;
+  std::vector<Request> trace;
+};
+
+Scenario make(std::uint64_t seed, std::size_t providers = 15) {
+  util::Rng rng(seed);
+  core::InstanceParams p;
+  p.network_size = 60;
+  p.provider_count = providers;
+  Scenario s{core::generate_instance(p, rng), {}};
+  WorkloadParams w;
+  w.horizon_s = 20.0;
+  s.trace = generate_workload(s.inst, w, rng);
+  return s;
+}
+
+TEST(Emulation, ServesEveryRequest) {
+  const Scenario s = make(1);
+  const core::Assignment a = core::run_offload_cache(s.inst);
+  const EmulationResult r = replay(a, s.trace);
+  EXPECT_EQ(r.requests_served, s.trace.size());
+  EXPECT_EQ(r.request_latency_s.count, s.trace.size());
+}
+
+TEST(Emulation, LatenciesArePositiveAndOrdered) {
+  const Scenario s = make(2);
+  const core::Assignment a = core::run_offload_cache(s.inst);
+  const EmulationResult r = replay(a, s.trace);
+  EXPECT_GT(r.request_latency_s.min, 0.0);
+  EXPECT_LE(r.request_latency_s.min, r.request_latency_s.p50);
+  EXPECT_LE(r.request_latency_s.p50, r.request_latency_s.max);
+}
+
+TEST(Emulation, CostIsPositiveAndSumsPerProvider) {
+  const Scenario s = make(3);
+  const core::Assignment a = core::run_jo_offload_cache(s.inst);
+  const EmulationResult r = replay(a, s.trace);
+  double sum = 0.0;
+  for (double c : r.provider_cost) sum += c;
+  EXPECT_NEAR(r.measured_social_cost, sum, 1e-9);
+  EXPECT_GT(r.measured_social_cost, 0.0);
+}
+
+TEST(Emulation, AllRemotePlacementHasNoCloudletConcurrency) {
+  const Scenario s = make(4);
+  const core::Assignment a(s.inst);  // everyone remote
+  const EmulationResult r = replay(a, s.trace);
+  for (double c : r.avg_concurrency) EXPECT_DOUBLE_EQ(c, 0.0);
+  EXPECT_EQ(r.requests_served, s.trace.size());
+}
+
+TEST(Emulation, CachedPlacementShowsCloudletActivity) {
+  const Scenario s = make(5);
+  const core::Assignment a = core::run_offload_cache(s.inst);
+  const EmulationResult r = replay(a, s.trace);
+  double total = 0.0;
+  for (double c : r.avg_concurrency) total += c;
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(Emulation, DeterministicReplay) {
+  const Scenario s = make(6);
+  const core::Assignment a = core::run_offload_cache(s.inst);
+  const EmulationResult r1 = replay(a, s.trace);
+  const EmulationResult r2 = replay(a, s.trace);
+  EXPECT_DOUBLE_EQ(r1.measured_social_cost, r2.measured_social_cost);
+  EXPECT_DOUBLE_EQ(r1.request_latency_s.mean, r2.request_latency_s.mean);
+}
+
+TEST(Emulation, SlowerServersRaiseLatency) {
+  const Scenario s = make(7);
+  const core::Assignment a = core::run_offload_cache(s.inst);
+  EmuParams fast, slow;
+  slow.server_rate_gbps = fast.server_rate_gbps / 10.0;
+  const EmulationResult rf = replay(a, s.trace, fast);
+  const EmulationResult rs = replay(a, s.trace, slow);
+  EXPECT_GT(rs.request_latency_s.mean, rf.request_latency_s.mean);
+}
+
+TEST(Emulation, ThinnerLinksRaiseLatency) {
+  const Scenario s = make(8);
+  const core::Assignment a = core::run_offload_cache(s.inst);
+  EmuParams fat, thin;
+  thin.link_rate_mbps = fat.link_rate_mbps / 20.0;
+  EXPECT_GT(replay(a, s.trace, thin).request_latency_s.mean,
+            replay(a, s.trace, fat).request_latency_s.mean);
+}
+
+TEST(Emulation, UpdateTrafficMetered) {
+  // Same trace, same placement, but a provider with a larger update fraction
+  // must transfer more GB.
+  Scenario s = make(9);
+  const core::Assignment a = core::run_offload_cache(s.inst);
+  const EmulationResult before = replay(a, s.trace);
+  for (auto& p : s.inst.providers) p.update_fraction = 0.5;
+  const EmulationResult after = replay(a, s.trace);
+  EXPECT_GE(after.total_transfer_gb, before.total_transfer_gb);
+}
+
+TEST(Emulation, EmptyTrace) {
+  const Scenario s = make(10);
+  const core::Assignment a = core::run_offload_cache(s.inst);
+  const EmulationResult r = replay(a, {});
+  EXPECT_EQ(r.requests_served, 0u);
+  // Cached services still pay instantiation.
+  EXPECT_GT(r.measured_social_cost, 0.0);
+}
+
+TEST(Emulation, MeasuredCostCorrelatesWithAnalyticCost) {
+  // Across placements of the same instance, the emulator's measured cost
+  // should rank placements the same way as the analytic model for clearly
+  // separated alternatives (LCF vs OffloadCache).
+  const Scenario s = make(11, 40);
+  core::LcfOptions options;
+  options.coordinated_fraction = 0.7;
+  const core::Assignment good = core::run_lcf(s.inst, options).assignment;
+  const core::Assignment bad = core::run_offload_cache(s.inst);
+  if (good.social_cost() < bad.social_cost() * 0.8) {
+    EXPECT_LT(replay(good, s.trace).measured_social_cost,
+              replay(bad, s.trace).measured_social_cost);
+  }
+}
+
+}  // namespace
+}  // namespace mecsc::sim

@@ -1,0 +1,89 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mecsc::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(q.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(1.0, [&, i] { order.push_back(i); });
+  }
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, NowAdvancesDuringRun) {
+  EventQueue q;
+  double seen = -1.0;
+  q.schedule_at(5.0, [&] { seen = q.now(); });
+  q.run();
+  EXPECT_DOUBLE_EQ(seen, 5.0);
+  EXPECT_DOUBLE_EQ(q.now(), 5.0);
+}
+
+TEST(EventQueue, ScheduleInIsRelative) {
+  EventQueue q;
+  double fired_at = -1.0;
+  q.schedule_at(2.0, [&] {
+    q.schedule_in(3.0, [&] { fired_at = q.now(); });
+  });
+  q.run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(EventQueue, CallbackCanScheduleMore) {
+  EventQueue q;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 10) q.schedule_in(1.0, step);
+  };
+  q.schedule_at(0.0, step);
+  EXPECT_EQ(q.run(), 10u);
+  EXPECT_EQ(chain, 10);
+  EXPECT_DOUBLE_EQ(q.now(), 9.0);
+}
+
+TEST(EventQueue, RunUntilStopsEarly) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1.0, [&] { ++fired; });
+  q.schedule_at(10.0, [&] { ++fired; });
+  EXPECT_EQ(q.run(5.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_EQ(q.run(), 1u);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, EmptyRunIsNoop) {
+  EventQueue q;
+  EXPECT_EQ(q.run(), 0u);
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+}
+
+TEST(EventQueue, PendingCountsUnfired) {
+  EventQueue q;
+  q.schedule_at(1.0, [] {});
+  q.schedule_at(2.0, [] {});
+  EXPECT_EQ(q.pending(), 2u);
+  q.run();
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace mecsc::sim

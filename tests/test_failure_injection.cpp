@@ -1,0 +1,137 @@
+// Failure-injection tests for the emulator: cached instances fail over to
+// the original remote instances during cloudlet outages.
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "sim/emulation.h"
+#include "sim/workload.h"
+#include "util/rng.h"
+
+namespace mecsc::sim {
+namespace {
+
+struct Scenario {
+  core::Instance inst;
+  std::vector<Request> trace;
+  // Assignment holds a pointer to its Instance, so it must be built against
+  // the *member* after the struct is in its final location.
+  core::Assignment placement() const { return core::run_offload_cache(inst); }
+};
+
+Scenario make(std::uint64_t seed) {
+  util::Rng rng(seed);
+  core::InstanceParams p;
+  p.network_size = 60;
+  p.provider_count = 20;
+  Scenario s{core::generate_instance(p, rng), {}};
+  WorkloadParams w;
+  w.horizon_s = 20.0;
+  s.trace = generate_workload(s.inst, w, rng);
+  return s;
+}
+
+TEST(FailureInjection, NoFailuresNoFailovers) {
+  const Scenario s = make(1);
+  const core::Assignment placement = s.placement();
+  const EmulationResult r = replay(placement, s.trace);
+  EXPECT_EQ(r.failovers, 0u);
+}
+
+TEST(FailureInjection, OutageCausesFailovers) {
+  const Scenario s = make(2);
+  const core::Assignment placement = s.placement();
+  // Find a cloudlet that actually hosts instances.
+  core::CloudletId busy = 0;
+  for (core::CloudletId i = 0; i < s.inst.cloudlet_count(); ++i) {
+    if (placement.occupancy(i) > placement.occupancy(busy)) busy = i;
+  }
+  ASSERT_GT(placement.occupancy(busy), 0u);
+  const FailureEvent outage{busy, 0.0, 100.0};  // down the whole run
+  const EmulationResult r =
+      replay(placement, s.trace, {}, {{outage}});
+  EXPECT_GT(r.failovers, 0u);
+  EXPECT_EQ(r.requests_served, s.trace.size());  // nothing is dropped
+}
+
+TEST(FailureInjection, FailoverWindowIsRespected) {
+  const Scenario s = make(3);
+  const core::Assignment placement = s.placement();
+  core::CloudletId busy = 0;
+  for (core::CloudletId i = 0; i < s.inst.cloudlet_count(); ++i) {
+    if (placement.occupancy(i) > placement.occupancy(busy)) busy = i;
+  }
+  // Outage covering only the first half of the horizon fails over fewer
+  // requests than a full-horizon outage.
+  const EmulationResult half =
+      replay(placement, s.trace, {}, {{FailureEvent{busy, 0.0, 10.0}}});
+  const EmulationResult full =
+      replay(placement, s.trace, {}, {{FailureEvent{busy, 0.0, 100.0}}});
+  EXPECT_GT(full.failovers, half.failovers);
+  EXPECT_GT(half.failovers, 0u);
+}
+
+TEST(FailureInjection, OutageOfUnusedCloudletIsHarmless) {
+  const Scenario s = make(4);
+  const core::Assignment placement = s.placement();
+  core::CloudletId empty = s.inst.cloudlet_count();
+  for (core::CloudletId i = 0; i < s.inst.cloudlet_count(); ++i) {
+    if (placement.occupancy(i) == 0) {
+      empty = i;
+      break;
+    }
+  }
+  if (empty == s.inst.cloudlet_count()) GTEST_SKIP() << "all cloudlets busy";
+  const EmulationResult base = replay(placement, s.trace);
+  const EmulationResult r =
+      replay(placement, s.trace, {}, {{FailureEvent{empty, 0.0, 100.0}}});
+  EXPECT_EQ(r.failovers, 0u);
+  EXPECT_DOUBLE_EQ(r.measured_social_cost, base.measured_social_cost);
+}
+
+TEST(FailureInjection, AllRemotePlacementUnaffected) {
+  const Scenario s = make(5);
+  const core::Assignment placement = s.placement();
+  const core::Assignment remote(s.inst);
+  const EmulationResult r =
+      replay(remote, s.trace, {}, {{FailureEvent{0, 0.0, 100.0}}});
+  EXPECT_EQ(r.failovers, 0u);
+}
+
+TEST(FailureInjection, FailoverShiftsTrafficToWan) {
+  // Failing over sends payloads across the WAN to the home DC; the measured
+  // transfer volume (GB x hops) cannot shrink.
+  const Scenario s = make(6);
+  const core::Assignment placement = s.placement();
+  core::CloudletId busy = 0;
+  for (core::CloudletId i = 0; i < s.inst.cloudlet_count(); ++i) {
+    if (placement.occupancy(i) > placement.occupancy(busy)) busy = i;
+  }
+  const EmulationResult base = replay(placement, s.trace);
+  const EmulationResult failed =
+      replay(placement, s.trace, {}, {{FailureEvent{busy, 0.0, 100.0}}});
+  EXPECT_GT(failed.failovers, 0u);
+  // The outage reroutes request payloads over longer DC paths but also
+  // suppresses the (short-haul) update traffic; require only that the WAN
+  // picture changed.
+  EXPECT_NE(failed.total_transfer_gb, base.total_transfer_gb);
+}
+
+TEST(FailureInjection, MultipleOverlappingOutages) {
+  const Scenario s = make(7);
+  const core::Assignment placement = s.placement();
+  std::vector<FailureEvent> outages;
+  for (core::CloudletId i = 0; i < s.inst.cloudlet_count(); ++i) {
+    outages.push_back(FailureEvent{i, 0.0, 100.0});  // everything down
+  }
+  const EmulationResult r = replay(placement, s.trace, {}, outages);
+  // Every request of a cached provider fails over.
+  std::size_t cached_requests = 0;
+  for (const Request& req : s.trace) {
+    if (placement.choice(req.provider) != core::kRemote) ++cached_requests;
+  }
+  EXPECT_EQ(r.failovers, cached_requests);
+  EXPECT_EQ(r.requests_served, s.trace.size());
+}
+
+}  // namespace
+}  // namespace mecsc::sim

@@ -1,0 +1,203 @@
+#include "opt/gap.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace mecsc::opt {
+namespace {
+
+GapInstance random_instance(util::Rng& rng, std::size_t knapsacks,
+                            std::size_t items, double slack = 1.6) {
+  GapInstance g;
+  g.num_knapsacks = knapsacks;
+  g.num_items = items;
+  g.cost.resize(knapsacks * items);
+  g.weight.resize(knapsacks * items);
+  double total_weight = 0.0;
+  for (std::size_t i = 0; i < knapsacks; ++i) {
+    for (std::size_t j = 0; j < items; ++j) {
+      g.cost[i * items + j] = rng.uniform_real(1.0, 10.0);
+      g.weight[i * items + j] = rng.uniform_real(0.5, 2.0);
+    }
+  }
+  for (std::size_t j = 0; j < items; ++j) {
+    double w = 0.0;
+    for (std::size_t i = 0; i < knapsacks; ++i) w += g.weight[i * items + j];
+    total_weight += w / static_cast<double>(knapsacks);
+  }
+  // Capacities sized so the instance is comfortably feasible.
+  g.capacity.assign(knapsacks,
+                    slack * total_weight / static_cast<double>(knapsacks));
+  return g;
+}
+
+TEST(GapEvaluate, DetectsBadAssignment) {
+  GapInstance g;
+  g.num_knapsacks = 1;
+  g.num_items = 1;
+  g.capacity = {1.0};
+  g.cost = {2.0};
+  g.weight = {5.0};  // does not fit
+  const auto s = evaluate_gap_assignment(g, {0});
+  EXPECT_FALSE(s.feasible);
+}
+
+TEST(GapEvaluate, ComputesCostAndCapacityFlag) {
+  GapInstance g;
+  g.num_knapsacks = 2;
+  g.num_items = 2;
+  g.capacity = {1.0, 1.0};
+  g.cost = {1.0, 2.0, 3.0, 4.0};
+  g.weight = {0.6, 0.6, 0.6, 0.6};
+  const auto ok = evaluate_gap_assignment(g, {0, 1});
+  EXPECT_TRUE(ok.feasible);
+  EXPECT_TRUE(ok.within_capacity);
+  EXPECT_DOUBLE_EQ(ok.cost, 1.0 + 4.0);
+  const auto crowded = evaluate_gap_assignment(g, {0, 0});
+  EXPECT_TRUE(crowded.feasible);        // each pair admissible
+  EXPECT_FALSE(crowded.within_capacity);  // 1.2 > 1.0
+}
+
+TEST(GapExact, TinyKnownOptimum) {
+  // 2 knapsacks cap 1; items weight 1; costs force split.
+  GapInstance g;
+  g.num_knapsacks = 2;
+  g.num_items = 2;
+  g.capacity = {1.0, 1.0};
+  g.cost = {1.0, 5.0, 4.0, 2.0};
+  g.weight = {1.0, 1.0, 1.0, 1.0};
+  const auto s = solve_gap_exact(g);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_TRUE(s.within_capacity);
+  EXPECT_DOUBLE_EQ(s.cost, 3.0);
+}
+
+TEST(GapExact, InfeasibleWhenNothingFits) {
+  GapInstance g;
+  g.num_knapsacks = 1;
+  g.num_items = 1;
+  g.capacity = {0.5};
+  g.cost = {1.0};
+  g.weight = {1.0};
+  EXPECT_FALSE(solve_gap_exact(g).feasible);
+}
+
+TEST(GapExact, CapacityForcesExpensiveChoice) {
+  // Both items prefer knapsack 0 but only one fits.
+  GapInstance g;
+  g.num_knapsacks = 2;
+  g.num_items = 2;
+  g.capacity = {1.0, 2.0};
+  g.cost = {1.0, 1.0, 10.0, 10.0};
+  g.weight = {1.0, 1.0, 1.0, 1.0};
+  const auto s = solve_gap_exact(g);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_DOUBLE_EQ(s.cost, 11.0);
+}
+
+TEST(GapGreedy, FeasibleOnEasyInstances) {
+  util::Rng rng(1);
+  const auto g = random_instance(rng, 4, 10, 3.0);
+  const auto s = solve_gap_greedy(g);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_TRUE(s.within_capacity);
+}
+
+TEST(GapGreedy, EmptyInstance) {
+  GapInstance g;
+  const auto s = solve_gap_greedy(g);
+  EXPECT_TRUE(s.feasible);
+  EXPECT_DOUBLE_EQ(s.cost, 0.0);
+}
+
+TEST(ShmoysTardos, EmptyInstance) {
+  GapInstance g;
+  const auto s = solve_gap_shmoys_tardos(g);
+  EXPECT_TRUE(s.feasible);
+  ASSERT_TRUE(s.lp_bound.has_value());
+  EXPECT_DOUBLE_EQ(*s.lp_bound, 0.0);
+}
+
+TEST(ShmoysTardos, ItemWithNoAdmissibleKnapsack) {
+  GapInstance g;
+  g.num_knapsacks = 1;
+  g.num_items = 1;
+  g.capacity = {0.5};
+  g.cost = {1.0};
+  g.weight = {1.0};
+  EXPECT_FALSE(solve_gap_shmoys_tardos(g).feasible);
+}
+
+TEST(ShmoysTardos, IntegralInstanceSolvedExactly) {
+  // Unit weights, unit capacities: assignment problem; LP is integral.
+  GapInstance g;
+  g.num_knapsacks = 3;
+  g.num_items = 3;
+  g.capacity = {1.0, 1.0, 1.0};
+  g.cost = {1, 9, 9, 9, 1, 9, 9, 9, 1};
+  g.weight.assign(9, 1.0);
+  const auto s = solve_gap_shmoys_tardos(g);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_TRUE(s.within_capacity);
+  EXPECT_DOUBLE_EQ(s.cost, 3.0);
+  EXPECT_NEAR(*s.lp_bound, 3.0, 1e-6);
+}
+
+// The Shmoys-Tardos guarantees, verified on random instances:
+//  (1) rounded cost <= LP bound + eps  (cost never exceeds the fractional
+//      optimum in the [34] construction);
+//  (2) every knapsack's load <= capacity + max single item weight in it.
+class ShmoysTardosPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShmoysTardosPropertyTest, CostAndLoadGuarantees) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761u + 17);
+  const std::size_t m = 2 + static_cast<std::size_t>(rng.uniform_int(0, 3));
+  const std::size_t n = 4 + static_cast<std::size_t>(rng.uniform_int(0, 8));
+  const auto g = random_instance(rng, m, n);
+  const auto s = solve_gap_shmoys_tardos(g);
+  if (!s.feasible) GTEST_SKIP() << "random instance LP-infeasible";
+  ASSERT_TRUE(s.lp_bound.has_value());
+  EXPECT_LE(s.cost, *s.lp_bound + 1e-6);
+
+  std::vector<double> load(m, 0.0), biggest(m, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t i = s.assignment[j];
+    load[i] += g.weight_at(i, j);
+    biggest[i] = std::max(biggest[i], g.weight_at(i, j));
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    EXPECT_LE(load[i], g.capacity[i] + biggest[i] + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGaps, ShmoysTardosPropertyTest,
+                         ::testing::Range(0, 25));
+
+// Cross-check: on small instances the ST cost is never worse than the exact
+// optimum by more than the bicriteria allowance, and never better than the
+// LP bound.
+class GapCrossCheckTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GapCrossCheckTest, OrderingBetweenSolvers) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7 + 1);
+  const auto g = random_instance(rng, 3, 7, 2.5);
+  const auto exact = solve_gap_exact(g);
+  const auto st = solve_gap_shmoys_tardos(g);
+  const auto greedy = solve_gap_greedy(g);
+  if (!exact.feasible) GTEST_SKIP();
+  ASSERT_TRUE(st.feasible);
+  // LP bound <= exact optimum; ST cost <= LP bound (capacity-relaxed).
+  EXPECT_LE(*st.lp_bound, exact.cost + 1e-6);
+  EXPECT_LE(st.cost, exact.cost + 1e-6);
+  if (greedy.feasible) {
+    EXPECT_GE(greedy.cost, exact.cost - 1e-6);  // greedy can't beat optimum
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallGaps, GapCrossCheckTest, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace mecsc::opt

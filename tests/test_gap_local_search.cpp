@@ -1,0 +1,130 @@
+#include "opt/gap_local_search.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace mecsc::opt {
+namespace {
+
+GapInstance random_instance(util::Rng& rng, std::size_t knapsacks,
+                            std::size_t items) {
+  GapInstance g;
+  g.num_knapsacks = knapsacks;
+  g.num_items = items;
+  g.cost.resize(knapsacks * items);
+  g.weight.resize(knapsacks * items);
+  for (auto& c : g.cost) c = rng.uniform_real(1.0, 10.0);
+  for (auto& w : g.weight) w = rng.uniform_real(0.5, 1.5);
+  g.capacity.assign(knapsacks,
+                    2.0 * static_cast<double>(items) /
+                        static_cast<double>(knapsacks));
+  return g;
+}
+
+TEST(GapLocalSearch, RejectsInfeasibleStart) {
+  util::Rng rng(1);
+  const auto g = random_instance(rng, 3, 6);
+  GapSolution bad;  // feasible == false
+  const auto out = improve_gap_local_search(g, bad);
+  EXPECT_FALSE(out.feasible);
+}
+
+TEST(GapLocalSearch, FixesObviousShift) {
+  // One item parked on an expensive knapsack with a cheap one empty.
+  GapInstance g;
+  g.num_knapsacks = 2;
+  g.num_items = 1;
+  g.capacity = {1.0, 1.0};
+  g.cost = {9.0, 1.0};
+  g.weight = {1.0, 1.0};
+  auto start = evaluate_gap_assignment(g, {0});
+  ASSERT_TRUE(start.feasible);
+  LocalSearchStats stats;
+  const auto out = improve_gap_local_search(g, start, &stats);
+  EXPECT_EQ(out.assignment[0], 1u);
+  EXPECT_DOUBLE_EQ(out.cost, 1.0);
+  EXPECT_EQ(stats.shift_moves, 1u);
+}
+
+TEST(GapLocalSearch, FindsSwapWhenShiftsBlocked) {
+  // Two unit-capacity knapsacks, both full, assignment crossed: only a swap
+  // can fix it.
+  GapInstance g;
+  g.num_knapsacks = 2;
+  g.num_items = 2;
+  g.capacity = {1.0, 1.0};
+  g.cost = {1.0, 9.0, 9.0, 1.0};  // item0 cheap at k0, item1 cheap at k1
+  g.weight = {1.0, 1.0, 1.0, 1.0};
+  auto start = evaluate_gap_assignment(g, {1, 0});  // crossed
+  ASSERT_TRUE(start.feasible);
+  LocalSearchStats stats;
+  const auto out = improve_gap_local_search(g, start, &stats);
+  EXPECT_EQ(out.assignment[0], 0u);
+  EXPECT_EQ(out.assignment[1], 1u);
+  EXPECT_DOUBLE_EQ(out.cost, 2.0);
+  EXPECT_GE(stats.swap_moves, 1u);
+}
+
+TEST(GapLocalSearch, NeverWorsensAndStaysFeasible) {
+  util::Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto g = random_instance(rng, 4, 12);
+    const auto start = solve_gap_greedy(g);
+    if (!start.feasible) continue;
+    LocalSearchStats stats;
+    const auto out = improve_gap_local_search(g, start, &stats);
+    EXPECT_TRUE(out.feasible);
+    EXPECT_TRUE(out.within_capacity);
+    EXPECT_LE(out.cost, start.cost + 1e-9);
+    EXPECT_DOUBLE_EQ(stats.cost_before, start.cost);
+    EXPECT_NEAR(stats.cost_after, out.cost, 1e-9);
+  }
+}
+
+TEST(GapLocalSearch, ReachesLocalOptimality) {
+  // After convergence, no single shift improves the cost.
+  util::Rng rng(3);
+  const auto g = random_instance(rng, 3, 10);
+  const auto start = solve_gap_greedy(g);
+  ASSERT_TRUE(start.feasible);
+  const auto out = improve_gap_local_search(g, start);
+  std::vector<double> slack = g.capacity;
+  for (std::size_t j = 0; j < g.num_items; ++j) {
+    slack[out.assignment[j]] -= g.weight_at(out.assignment[j], j);
+  }
+  for (std::size_t j = 0; j < g.num_items; ++j) {
+    const std::size_t from = out.assignment[j];
+    for (std::size_t to = 0; to < g.num_knapsacks; ++to) {
+      if (to == from || g.weight_at(to, j) > slack[to] + 1e-9) continue;
+      EXPECT_GE(g.cost_at(to, j), g.cost_at(from, j) - 1e-9);
+    }
+  }
+}
+
+TEST(GapLocalSearch, CannotBeatExactOptimum) {
+  util::Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto g = random_instance(rng, 3, 7);
+    const auto exact = solve_gap_exact(g);
+    const auto start = solve_gap_greedy(g);
+    if (!exact.feasible || !start.feasible) continue;
+    const auto out = improve_gap_local_search(g, start);
+    EXPECT_GE(out.cost, exact.cost - 1e-9);
+  }
+}
+
+TEST(GapLocalSearch, IdempotentOnLocalOptimum) {
+  util::Rng rng(5);
+  const auto g = random_instance(rng, 4, 10);
+  const auto start = solve_gap_greedy(g);
+  ASSERT_TRUE(start.feasible);
+  const auto once = improve_gap_local_search(g, start);
+  LocalSearchStats stats;
+  const auto twice = improve_gap_local_search(g, once, &stats);
+  EXPECT_DOUBLE_EQ(once.cost, twice.cost);
+  EXPECT_EQ(stats.shift_moves + stats.swap_moves, 0u);
+}
+
+}  // namespace
+}  // namespace mecsc::opt

@@ -1,0 +1,86 @@
+#include "net/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace mecsc::net {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_EQ(g.component_count(), 0u);
+  EXPECT_TRUE(g.connected());  // vacuous
+}
+
+TEST(Graph, AddNodesReturnsFirstId) {
+  Graph g(2);
+  EXPECT_EQ(g.add_nodes(3), 2u);
+  EXPECT_EQ(g.node_count(), 5u);
+}
+
+TEST(Graph, AddEdgeUpdatesAdjacency) {
+  Graph g(3);
+  const EdgeId e = g.add_edge(0, 2, 1.5, 100.0);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.edge(e).length, 1.5);
+  EXPECT_EQ(g.edge(e).bandwidth_mbps, 100.0);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 0u);
+  EXPECT_EQ(g.degree(2), 1u);
+}
+
+TEST(Graph, EdgeOther) {
+  Graph g(2);
+  const EdgeId e = g.add_edge(0, 1);
+  EXPECT_EQ(g.edge(e).other(0), 1u);
+  EXPECT_EQ(g.edge(e).other(1), 0u);
+}
+
+TEST(Graph, HasEdgeBothOrientations) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(5, 0));  // out-of-range is just "no"
+}
+
+TEST(Graph, ParallelEdgesAllowed) {
+  Graph g(2);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 1, 2.0);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.degree(0), 2u);
+}
+
+TEST(Graph, ComponentsAndConnectivity) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  EXPECT_EQ(g.component_count(), 2u);
+  EXPECT_FALSE(g.connected());
+  g.add_edge(2, 3);
+  EXPECT_EQ(g.component_count(), 1u);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Graph, SingletonIsConnected) {
+  Graph g(1);
+  EXPECT_TRUE(g.connected());
+  EXPECT_EQ(g.component_count(), 1u);
+}
+
+TEST(Graph, IncidentEdgesSpan) {
+  Graph g(4);
+  const EdgeId a = g.add_edge(0, 1);
+  const EdgeId b = g.add_edge(0, 2);
+  const auto inc = g.incident_edges(0);
+  ASSERT_EQ(inc.size(), 2u);
+  EXPECT_EQ(inc[0], a);
+  EXPECT_EQ(inc[1], b);
+}
+
+}  // namespace
+}  // namespace mecsc::net

@@ -1,0 +1,127 @@
+#include "core/incentives.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace mecsc::core {
+namespace {
+
+Instance make(std::uint64_t seed, std::size_t providers = 40) {
+  util::Rng rng(seed);
+  InstanceParams p;
+  p.network_size = 80;
+  p.provider_count = providers;
+  return generate_instance(p, rng);
+}
+
+TEST(Incentives, SelfishPlayersNeverWantToDeviate) {
+  // The selfish players sit at a Nash equilibrium, so their deviation
+  // incentive is zero (up to eps).
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Instance inst = make(seed);
+    const LcfResult r = run_lcf(inst);
+    ASSERT_TRUE(r.converged);
+    const StabilityReport report = analyze_stability(inst, r);
+    for (const auto& pi : report.providers) {
+      if (!pi.coordinated) {
+        EXPECT_LE(pi.deviation_incentive, 1e-7)
+            << "seed " << seed << " provider " << pi.provider;
+      }
+    }
+  }
+}
+
+TEST(Incentives, SelfishPlayersAreIndividuallyRational) {
+  const Instance inst = make(6);
+  const LcfResult r = run_lcf(inst);
+  const StabilityReport report = analyze_stability(inst, r);
+  for (const auto& pi : report.providers) {
+    if (!pi.coordinated) {
+      EXPECT_TRUE(pi.individually_rational);
+    }
+  }
+}
+
+TEST(Incentives, BudgetAggregatesPositiveIncentivesOnly) {
+  const Instance inst = make(7);
+  const LcfResult r = run_lcf(inst);
+  const StabilityReport report = analyze_stability(inst, r);
+  double budget = 0.0;
+  std::size_t binding = 0;
+  for (const auto& pi : report.providers) {
+    if (pi.coordinated && pi.deviation_incentive > 1e-9) {
+      budget += pi.deviation_incentive;
+      ++binding;
+    }
+  }
+  EXPECT_NEAR(report.side_payment_budget, budget, 1e-9);
+  EXPECT_EQ(report.binding_contracts, binding);
+}
+
+TEST(Incentives, MaxIncentiveIsMaximum) {
+  const Instance inst = make(8);
+  const LcfResult r = run_lcf(inst);
+  const StabilityReport report = analyze_stability(inst, r);
+  double expect = 0.0;
+  for (const auto& pi : report.providers) {
+    expect = std::max(expect, pi.deviation_incentive);
+  }
+  EXPECT_DOUBLE_EQ(report.max_incentive, expect);
+}
+
+TEST(Incentives, BestDeviationNeverAboveCurrent) {
+  const Instance inst = make(9);
+  const LcfResult r = run_lcf(inst);
+  const StabilityReport report = analyze_stability(inst, r);
+  for (const auto& pi : report.providers) {
+    EXPECT_LE(pi.best_deviation_cost, pi.current_cost + 1e-12);
+    EXPECT_GE(pi.deviation_incentive, -1e-12);
+  }
+}
+
+TEST(Incentives, FullySelfishMarketHasZeroBudget) {
+  const Instance inst = make(10);
+  LcfOptions options;
+  options.coordinated_fraction = 0.0;
+  const LcfResult r = run_lcf(inst, options);
+  const StabilityReport report = analyze_stability(inst, r);
+  EXPECT_EQ(report.binding_contracts, 0u);
+  EXPECT_DOUBLE_EQ(report.side_payment_budget, 0.0);
+  EXPECT_EQ(report.ir_violations, 0u);
+}
+
+TEST(Incentives, IrSubsidyConsistentWithViolations) {
+  const Instance inst = make(11);
+  LcfOptions options;
+  options.coordinated_fraction = 1.0;  // everyone pinned — IR may bind
+  const LcfResult r = run_lcf(inst, options);
+  const StabilityReport report = analyze_stability(inst, r);
+  double subsidy = 0.0;
+  std::size_t violations = 0;
+  for (const auto& pi : report.providers) {
+    if (!pi.individually_rational) {
+      ++violations;
+      subsidy += pi.current_cost - remote_cost(inst, pi.provider);
+    }
+  }
+  EXPECT_EQ(report.ir_violations, violations);
+  EXPECT_NEAR(report.ir_subsidy, subsidy, 1e-9);
+  if (violations > 0) {
+    EXPECT_GT(report.ir_subsidy, 0.0);
+  }
+}
+
+TEST(Incentives, ReportCoversEveryProvider) {
+  const Instance inst = make(12, 23);
+  const LcfResult r = run_lcf(inst);
+  const StabilityReport report = analyze_stability(inst, r);
+  ASSERT_EQ(report.providers.size(), 23u);
+  for (ProviderId l = 0; l < 23; ++l) {
+    EXPECT_EQ(report.providers[l].provider, l);
+    EXPECT_EQ(report.providers[l].coordinated, r.coordinated[l]);
+  }
+}
+
+}  // namespace
+}  // namespace mecsc::core

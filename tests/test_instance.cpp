@@ -1,0 +1,114 @@
+#include "core/instance.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace mecsc::core {
+namespace {
+
+Instance make(std::uint64_t seed, InstanceParams params = {}) {
+  util::Rng rng(seed);
+  return generate_instance(params, rng);
+}
+
+TEST(Instance, ProviderCountMatchesParams) {
+  InstanceParams p;
+  p.provider_count = 37;
+  const Instance inst = make(1, p);
+  EXPECT_EQ(inst.provider_count(), 37u);
+}
+
+TEST(Instance, ParametersWithinPaperRanges) {
+  InstanceParams p;
+  const Instance inst = make(2, p);
+  for (const auto& sp : inst.providers) {
+    EXPECT_GE(sp.compute_per_request, p.compute_per_request_lo);
+    EXPECT_LE(sp.compute_per_request, p.compute_per_request_hi);
+    EXPECT_GE(sp.bandwidth_per_request, p.bandwidth_per_request_lo);
+    EXPECT_LE(sp.bandwidth_per_request, p.bandwidth_per_request_hi);
+    EXPECT_GE(sp.requests, p.requests_lo);
+    EXPECT_LE(sp.requests, p.requests_hi);
+    EXPECT_GE(sp.service_data_gb, p.service_data_gb_lo);
+    EXPECT_LE(sp.service_data_gb, p.service_data_gb_hi);
+    EXPECT_DOUBLE_EQ(sp.update_fraction, 0.10);
+    EXPECT_LT(sp.home_dc, inst.network.data_center_count());
+    EXPECT_LT(sp.user_region, inst.cloudlet_count());
+    EXPECT_GT(sp.instantiation_cost, 0.0);
+    EXPECT_GT(sp.traffic_gb, 0.0);
+  }
+  for (std::size_t i = 0; i < inst.cloudlet_count(); ++i) {
+    EXPECT_GE(inst.cost.alpha[i], 0.0);
+    EXPECT_LE(inst.cost.alpha[i], 1.0);
+    EXPECT_GE(inst.cost.beta[i], 0.0);
+    EXPECT_LE(inst.cost.beta[i], 1.0);
+  }
+  EXPECT_GE(inst.cost.transfer_price_per_gb, 0.05);
+  EXPECT_LE(inst.cost.transfer_price_per_gb, 0.12);
+  EXPECT_GE(inst.cost.processing_price_per_gb, 0.15);
+  EXPECT_LE(inst.cost.processing_price_per_gb, 0.22);
+}
+
+TEST(Instance, DemandHelpers) {
+  ServiceProvider p;
+  p.compute_per_request = 0.2;
+  p.bandwidth_per_request = 3.0;
+  p.requests = 10;
+  p.service_data_gb = 4.0;
+  p.update_fraction = 0.1;
+  EXPECT_DOUBLE_EQ(p.compute_demand(), 2.0);
+  EXPECT_DOUBLE_EQ(p.bandwidth_demand(), 30.0);
+  EXPECT_NEAR(p.update_volume_gb(), 0.4, 1e-12);
+}
+
+TEST(Instance, MaxDemandsAreMaxima) {
+  const Instance inst = make(3);
+  double a = 0.0, b = 0.0;
+  for (const auto& sp : inst.providers) {
+    a = std::max(a, sp.compute_demand());
+    b = std::max(b, sp.bandwidth_demand());
+  }
+  EXPECT_DOUBLE_EQ(inst.max_compute_demand(), a);
+  EXPECT_DOUBLE_EQ(inst.max_bandwidth_demand(), b);
+}
+
+TEST(Instance, DeterministicGivenSeed) {
+  const Instance a = make(42), b = make(42);
+  ASSERT_EQ(a.provider_count(), b.provider_count());
+  for (std::size_t l = 0; l < a.provider_count(); ++l) {
+    EXPECT_DOUBLE_EQ(a.providers[l].compute_per_request,
+                     b.providers[l].compute_per_request);
+    EXPECT_EQ(a.providers[l].home_dc, b.providers[l].home_dc);
+  }
+  EXPECT_EQ(a.network.topology().edge_count(),
+            b.network.topology().edge_count());
+}
+
+TEST(Instance, NetworkSizeKnobScalesTopology) {
+  InstanceParams small, large;
+  small.network_size = 50;
+  large.network_size = 400;
+  const Instance a = make(5, small), b = make(5, large);
+  EXPECT_LT(a.network.topology().node_count(),
+            b.network.topology().node_count());
+  EXPECT_LT(a.cloudlet_count(), b.cloudlet_count());
+}
+
+TEST(Instance, As1755ModeUsesBackbone) {
+  InstanceParams p;
+  p.use_as1755 = true;
+  const Instance inst = make(6, p);
+  EXPECT_EQ(inst.network.topology().node_count(), 87u);
+  EXPECT_EQ(inst.network.topology().edge_count(), 161u);
+}
+
+TEST(Instance, CloudletsAreTenPercentOfNetwork) {
+  InstanceParams p;
+  p.network_size = 250;
+  const Instance inst = make(7, p);
+  const double n = static_cast<double>(inst.network.topology().node_count());
+  EXPECT_NEAR(static_cast<double>(inst.cloudlet_count()), 0.1 * n, 1.0);
+}
+
+}  // namespace
+}  // namespace mecsc::core

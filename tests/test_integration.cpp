@@ -1,0 +1,143 @@
+// Cross-module integration and end-to-end property tests: the full paper
+// pipeline (instance -> Appro -> LCF -> equilibrium -> emulation) at
+// realistic scale, and the paper's headline claims as executable checks.
+#include <gtest/gtest.h>
+
+#include "core/appro.h"
+#include "core/baselines.h"
+#include "core/lcf.h"
+#include "core/poa.h"
+#include "core/social_optimum.h"
+#include "sim/testbed.h"
+#include "util/rng.h"
+
+namespace mecsc {
+namespace {
+
+core::Instance make(std::uint64_t seed, std::size_t network,
+                    std::size_t providers) {
+  util::Rng rng(seed);
+  core::InstanceParams p;
+  p.network_size = network;
+  p.provider_count = providers;
+  return core::generate_instance(p, rng);
+}
+
+TEST(Integration, PaperScalePipelineRuns) {
+  // The paper's default: 100 providers; network sizes 50..400.
+  for (const std::size_t size : {50u, 100u, 250u, 400u}) {
+    const core::Instance inst = make(size, size, 100);
+    core::LcfOptions options;
+    options.coordinated_fraction = 0.7;
+    const core::LcfResult lcf = core::run_lcf(inst, options);
+    EXPECT_TRUE(lcf.converged) << "size " << size;
+    EXPECT_TRUE(lcf.assignment.feasible()) << "size " << size;
+    EXPECT_GT(lcf.social_cost(), 0.0);
+  }
+}
+
+TEST(Integration, HeadlineOrderingAtPaperScale) {
+  // Fig. 2(a) at size 250: LCF < JoOffloadCache < OffloadCache (averaged).
+  double lcf = 0.0, jo = 0.0, oc = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const core::Instance inst = make(seed, 250, 100);
+    core::LcfOptions options;
+    options.coordinated_fraction = 0.7;
+    lcf += core::run_lcf(inst, options).social_cost();
+    jo += core::run_jo_offload_cache(inst).social_cost();
+    oc += core::run_offload_cache(inst).social_cost();
+  }
+  EXPECT_LT(lcf, jo);
+  EXPECT_LT(jo, oc);
+}
+
+TEST(Integration, SocialCostGrowsWithSelfishShare) {
+  // Fig. 3(a): LCF social cost is non-decreasing in (1-ξ) (averaged,
+  // endpoints plus midpoint).
+  double at_0 = 0.0, at_half = 0.0, at_1 = 0.0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const core::Instance inst = make(seed + 50, 150, 80);
+    for (auto& [frac, acc] :
+         std::initializer_list<std::pair<double, double&>>{
+             {1.0, at_0}, {0.5, at_half}, {0.0, at_1}}) {
+      core::LcfOptions options;
+      options.coordinated_fraction = frac;
+      acc += core::run_lcf(inst, options).social_cost();
+    }
+  }
+  EXPECT_LE(at_0, at_half * 1.02);
+  EXPECT_LE(at_half, at_1 * 1.02);
+}
+
+TEST(Integration, ApproBeatsEveryNashOnSocialCost) {
+  // The coordinated solution should (weakly) beat selfish equilibria found
+  // from the empty profile, on average — the motivation for Stackelberg
+  // coordination.
+  double appro = 0.0, nash = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const core::Instance inst = make(seed + 10, 120, 60);
+    appro += core::run_appro(inst).assignment.social_cost();
+    core::LcfOptions selfish;
+    selfish.coordinated_fraction = 0.0;
+    nash += core::run_lcf(inst, selfish).social_cost();
+  }
+  EXPECT_LE(appro, nash * 1.02);
+}
+
+TEST(Integration, Lemma2BoundAtModerateScale) {
+  // Appro's congestion-aware cost within 2δκ of the *lower bound* (which is
+  // itself <= OPT), checked where exact OPT is unaffordable.
+  const core::Instance inst = make(77, 100, 50);
+  const core::ApproResult r = core::run_appro(inst);
+  const double lb = core::social_cost_lower_bound(inst);
+  const double delta = r.split.delta_max(inst);
+  const double kappa = r.split.kappa_max(inst);
+  EXPECT_LT(r.assignment.social_cost(), 2.0 * delta * kappa * lb + 1e-9);
+}
+
+TEST(Integration, EmulatorAgreesOnAlgorithmRanking) {
+  // End-to-end: the emulated test-bed must reproduce the analytic ranking of
+  // LCF vs OffloadCache (Fig. 5 shape), summed over seeds.
+  double lcf_measured = 0.0, oc_measured = 0.0;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    util::Rng rng(seed);
+    sim::TestbedConfig config;
+    config.provider_count = 50;
+    config.workload.horizon_s = 10.0;
+    const sim::TestbedRun run = sim::run_testbed(config, rng);
+    lcf_measured += run.results[0].measured_social_cost;
+    oc_measured += run.results[2].measured_social_cost;
+  }
+  EXPECT_LT(lcf_measured, oc_measured);
+}
+
+TEST(Integration, DeterministicEndToEnd) {
+  // Identical seeds -> identical social costs through the whole pipeline.
+  auto run_once = [](std::uint64_t seed) {
+    const core::Instance inst = make(seed, 100, 50);
+    core::LcfOptions options;
+    options.coordinated_fraction = 0.7;
+    return core::run_lcf(inst, options).social_cost();
+  };
+  EXPECT_DOUBLE_EQ(run_once(123), run_once(123));
+  EXPECT_NE(run_once(123), run_once(124));
+}
+
+TEST(Integration, StressManySeedsNoInvariantViolations) {
+  for (std::uint64_t seed = 200; seed < 220; ++seed) {
+    const core::Instance inst = make(seed, 80, 40);
+    const core::LcfResult lcf = core::run_lcf(inst);
+    ASSERT_TRUE(lcf.assignment.feasible()) << "seed " << seed;
+    ASSERT_TRUE(lcf.converged) << "seed " << seed;
+    // Every selfish provider is individually rational: pays at most remote.
+    for (core::ProviderId l = 0; l < inst.provider_count(); ++l) {
+      if (!lcf.coordinated[l]) {
+        EXPECT_LE(lcf.assignment.provider_cost(l),
+                  core::remote_cost(inst, l) + 1e-9);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mecsc

@@ -1,0 +1,125 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+namespace mecsc::util {
+namespace {
+
+TEST(Json, ScalarRoundTrips) {
+  EXPECT_EQ(parse_json("null"), JsonValue(nullptr));
+  EXPECT_EQ(parse_json("true"), JsonValue(true));
+  EXPECT_EQ(parse_json("false"), JsonValue(false));
+  EXPECT_EQ(parse_json("42"), JsonValue(42.0));
+  EXPECT_EQ(parse_json("-3.5"), JsonValue(-3.5));
+  EXPECT_EQ(parse_json("1e3"), JsonValue(1000.0));
+  EXPECT_EQ(parse_json("\"hi\""), JsonValue("hi"));
+}
+
+TEST(Json, TypePredicates) {
+  EXPECT_TRUE(JsonValue(nullptr).is_null());
+  EXPECT_TRUE(JsonValue(true).is_bool());
+  EXPECT_TRUE(JsonValue(1.0).is_number());
+  EXPECT_TRUE(JsonValue("x").is_string());
+  EXPECT_TRUE(JsonValue(JsonArray{}).is_array());
+  EXPECT_TRUE(JsonValue(JsonObject{}).is_object());
+}
+
+TEST(Json, AccessorsThrowOnMismatch) {
+  const JsonValue v(1.5);
+  EXPECT_THROW(v.as_string(), JsonError);
+  EXPECT_THROW(v.as_array(), JsonError);
+  EXPECT_THROW(v.as_object(), JsonError);
+  EXPECT_THROW(v.as_bool(), JsonError);
+  EXPECT_DOUBLE_EQ(v.as_number(), 1.5);
+}
+
+TEST(Json, ObjectAccess) {
+  const JsonValue v = parse_json(R"({"a": 1, "b": "two"})");
+  EXPECT_DOUBLE_EQ(v.number_at("a"), 1.0);
+  EXPECT_EQ(v.string_at("b"), "two");
+  EXPECT_TRUE(v.contains("a"));
+  EXPECT_FALSE(v.contains("c"));
+  EXPECT_THROW(v.at("c"), JsonError);
+}
+
+TEST(Json, NestedStructures) {
+  const JsonValue v = parse_json(R"({"xs": [1, [2, 3], {"y": null}]})");
+  const JsonArray& xs = v.at("xs").as_array();
+  ASSERT_EQ(xs.size(), 3u);
+  EXPECT_DOUBLE_EQ(xs[0].as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(xs[1].as_array()[1].as_number(), 3.0);
+  EXPECT_TRUE(xs[2].at("y").is_null());
+}
+
+TEST(Json, StringEscapes) {
+  const JsonValue v = parse_json(R"("a\"b\\c\nd\teA")");
+  EXPECT_EQ(v.as_string(), "a\"b\\c\nd\teA");
+}
+
+TEST(Json, UnicodeEscapeUtf8) {
+  EXPECT_EQ(parse_json(R"("é")").as_string(), "\xC3\xA9");   // é
+  EXPECT_EQ(parse_json(R"("€")").as_string(), "\xE2\x82\xAC");  // €
+}
+
+TEST(Json, DumpParseRoundTrip) {
+  const std::string doc = R"({"a":[1,2.5,true,null,"s\n"],"b":{"c":-7}})";
+  const JsonValue v = parse_json(doc);
+  for (int indent : {0, 2, 4}) {
+    EXPECT_EQ(parse_json(v.dump(indent)), v) << "indent " << indent;
+  }
+}
+
+TEST(Json, DumpIsDeterministic) {
+  JsonObject o;
+  o["zebra"] = JsonValue(1);
+  o["alpha"] = JsonValue(2);
+  const std::string s = JsonValue(o).dump();
+  // std::map ordering: alpha before zebra.
+  EXPECT_LT(s.find("alpha"), s.find("zebra"));
+}
+
+TEST(Json, IntegersPrintWithoutFraction) {
+  EXPECT_EQ(JsonValue(5.0).dump(), "5");
+  EXPECT_EQ(JsonValue(-12.0).dump(), "-12");
+  EXPECT_NE(JsonValue(0.5).dump().find('.'), std::string::npos);
+}
+
+TEST(Json, PrettyPrintIndents) {
+  const JsonValue v = parse_json(R"({"a": [1]})");
+  const std::string pretty = v.dump(2);
+  EXPECT_NE(pretty.find("\n  \"a\""), std::string::npos);
+}
+
+TEST(Json, ParseErrorsCarryOffsets) {
+  for (const char* bad :
+       {"", "{", "[1,", "\"abc", "{\"a\" 1}", "tru", "01x", "[1] x",
+        "{\"a\":}", "nul"}) {
+    EXPECT_THROW(parse_json(bad), JsonError) << "input: " << bad;
+  }
+}
+
+TEST(Json, WhitespaceTolerated) {
+  const JsonValue v = parse_json(" \n\t { \"a\" : [ 1 , 2 ] } \r\n");
+  EXPECT_EQ(v.at("a").as_array().size(), 2u);
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_TRUE(parse_json("[]").as_array().empty());
+  EXPECT_TRUE(parse_json("{}").as_object().empty());
+  EXPECT_EQ(parse_json("[]").dump(2), "[]");
+  EXPECT_EQ(parse_json("{}").dump(2), "{}");
+}
+
+TEST(Json, NonFiniteNumbersRejectedOnDump) {
+  EXPECT_THROW(JsonValue(std::numeric_limits<double>::infinity()).dump(),
+               JsonError);
+}
+
+TEST(Json, LargePrecisionPreserved) {
+  const double x = 0.1234567890123456;
+  const JsonValue v = parse_json(JsonValue(x).dump());
+  EXPECT_DOUBLE_EQ(v.as_number(), x);
+}
+
+}  // namespace
+}  // namespace mecsc::util

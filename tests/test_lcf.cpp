@@ -1,0 +1,136 @@
+#include "core/lcf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace mecsc::core {
+namespace {
+
+Instance make(std::uint64_t seed, std::size_t network = 80,
+              std::size_t providers = 40) {
+  util::Rng rng(seed);
+  InstanceParams p;
+  p.network_size = network;
+  p.provider_count = providers;
+  return generate_instance(p, rng);
+}
+
+TEST(Lcf, CoordinatedCountIsFloorXiN) {
+  const Instance inst = make(1);
+  for (const double xi : {0.0, 0.3, 0.5, 0.7, 1.0}) {
+    LcfOptions options;
+    options.coordinated_fraction = xi;
+    const LcfResult r = run_lcf(inst, options);
+    std::size_t count = 0;
+    for (bool c : r.coordinated) count += c ? 1 : 0;
+    EXPECT_EQ(count, static_cast<std::size_t>(std::floor(
+                         xi * static_cast<double>(inst.provider_count()))));
+  }
+}
+
+TEST(Lcf, CoordinatedAreTheCostliestUnderAppro) {
+  const Instance inst = make(2);
+  LcfOptions options;
+  options.coordinated_fraction = 0.4;
+  const LcfResult r = run_lcf(inst, options);
+  double min_coordinated = 1e300, max_selfish = -1e300;
+  for (ProviderId l = 0; l < inst.provider_count(); ++l) {
+    const double c = r.appro.assignment.provider_cost(l);
+    if (r.coordinated[l]) {
+      min_coordinated = std::min(min_coordinated, c);
+    } else {
+      max_selfish = std::max(max_selfish, c);
+    }
+  }
+  EXPECT_GE(min_coordinated, max_selfish - 1e-9);
+}
+
+TEST(Lcf, CoordinatedStayAtApproSeats) {
+  const Instance inst = make(3);
+  LcfOptions options;
+  options.coordinated_fraction = 0.5;
+  const LcfResult r = run_lcf(inst, options);
+  for (ProviderId l = 0; l < inst.provider_count(); ++l) {
+    if (r.coordinated[l]) {
+      EXPECT_EQ(r.assignment.choice(l), r.appro.assignment.choice(l));
+    }
+  }
+}
+
+TEST(Lcf, SelfishPlayersAtNashEquilibrium) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Instance inst = make(seed);
+    LcfOptions options;
+    options.coordinated_fraction = 0.7;
+    const LcfResult r = run_lcf(inst, options);
+    EXPECT_TRUE(r.converged) << "seed " << seed;
+    std::vector<bool> movable(inst.provider_count());
+    for (ProviderId l = 0; l < inst.provider_count(); ++l) {
+      movable[l] = !r.coordinated[l];
+    }
+    EXPECT_TRUE(is_nash_equilibrium(r.assignment, movable)) << "seed " << seed;
+    EXPECT_TRUE(r.assignment.feasible());
+  }
+}
+
+TEST(Lcf, CostBreakdownSumsToSocialCost) {
+  const Instance inst = make(4);
+  const LcfResult r = run_lcf(inst);
+  EXPECT_NEAR(r.social_cost(), r.assignment.social_cost(), 1e-9);
+  EXPECT_NEAR(r.coordinated_cost + r.selfish_cost, r.social_cost(), 1e-12);
+}
+
+TEST(Lcf, FullCoordinationEqualsAppro) {
+  const Instance inst = make(5);
+  LcfOptions options;
+  options.coordinated_fraction = 1.0;
+  const LcfResult r = run_lcf(inst, options);
+  EXPECT_TRUE(r.assignment == r.appro.assignment);
+  EXPECT_DOUBLE_EQ(r.selfish_cost, 0.0);
+}
+
+TEST(Lcf, ZeroCoordinationIsPureSelfishGame) {
+  const Instance inst = make(6);
+  LcfOptions options;
+  options.coordinated_fraction = 0.0;
+  const LcfResult r = run_lcf(inst, options);
+  EXPECT_DOUBLE_EQ(r.coordinated_cost, 0.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(is_nash_equilibrium(
+      r.assignment, std::vector<bool>(inst.provider_count(), true)));
+}
+
+TEST(Lcf, WarmStartAlsoReachesEquilibrium) {
+  const Instance inst = make(7);
+  LcfOptions options;
+  options.selfish_start_at_appro = true;
+  const LcfResult r = run_lcf(inst, options);
+  EXPECT_TRUE(r.converged);
+  std::vector<bool> movable(inst.provider_count());
+  for (ProviderId l = 0; l < inst.provider_count(); ++l) {
+    movable[l] = !r.coordinated[l];
+  }
+  EXPECT_TRUE(is_nash_equilibrium(r.assignment, movable));
+}
+
+TEST(Lcf, MoreCoordinationNeverHurtsMuch) {
+  // The paper's Fig. 3: social cost grows with the selfish share (1-ξ).
+  // Individual seeds can fluctuate, so compare the endpoints, which the
+  // theory separates cleanly.
+  double cost_full = 0.0, cost_none = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Instance inst = make(seed, 100, 60);
+    LcfOptions full, none;
+    full.coordinated_fraction = 1.0;
+    none.coordinated_fraction = 0.0;
+    cost_full += run_lcf(inst, full).social_cost();
+    cost_none += run_lcf(inst, none).social_cost();
+  }
+  EXPECT_LE(cost_full, cost_none * 1.02);
+}
+
+}  // namespace
+}  // namespace mecsc::core

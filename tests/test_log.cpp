@@ -1,0 +1,61 @@
+#include "util/log.h"
+
+#include <gtest/gtest.h>
+
+namespace mecsc::util {
+namespace {
+
+/// RAII guard restoring the global log level after each test.
+struct LevelGuard {
+  LogLevel saved = log_level();
+  ~LevelGuard() { set_log_level(saved); }
+};
+
+TEST(Log, LevelRoundTrips) {
+  LevelGuard guard;
+  for (const auto level : {LogLevel::Debug, LogLevel::Info, LogLevel::Warn,
+                           LogLevel::Error, LogLevel::Off}) {
+    set_log_level(level);
+    EXPECT_EQ(log_level(), level);
+  }
+}
+
+TEST(Log, SuppressedBelowThreshold) {
+  LevelGuard guard;
+  set_log_level(LogLevel::Off);
+  testing::internal::CaptureStderr();
+  LOG_ERROR() << "must not appear";
+  EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+}
+
+TEST(Log, EmittedAtOrAboveThreshold) {
+  LevelGuard guard;
+  set_log_level(LogLevel::Info);
+  testing::internal::CaptureStderr();
+  LOG_INFO() << "hello " << 42;
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[INFO] hello 42"), std::string::npos);
+}
+
+TEST(Log, DebugFilteredAtInfoLevel) {
+  LevelGuard guard;
+  set_log_level(LogLevel::Info);
+  testing::internal::CaptureStderr();
+  LOG_DEBUG() << "noise";
+  LOG_WARN() << "signal";
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("noise"), std::string::npos);
+  EXPECT_NE(out.find("[WARN] signal"), std::string::npos);
+}
+
+TEST(Log, StreamsArbitraryTypes) {
+  LevelGuard guard;
+  set_log_level(LogLevel::Debug);
+  testing::internal::CaptureStderr();
+  LOG_DEBUG() << 1.5 << " " << true << " " << std::string("s");
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("1.5 1 s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mecsc::util

@@ -1,0 +1,187 @@
+#include "core/market_dynamics.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace mecsc::core {
+namespace {
+
+Instance make_pool(std::uint64_t seed, std::size_t providers = 80) {
+  util::Rng rng(seed);
+  InstanceParams p;
+  p.network_size = 80;
+  p.provider_count = providers;
+  return generate_instance(p, rng);
+}
+
+TEST(MigrationCost, DestroyingIsFree) {
+  const Instance pool = make_pool(1);
+  EXPECT_DOUBLE_EQ(migration_cost(pool, 0, 2, kRemote), 0.0);
+  EXPECT_DOUBLE_EQ(migration_cost(pool, 0, kRemote, kRemote), 0.0);
+}
+
+TEST(MigrationCost, StayingIsFree) {
+  const Instance pool = make_pool(2);
+  EXPECT_DOUBLE_EQ(migration_cost(pool, 0, 3, 3), 0.0);
+}
+
+TEST(MigrationCost, InitialShipmentFromHomeDc) {
+  const Instance pool = make_pool(3);
+  const ProviderId l = 0;
+  const CloudletId to = 1;
+  const double expected =
+      pool.cost.transfer_price_per_gb * pool.providers[l].service_data_gb *
+      pool.network.cloudlet_to_dc_hops(to, pool.providers[l].home_dc);
+  EXPECT_NEAR(migration_cost(pool, l, kRemote, to), expected, 1e-12);
+}
+
+TEST(MigrationCost, CloudletToCloudletUsesHops) {
+  const Instance pool = make_pool(4);
+  const double expected = pool.cost.transfer_price_per_gb *
+                          pool.providers[2].service_data_gb *
+                          pool.network.cloudlet_to_cloudlet_hops(0, 3);
+  EXPECT_NEAR(migration_cost(pool, 2, 0, 3), expected, 1e-12);
+}
+
+TEST(MigrationCost, ScalesWithImageSize) {
+  Instance pool = make_pool(5);
+  const double before = migration_cost(pool, 0, 0, 1);
+  pool.providers[0].service_data_gb *= 3.0;
+  EXPECT_NEAR(migration_cost(pool, 0, 0, 1), 3.0 * before, 1e-9);
+}
+
+TEST(MarketDynamics, RunsRequestedEpochs) {
+  const Instance pool = make_pool(6);
+  util::Rng rng(1);
+  MarketDynamicsParams params;
+  params.epochs = 10;
+  const MarketDynamicsResult r = simulate_market(pool, params, rng);
+  ASSERT_EQ(r.epochs.size(), 10u);
+  for (std::size_t e = 0; e < 10; ++e) {
+    EXPECT_EQ(r.epochs[e].epoch, e);
+    EXPECT_TRUE(r.epochs[e].equilibrium);
+    EXPECT_GT(r.epochs[e].social_cost, 0.0);
+  }
+}
+
+TEST(MarketDynamics, PopulationEvolvesWithinPool) {
+  const Instance pool = make_pool(7);
+  util::Rng rng(2);
+  MarketDynamicsParams params;
+  params.epochs = 15;
+  params.initial_providers = 30;
+  const MarketDynamicsResult r = simulate_market(pool, params, rng);
+  for (const auto& e : r.epochs) {
+    EXPECT_LE(e.active_providers, pool.provider_count());
+    EXPECT_GE(e.active_providers, 1u);
+  }
+  // Arrivals and departures actually happen across the run.
+  std::size_t arrivals = 0, departures = 0;
+  for (const auto& e : r.epochs) {
+    arrivals += e.arrivals;
+    departures += e.departures;
+  }
+  EXPECT_GT(arrivals, 0u);
+  EXPECT_GT(departures, 0u);
+}
+
+TEST(MarketDynamics, ActiveCountMatchesFlows) {
+  const Instance pool = make_pool(8);
+  util::Rng rng(3);
+  MarketDynamicsParams params;
+  params.epochs = 12;
+  const MarketDynamicsResult r = simulate_market(pool, params, rng);
+  for (std::size_t e = 1; e < r.epochs.size(); ++e) {
+    EXPECT_EQ(r.epochs[e].active_providers,
+              r.epochs[e - 1].active_providers + r.epochs[e].arrivals -
+                  r.epochs[e].departures);
+  }
+}
+
+TEST(MarketDynamics, TotalsSumEpochs) {
+  const Instance pool = make_pool(9);
+  util::Rng rng(4);
+  MarketDynamicsParams params;
+  params.epochs = 8;
+  const MarketDynamicsResult r = simulate_market(pool, params, rng);
+  double social = 0.0, migration = 0.0;
+  for (const auto& e : r.epochs) {
+    social += e.social_cost;
+    migration += e.migration_cost;
+  }
+  EXPECT_NEAR(r.total_social_cost, social, 1e-9);
+  EXPECT_NEAR(r.total_migration_cost, migration, 1e-9);
+  EXPECT_NEAR(r.total_cost(), social + migration, 1e-9);
+}
+
+TEST(MarketDynamics, IncrementalRepairMigratesLess) {
+  // The policy trade-off: incremental repair produces (weakly) fewer
+  // migrations of continuing providers than recomputing from scratch.
+  std::size_t full = 0, incremental = 0;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const Instance pool = make_pool(seed + 10);
+    MarketDynamicsParams params;
+    params.epochs = 12;
+    util::Rng rng1(seed), rng2(seed);
+    params.policy = ReplanPolicy::FullRecompute;
+    for (const auto& e : simulate_market(pool, params, rng1).epochs) {
+      full += e.migrations;
+    }
+    params.policy = ReplanPolicy::IncrementalRepair;
+    for (const auto& e : simulate_market(pool, params, rng2).epochs) {
+      incremental += e.migrations;
+    }
+  }
+  EXPECT_LE(incremental, full);
+}
+
+TEST(MarketDynamics, FullRecomputeHasLowerSocialCost) {
+  // ... and the other side of the trade-off: full recomputation finds
+  // (weakly) better placements per epoch, summed over seeds.
+  double full = 0.0, incremental = 0.0;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const Instance pool = make_pool(seed + 20);
+    MarketDynamicsParams params;
+    params.epochs = 12;
+    util::Rng rng1(seed), rng2(seed);
+    params.policy = ReplanPolicy::FullRecompute;
+    full += simulate_market(pool, params, rng1).total_social_cost;
+    params.policy = ReplanPolicy::IncrementalRepair;
+    incremental += simulate_market(pool, params, rng2).total_social_cost;
+  }
+  EXPECT_LE(full, incremental * 1.02);
+}
+
+TEST(MarketDynamics, DeterministicGivenSeed) {
+  const Instance pool = make_pool(30);
+  MarketDynamicsParams params;
+  params.epochs = 6;
+  util::Rng a(5), b(5);
+  const auto r1 = simulate_market(pool, params, a);
+  const auto r2 = simulate_market(pool, params, b);
+  EXPECT_DOUBLE_EQ(r1.total_cost(), r2.total_cost());
+  for (std::size_t e = 0; e < r1.epochs.size(); ++e) {
+    EXPECT_EQ(r1.epochs[e].migrations, r2.epochs[e].migrations);
+  }
+}
+
+TEST(MarketDynamics, PolicyNames) {
+  EXPECT_STREQ(replan_policy_name(ReplanPolicy::FullRecompute),
+               "full-recompute");
+  EXPECT_STREQ(replan_policy_name(ReplanPolicy::IncrementalRepair),
+               "incremental-repair");
+}
+
+TEST(MarketDynamics, ZeroEpochs) {
+  const Instance pool = make_pool(31);
+  util::Rng rng(6);
+  MarketDynamicsParams params;
+  params.epochs = 0;
+  const auto r = simulate_market(pool, params, rng);
+  EXPECT_TRUE(r.epochs.empty());
+  EXPECT_DOUBLE_EQ(r.total_cost(), 0.0);
+}
+
+}  // namespace
+}  // namespace mecsc::core

@@ -1,0 +1,129 @@
+#include "net/mec_network.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/topology_zoo.h"
+#include "net/transit_stub.h"
+#include "util/rng.h"
+
+namespace mecsc::net {
+namespace {
+
+MecNetwork build(std::size_t size, std::uint64_t seed,
+                 MecNetworkParams params = {}) {
+  util::Rng rng(seed);
+  TransitStubGraph ts = generate_transit_stub_sized(size, rng);
+  return MecNetwork(std::move(ts.graph), params, rng, ts.stub_nodes);
+}
+
+TEST(MecNetwork, CloudletFractionRespected) {
+  const MecNetwork mec = build(200, 1);
+  const double n = static_cast<double>(mec.topology().node_count());
+  EXPECT_NEAR(static_cast<double>(mec.cloudlet_count()), 0.10 * n, 1.0);
+  EXPECT_EQ(mec.data_center_count(), 5u);
+}
+
+TEST(MecNetwork, PlacementsAreDisjoint) {
+  const MecNetwork mec = build(150, 2);
+  std::set<NodeId> nodes;
+  for (const auto& cl : mec.cloudlets()) nodes.insert(cl.node);
+  for (const auto& dc : mec.data_centers()) nodes.insert(dc.node);
+  EXPECT_EQ(nodes.size(), mec.cloudlet_count() + mec.data_center_count());
+}
+
+TEST(MecNetwork, CapacitiesWithinConfiguredRanges) {
+  MecNetworkParams p;
+  const MecNetwork mec = build(120, 3, p);
+  for (const auto& cl : mec.cloudlets()) {
+    EXPECT_GE(cl.compute_capacity, static_cast<double>(p.vms_lo));
+    EXPECT_LE(cl.compute_capacity, static_cast<double>(p.vms_hi));
+    // Total bandwidth = VMs x per-VM bandwidth in [10, 100] Mbps.
+    EXPECT_GE(cl.bandwidth_capacity,
+              cl.compute_capacity * p.vm_bandwidth_lo_mbps - 1e-9);
+    EXPECT_LE(cl.bandwidth_capacity,
+              cl.compute_capacity * p.vm_bandwidth_hi_mbps + 1e-9);
+  }
+}
+
+TEST(MecNetwork, CloudletsPreferStubNodes) {
+  util::Rng rng(4);
+  TransitStubGraph ts = generate_transit_stub_sized(200, rng);
+  const std::set<NodeId> stubs(ts.stub_nodes.begin(), ts.stub_nodes.end());
+  const MecNetwork mec(std::move(ts.graph), {}, rng, ts.stub_nodes);
+  for (const auto& cl : mec.cloudlets()) {
+    EXPECT_TRUE(stubs.count(cl.node)) << "cloudlet on non-stub node";
+  }
+}
+
+TEST(MecNetwork, DataCentersOnHighDegreeNodes) {
+  const MecNetwork mec = build(200, 5);
+  double dc_avg = 0.0, all_avg = 0.0;
+  for (const auto& dc : mec.data_centers()) {
+    dc_avg += static_cast<double>(mec.topology().degree(dc.node));
+  }
+  dc_avg /= static_cast<double>(mec.data_center_count());
+  for (NodeId v = 0; v < mec.topology().node_count(); ++v) {
+    all_avg += static_cast<double>(mec.topology().degree(v));
+  }
+  all_avg /= static_cast<double>(mec.topology().node_count());
+  EXPECT_GT(dc_avg, all_avg);
+}
+
+TEST(MecNetwork, HopMatricesConsistent) {
+  const MecNetwork mec = build(100, 6);
+  for (std::size_t c = 0; c < mec.cloudlet_count(); ++c) {
+    EXPECT_DOUBLE_EQ(mec.cloudlet_to_cloudlet_hops(c, c), 0.0);
+    for (std::size_t c2 = 0; c2 < mec.cloudlet_count(); ++c2) {
+      EXPECT_DOUBLE_EQ(mec.cloudlet_to_cloudlet_hops(c, c2),
+                       mec.cloudlet_to_cloudlet_hops(c2, c));
+    }
+    for (std::size_t d = 0; d < mec.data_center_count(); ++d) {
+      const double h = mec.cloudlet_to_dc_hops(c, d);
+      EXPECT_GE(h, 1.0);  // disjoint placement => at least one hop
+      EXPECT_NE(h, kUnreachable);
+    }
+  }
+}
+
+TEST(MecNetwork, NearestDcIsArgmin) {
+  const MecNetwork mec = build(150, 7);
+  for (std::size_t c = 0; c < mec.cloudlet_count(); ++c) {
+    const std::size_t best = mec.nearest_dc(c);
+    for (std::size_t d = 0; d < mec.data_center_count(); ++d) {
+      EXPECT_LE(mec.cloudlet_to_dc_hops(c, best),
+                mec.cloudlet_to_dc_hops(c, d));
+    }
+  }
+}
+
+TEST(MecNetwork, MaxHopsIsMaximum) {
+  const MecNetwork mec = build(100, 8);
+  double expect = 0.0;
+  for (std::size_t c = 0; c < mec.cloudlet_count(); ++c) {
+    for (std::size_t d = 0; d < mec.data_center_count(); ++d) {
+      expect = std::max(expect, mec.cloudlet_to_dc_hops(c, d));
+    }
+  }
+  EXPECT_DOUBLE_EQ(mec.max_cloudlet_dc_hops(), expect);
+}
+
+TEST(MecNetwork, WorksOnAs1755) {
+  util::Rng rng(9);
+  const MecNetwork mec(as1755_topology(), {}, rng);
+  EXPECT_EQ(mec.cloudlet_count(), 8u);  // 10% of 87
+  EXPECT_EQ(mec.data_center_count(), 5u);
+}
+
+TEST(MecNetwork, TinyTopologyStillBuilds) {
+  util::Rng rng(10);
+  Graph g(12);
+  for (NodeId i = 0; i + 1 < 12; ++i) g.add_edge(i, i + 1);
+  const MecNetwork mec(std::move(g), {}, rng);
+  EXPECT_GE(mec.cloudlet_count(), 1u);
+  EXPECT_GE(mec.data_center_count(), 1u);
+}
+
+}  // namespace
+}  // namespace mecsc::net

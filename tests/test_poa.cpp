@@ -1,0 +1,94 @@
+#include "core/poa.h"
+
+#include <gtest/gtest.h>
+
+#include "core/virtual_cloudlet.h"
+#include "util/rng.h"
+
+namespace mecsc::core {
+namespace {
+
+Instance make(std::uint64_t seed, std::size_t providers = 8) {
+  util::Rng rng(seed);
+  InstanceParams p;
+  p.network_size = 50;
+  p.provider_count = providers;
+  return generate_instance(p, rng);
+}
+
+TEST(Theorem1Bound, FormulaAtFixedV) {
+  // 2δκ/(1-v) * (1/(4v) + 1 - ξ) with δ=κ=1, ξ=0, v=0.5:
+  // 2/(0.5) * (0.5 + 1) = 4 * 1.5 = 6.
+  EXPECT_NEAR(theorem1_bound_at(1.0, 1.0, 0.0, 0.5), 6.0, 1e-12);
+  // ξ=1 removes the (1-ξ) term: 4 * 0.5 = 2.
+  EXPECT_NEAR(theorem1_bound_at(1.0, 1.0, 1.0, 0.5), 2.0, 1e-12);
+}
+
+TEST(Theorem1Bound, ScalesLinearlyInDeltaKappa) {
+  const double base = theorem1_bound(1.0, 1.0, 0.3);
+  EXPECT_NEAR(theorem1_bound(2.0, 1.0, 0.3), 2.0 * base, 1e-9);
+  EXPECT_NEAR(theorem1_bound(2.0, 3.0, 0.3), 6.0 * base, 1e-9);
+}
+
+TEST(Theorem1Bound, MinOverVIsBelowAnySample) {
+  const double tight = theorem1_bound(1.5, 2.0, 0.4);
+  for (const double v : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    EXPECT_LE(tight, theorem1_bound_at(1.5, 2.0, 0.4, v) + 1e-9);
+  }
+}
+
+TEST(Theorem1Bound, MoreCoordinationTightensBound) {
+  EXPECT_GT(theorem1_bound(1.0, 1.0, 0.0), theorem1_bound(1.0, 1.0, 0.5));
+  EXPECT_GT(theorem1_bound(1.0, 1.0, 0.5), theorem1_bound(1.0, 1.0, 1.0));
+}
+
+TEST(EstimatePoa, EquilibriaExistAndRatioAtLeastOne) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const Instance inst = make(seed);
+    util::Rng rng(seed * 17);
+    PoaOptions options;
+    options.restarts = 10;
+    const PoaResult r = estimate_poa(inst, options, rng);
+    EXPECT_GT(r.equilibria_found, 0u) << "seed " << seed;
+    ASSERT_TRUE(r.optimum_exact) << "seed " << seed;
+    EXPECT_GE(r.empirical_poa, 1.0 - 1e-9) << "seed " << seed;
+    EXPECT_LE(r.best_equilibrium_cost, r.worst_equilibrium_cost + 1e-12);
+    EXPECT_GT(r.theoretical_bound, 0.0);
+  }
+}
+
+TEST(EstimatePoa, EmpiricalPoaWithinTheorem1Bound) {
+  // Theorem 1 upper-bounds the PoA of the LCF mechanism; the empirical worst
+  // equilibrium must respect it (the bound is loose, so this passes with a
+  // wide margin — the bench reports how loose).
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const Instance inst = make(seed);
+    util::Rng rng(seed * 31);
+    PoaOptions options;
+    options.restarts = 10;
+    options.coordinated_fraction = 0.5;
+    const PoaResult r = estimate_poa(inst, options, rng);
+    if (!r.optimum_exact || r.equilibria_found == 0) continue;
+    EXPECT_LE(r.empirical_poa, r.theoretical_bound + 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(EstimatePoa, CoordinationReducesWorstEquilibrium) {
+  // Averaged across seeds: pinning the costliest providers at the Appro
+  // solution should not worsen the worst equilibrium.
+  double selfish = 0.0, coordinated = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Instance inst = make(seed, 10);
+    util::Rng rng1(seed), rng2(seed);
+    PoaOptions none, half;
+    none.restarts = 10;
+    half.restarts = 10;
+    half.coordinated_fraction = 0.5;
+    selfish += estimate_poa(inst, none, rng1).worst_equilibrium_cost;
+    coordinated += estimate_poa(inst, half, rng2).worst_equilibrium_cost;
+  }
+  EXPECT_LE(coordinated, selfish * 1.05);
+}
+
+}  // namespace
+}  // namespace mecsc::core

@@ -1,0 +1,130 @@
+#include "core/pricing.h"
+
+#include <gtest/gtest.h>
+
+#include "core/congestion_game.h"
+#include "util/rng.h"
+
+namespace mecsc::core {
+namespace {
+
+Instance make(std::uint64_t seed, std::size_t providers = 40) {
+  util::Rng rng(seed);
+  InstanceParams p;
+  p.network_size = 80;
+  p.provider_count = providers;
+  return generate_instance(p, rng);
+}
+
+TEST(PricedGame, SurchargeShiftsBestResponse) {
+  const Instance inst = make(1);
+  Assignment a(inst);
+  const std::size_t free_choice = best_response(a, 0);
+  if (free_choice == kRemote) GTEST_SKIP() << "provider prefers remote";
+  // An enormous price on the preferred cloudlet must push provider 0 away.
+  std::vector<double> prices(inst.cloudlet_count(), 0.0);
+  prices[free_choice] = 1e6;
+  const std::size_t priced_choice = best_response(a, 0, 1e-9, &prices);
+  EXPECT_NE(priced_choice, free_choice);
+}
+
+TEST(PricedGame, ZeroPricesMatchUnpricedGame) {
+  const Instance inst = make(2);
+  const std::vector<double> zero(inst.cloudlet_count(), 0.0);
+  const std::vector<bool> movable(inst.provider_count(), true);
+  BestResponseOptions priced;
+  priced.cloudlet_surcharge = &zero;
+  const GameResult a = best_response_dynamics(Assignment(inst), movable);
+  const GameResult b =
+      best_response_dynamics(Assignment(inst), movable, priced);
+  EXPECT_TRUE(a.assignment == b.assignment);
+}
+
+TEST(PricedGame, DynamicsConvergeUnderPrices) {
+  const Instance inst = make(3);
+  util::Rng rng(9);
+  std::vector<double> prices(inst.cloudlet_count());
+  for (auto& p : prices) p = rng.uniform_real(0.0, 1.0);
+  const std::vector<bool> movable(inst.provider_count(), true);
+  BestResponseOptions bro;
+  bro.cloudlet_surcharge = &prices;
+  const GameResult r =
+      best_response_dynamics(Assignment(inst), movable, bro);
+  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(is_nash_equilibrium(r.assignment, movable, 1e-9, &prices));
+  // Generally NOT an equilibrium of the unpriced game.
+}
+
+TEST(Pricing, ResultIsFeasiblePricedEquilibrium) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Instance inst = make(seed);
+    const PricingResult r = decentralize_by_pricing(inst);
+    EXPECT_TRUE(r.assignment.feasible()) << "seed " << seed;
+    EXPECT_TRUE(is_nash_equilibrium(
+        r.assignment, std::vector<bool>(inst.provider_count(), true), 1e-9,
+        &r.prices))
+        << "seed " << seed;
+    for (const double p : r.prices) EXPECT_GE(p, 0.0);
+  }
+}
+
+TEST(Pricing, ShrinksOccupancyGapVersusFreeEquilibrium) {
+  // The whole point: prices pull the equilibrium's congestion profile
+  // toward the coordinated target. Compare against the zero-price NE gap.
+  std::size_t priced_gap = 0, free_gap = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Instance inst = make(seed + 20);
+    const PricingResult r = decentralize_by_pricing(inst);
+    priced_gap += r.occupancy_gap;
+    const GameResult ne = best_response_dynamics(
+        Assignment(inst), std::vector<bool>(inst.provider_count(), true));
+    for (CloudletId i = 0; i < inst.cloudlet_count(); ++i) {
+      const auto occ = static_cast<std::ptrdiff_t>(ne.assignment.occupancy(i));
+      const auto target = static_cast<std::ptrdiff_t>(r.target_occupancy[i]);
+      free_gap += static_cast<std::size_t>(std::abs(occ - target));
+    }
+  }
+  EXPECT_LE(priced_gap, free_gap);
+}
+
+TEST(Pricing, RevenueMatchesPricesTimesOccupancy) {
+  const Instance inst = make(6);
+  const PricingResult r = decentralize_by_pricing(inst);
+  double revenue = 0.0;
+  for (CloudletId i = 0; i < inst.cloudlet_count(); ++i) {
+    revenue += r.prices[i] * static_cast<double>(r.assignment.occupancy(i));
+  }
+  EXPECT_NEAR(r.revenue, revenue, 1e-9);
+}
+
+TEST(Pricing, SocialCostExcludesTransfers) {
+  const Instance inst = make(7);
+  const PricingResult r = decentralize_by_pricing(inst);
+  EXPECT_NEAR(r.social_cost, r.assignment.social_cost(), 1e-9);
+}
+
+TEST(Pricing, PerfectMatchStopsEarly) {
+  // When the free equilibrium already matches the target, the tâtonnement
+  // should stop at iteration 1 with zero prices.
+  for (std::uint64_t seed = 30; seed <= 40; ++seed) {
+    const Instance inst = make(seed, 10);  // light load: targets easy to hit
+    const PricingResult r = decentralize_by_pricing(inst);
+    if (r.occupancy_gap == 0 && r.iterations == 1) {
+      for (const double p : r.prices) EXPECT_DOUBLE_EQ(p, 0.0);
+      return;  // found the expected case
+    }
+  }
+  GTEST_SKIP() << "no instance with a freely matching equilibrium";
+}
+
+TEST(Pricing, TargetsComeFromAppro) {
+  const Instance inst = make(8);
+  const PricingResult r = decentralize_by_pricing(inst);
+  const ApproResult appro = run_appro(inst);
+  for (CloudletId i = 0; i < inst.cloudlet_count(); ++i) {
+    EXPECT_EQ(r.target_occupancy[i], appro.assignment.occupancy(i));
+  }
+}
+
+}  // namespace
+}  // namespace mecsc::core

@@ -1,0 +1,156 @@
+#include "net/random_graphs.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace mecsc::net {
+namespace {
+
+TEST(ErdosRenyi, NodeCountAndConnectivity) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g =
+        generate_erdos_renyi({.node_count = 40, .edge_probability = 0.05},
+                             rng);
+    EXPECT_EQ(g.node_count(), 40u);
+    EXPECT_TRUE(g.connected());
+  }
+}
+
+TEST(ErdosRenyi, SparseExtreme) {
+  util::Rng rng(2);
+  const Graph g = generate_erdos_renyi(
+      {.node_count = 30, .edge_probability = 0.0}, rng);
+  EXPECT_TRUE(g.connected());  // pure patch chain
+  EXPECT_EQ(g.edge_count(), 29u);
+}
+
+TEST(ErdosRenyi, DenseExtreme) {
+  util::Rng rng(3);
+  const Graph g = generate_erdos_renyi(
+      {.node_count = 20, .edge_probability = 1.0}, rng);
+  EXPECT_EQ(g.edge_count(), 20u * 19u / 2u);
+}
+
+TEST(ErdosRenyi, EdgeCountNearExpectation) {
+  util::Rng rng(4);
+  const std::size_t n = 60;
+  const double p = 0.2;
+  const Graph g =
+      generate_erdos_renyi({.node_count = n, .edge_probability = p}, rng);
+  const double expected = p * static_cast<double>(n * (n - 1) / 2);
+  EXPECT_NEAR(static_cast<double>(g.edge_count()), expected,
+              0.25 * expected);
+}
+
+TEST(ErdosRenyi, AttributesInRange) {
+  util::Rng rng(5);
+  ErdosRenyiParams params;
+  params.length_lo = 2.0;
+  params.length_hi = 3.0;
+  params.bandwidth_lo_mbps = 100.0;
+  params.bandwidth_hi_mbps = 200.0;
+  const Graph g = generate_erdos_renyi(params, rng);
+  for (const Edge& e : g.edges()) {
+    EXPECT_GE(e.length, 2.0);
+    EXPECT_LE(e.length, 3.0);
+    EXPECT_GE(e.bandwidth_mbps, 100.0);
+    EXPECT_LE(e.bandwidth_mbps, 200.0);
+  }
+}
+
+TEST(BarabasiAlbert, StructureAndConnectivity) {
+  util::Rng rng(6);
+  const Graph g = generate_barabasi_albert(
+      {.node_count = 80, .edges_per_node = 2}, rng);
+  EXPECT_EQ(g.node_count(), 80u);
+  EXPECT_TRUE(g.connected());
+  // Seed clique C(3,2)=3 edges + (80-3) nodes x 2 edges.
+  EXPECT_EQ(g.edge_count(), 3u + 77u * 2u);
+}
+
+TEST(BarabasiAlbert, MinimumDegreeIsM) {
+  util::Rng rng(7);
+  const std::size_t m = 3;
+  const Graph g = generate_barabasi_albert(
+      {.node_count = 60, .edges_per_node = m}, rng);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_GE(g.degree(v), m);
+  }
+}
+
+TEST(BarabasiAlbert, HeavierTailThanErdosRenyi) {
+  // At matched mean degree, BA's degree variance dominates ER's.
+  util::Rng rng1(8), rng2(8);
+  const Graph ba = generate_barabasi_albert(
+      {.node_count = 100, .edges_per_node = 2}, rng1);
+  const double mean_degree =
+      2.0 * static_cast<double>(ba.edge_count()) / 100.0;
+  const Graph er = generate_erdos_renyi(
+      {.node_count = 100, .edge_probability = mean_degree / 99.0}, rng2);
+  EXPECT_GT(degree_stats(ba).variance, degree_stats(er).variance);
+}
+
+TEST(DegreeStats, HandComputed) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  const DegreeStats s = degree_stats(g);  // degrees 3,1,1,1
+  EXPECT_DOUBLE_EQ(s.mean, 1.5);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 3u);
+  EXPECT_DOUBLE_EQ(s.variance, 0.75);
+}
+
+TEST(DegreeStats, EmptyGraph) {
+  const DegreeStats s = degree_stats(Graph{});
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Clustering, TriangleIsOne) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  EXPECT_DOUBLE_EQ(clustering_coefficient(g), 1.0);
+}
+
+TEST(Clustering, StarIsZero) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  EXPECT_DOUBLE_EQ(clustering_coefficient(g), 0.0);
+}
+
+TEST(Clustering, PathIsZeroAndEmptySafe) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_DOUBLE_EQ(clustering_coefficient(g), 0.0);
+  EXPECT_DOUBLE_EQ(clustering_coefficient(Graph{}), 0.0);
+}
+
+TEST(Clustering, TriangleWithPendant) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  // Triples: node0:1, node1:1, node2:3 -> 5; closed: 3 -> 0.6.
+  EXPECT_NEAR(clustering_coefficient(g), 0.6, 1e-12);
+}
+
+TEST(Clustering, ParallelEdgesCollapsed) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);  // duplicate
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  EXPECT_DOUBLE_EQ(clustering_coefficient(g), 1.0);
+}
+
+}  // namespace
+}  // namespace mecsc::net

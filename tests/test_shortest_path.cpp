@@ -1,0 +1,139 @@
+#include "net/shortest_path.h"
+
+#include <gtest/gtest.h>
+
+#include "net/waxman.h"
+#include "util/rng.h"
+
+namespace mecsc::net {
+namespace {
+
+Graph line_graph(std::size_t n, double step = 1.0) {
+  Graph g(n);
+  for (NodeId i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1, step);
+  return g;
+}
+
+TEST(Dijkstra, LineGraphDistances) {
+  const Graph g = line_graph(5, 2.0);
+  const auto t = dijkstra(g, 0);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_DOUBLE_EQ(t.distance[v], 2.0 * static_cast<double>(v));
+  }
+}
+
+TEST(Dijkstra, PrefersCheaperLongerPath) {
+  Graph g(4);
+  g.add_edge(0, 3, 10.0);  // direct but expensive
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+  const auto t = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(t.distance[3], 3.0);
+  EXPECT_EQ(t.path_to(3), (std::vector<NodeId>{0, 1, 2, 3}));
+}
+
+TEST(Dijkstra, UnreachableIsInfinity) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  const auto t = dijkstra(g, 0);
+  EXPECT_EQ(t.distance[2], kUnreachable);
+  EXPECT_TRUE(t.path_to(2).empty());
+}
+
+TEST(Dijkstra, SourcePath) {
+  const Graph g = line_graph(3);
+  const auto t = dijkstra(g, 1);
+  EXPECT_DOUBLE_EQ(t.distance[1], 0.0);
+  EXPECT_EQ(t.path_to(1), (std::vector<NodeId>{1}));
+}
+
+TEST(Dijkstra, ZeroLengthEdges) {
+  Graph g(3);
+  g.add_edge(0, 1, 0.0);
+  g.add_edge(1, 2, 0.0);
+  const auto t = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(t.distance[2], 0.0);
+}
+
+TEST(Dijkstra, ParallelEdgesUseCheapest) {
+  Graph g(2);
+  g.add_edge(0, 1, 5.0);
+  g.add_edge(0, 1, 2.0);
+  EXPECT_DOUBLE_EQ(dijkstra(g, 0).distance[1], 2.0);
+}
+
+TEST(BfsHops, CountsEdgesNotLengths) {
+  Graph g(3);
+  g.add_edge(0, 1, 100.0);
+  g.add_edge(1, 2, 100.0);
+  const auto t = bfs_hops(g, 0);
+  EXPECT_DOUBLE_EQ(t.distance[2], 2.0);
+}
+
+TEST(BfsHops, ShortestHopPathWins) {
+  Graph g(4);
+  g.add_edge(0, 3, 100.0);  // 1 hop, long
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+  EXPECT_DOUBLE_EQ(bfs_hops(g, 0).distance[3], 1.0);
+}
+
+TEST(PathTo, EndpointsAndContiguity) {
+  util::Rng rng(3);
+  const auto sg = generate_waxman({.node_count = 40}, rng);
+  const auto t = dijkstra(sg.graph, 0);
+  for (NodeId v = 0; v < sg.graph.node_count(); ++v) {
+    const auto path = t.path_to(v);
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.front(), 0u);
+    EXPECT_EQ(path.back(), v);
+    for (std::size_t k = 0; k + 1 < path.size(); ++k) {
+      EXPECT_TRUE(sg.graph.has_edge(path[k], path[k + 1]));
+    }
+  }
+}
+
+TEST(DijkstraProperty, TriangleInequalityOverRandomGraphs) {
+  util::Rng rng(17);
+  const auto sg = generate_waxman({.node_count = 30}, rng);
+  const DistanceMatrix d(sg.graph);
+  const std::size_t n = d.node_count();
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      for (NodeId c = 0; c < n; c += 7) {
+        EXPECT_LE(d.at(a, b), d.at(a, c) + d.at(c, b) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(DistanceMatrix, SymmetricWithZeroDiagonal) {
+  util::Rng rng(23);
+  const auto sg = generate_waxman({.node_count = 25}, rng);
+  const DistanceMatrix d(sg.graph);
+  for (NodeId a = 0; a < d.node_count(); ++a) {
+    EXPECT_DOUBLE_EQ(d.at(a, a), 0.0);
+    for (NodeId b = 0; b < d.node_count(); ++b) {
+      EXPECT_NEAR(d.at(a, b), d.at(b, a), 1e-12);
+    }
+  }
+}
+
+TEST(DistanceMatrix, HopModeMatchesBfs) {
+  const Graph g = line_graph(6, 5.0);
+  const DistanceMatrix d(g, /*by_hops=*/true);
+  EXPECT_DOUBLE_EQ(d.at(0, 5), 5.0);  // 5 hops despite length 25
+  EXPECT_DOUBLE_EQ(d.diameter(), 5.0);
+}
+
+TEST(DistanceMatrix, DiameterOfDisconnectedIgnoresInfinity) {
+  Graph g(3);
+  g.add_edge(0, 1, 4.0);
+  const DistanceMatrix d(g);
+  EXPECT_DOUBLE_EQ(d.diameter(), 4.0);
+}
+
+}  // namespace
+}  // namespace mecsc::net

@@ -1,0 +1,110 @@
+#include "core/social_optimum.h"
+
+#include <gtest/gtest.h>
+
+#include "core/appro.h"
+#include "core/congestion_game.h"
+#include "core/lcf.h"
+#include "util/rng.h"
+
+namespace mecsc::core {
+namespace {
+
+Instance make(std::uint64_t seed, std::size_t providers = 8) {
+  util::Rng rng(seed);
+  InstanceParams p;
+  p.network_size = 50;
+  p.provider_count = providers;
+  return generate_instance(p, rng);
+}
+
+/// Exhaustive check over all (m+1)^n profiles for tiny n.
+double exhaustive_optimum(const Instance& inst) {
+  const std::size_t n = inst.provider_count();
+  const std::size_t m = inst.cloudlet_count();
+  std::vector<std::size_t> choice(n, 0);  // m means remote
+  double best = 1e300;
+  while (true) {
+    Assignment a(inst);
+    bool ok = true;
+    for (ProviderId l = 0; l < n && ok; ++l) {
+      const std::size_t t = choice[l] == m ? kRemote : choice[l];
+      if (a.can_move(l, t)) {
+        a.move(l, t);
+      } else {
+        ok = false;
+      }
+    }
+    if (ok) best = std::min(best, a.social_cost());
+    std::size_t k = 0;
+    while (k < n && ++choice[k] == m + 1) choice[k++] = 0;
+    if (k == n) break;
+  }
+  return best;
+}
+
+TEST(SocialOptimum, MatchesExhaustiveSearchTiny) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    util::Rng rng(seed);
+    InstanceParams p;
+    p.network_size = 50;
+    p.provider_count = 4;
+    p.mec.cloudlet_fraction = 0.06;  // ~3 cloudlets keeps exhaustive cheap
+    const Instance inst = generate_instance(p, rng);
+    const SocialOptimumResult r = solve_social_optimum(inst);
+    ASSERT_TRUE(r.proven_optimal);
+    EXPECT_NEAR(r.cost, exhaustive_optimum(inst), 1e-9) << "seed " << seed;
+    EXPECT_TRUE(r.assignment.feasible());
+    EXPECT_NEAR(r.assignment.social_cost(), r.cost, 1e-9);
+  }
+}
+
+TEST(SocialOptimum, NeverWorseThanAnyAlgorithm) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Instance inst = make(seed);
+    const SocialOptimumResult opt = solve_social_optimum(inst);
+    ASSERT_TRUE(opt.proven_optimal);
+    EXPECT_LE(opt.cost, run_appro(inst).assignment.social_cost() + 1e-9);
+    EXPECT_LE(opt.cost, run_lcf(inst).social_cost() + 1e-9);
+    const GameResult ne = best_response_dynamics(
+        Assignment(inst), std::vector<bool>(inst.provider_count(), true));
+    EXPECT_LE(opt.cost, ne.assignment.social_cost() + 1e-9);
+  }
+}
+
+TEST(SocialOptimum, LowerBoundIsBelowOptimum) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Instance inst = make(seed);
+    const SocialOptimumResult opt = solve_social_optimum(inst);
+    ASSERT_TRUE(opt.proven_optimal);
+    EXPECT_LE(social_cost_lower_bound(inst), opt.cost + 1e-9);
+  }
+}
+
+TEST(SocialOptimum, NodeLimitReturnsIncumbent) {
+  const Instance inst = make(1, 12);
+  SocialOptimumOptions options;
+  options.node_limit = 50;  // absurdly small
+  const SocialOptimumResult r = solve_social_optimum(inst, options);
+  EXPECT_FALSE(r.proven_optimal);
+  EXPECT_TRUE(r.assignment.feasible());
+  EXPECT_GT(r.cost, 0.0);
+}
+
+TEST(SocialOptimum, EmptyInstance) {
+  Instance inst = make(2);
+  inst.providers.clear();
+  const SocialOptimumResult r = solve_social_optimum(inst);
+  EXPECT_TRUE(r.proven_optimal);
+  EXPECT_DOUBLE_EQ(r.cost, 0.0);
+}
+
+TEST(SocialOptimum, OptimumBelowAllRemoteProfile) {
+  const Instance inst = make(3);
+  const SocialOptimumResult r = solve_social_optimum(inst);
+  ASSERT_TRUE(r.proven_optimal);
+  EXPECT_LE(r.cost, Assignment(inst).social_cost() + 1e-9);
+}
+
+}  // namespace
+}  // namespace mecsc::core

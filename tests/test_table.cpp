@@ -1,0 +1,81 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mecsc::util {
+namespace {
+
+TEST(Table, RendersHeadersAndRows) {
+  Table t({"name", "count", "ratio"});
+  t.add_row({std::string("alpha"), 3LL, 0.5});
+  t.add_row({std::string("b"), 12345LL, 1.25});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("12345"), std::string::npos);
+  EXPECT_NE(s.find("1.250"), std::string::npos);  // default precision 3
+}
+
+TEST(Table, PrecisionControlsDoubles) {
+  Table t({"v"});
+  t.set_precision(1);
+  t.add_row({3.14159});
+  EXPECT_NE(t.to_string().find("3.1"), std::string::npos);
+  EXPECT_EQ(t.to_string().find("3.14"), std::string::npos);
+}
+
+TEST(Table, ColumnsAlign) {
+  Table t({"a", "bbbb"});
+  t.add_row({std::string("xxxxxx"), 1LL});
+  const std::string s = t.to_string();
+  std::istringstream in(s);
+  std::string header, sep, row;
+  std::getline(in, header);
+  std::getline(in, sep);
+  std::getline(in, row);
+  EXPECT_EQ(header.size(), row.size());
+  EXPECT_EQ(sep.find_first_not_of('-'), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"x"});
+  t.add_row({std::string("a,b")});
+  t.add_row({std::string("say \"hi\"")});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, CsvRowCount) {
+  Table t({"a", "b"});
+  t.add_row({1LL, 2LL});
+  t.add_row({3LL, 4LL});
+  const std::string csv = t.to_csv();
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);  // header + 2 rows
+}
+
+TEST(Table, CountsRowsAndCols) {
+  Table t({"a", "b", "c"});
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({1LL, 2LL, 3LL});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double(1.0, 2), "1.00");
+  EXPECT_EQ(format_double(-0.125, 3), "-0.125");
+}
+
+TEST(PrintSection, IncludesTitle) {
+  Table t({"a"});
+  t.add_row({1LL});
+  std::ostringstream os;
+  print_section(os, "Fig. 2 (a)", t);
+  EXPECT_NE(os.str().find("=== Fig. 2 (a) ==="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mecsc::util

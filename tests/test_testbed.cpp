@@ -1,0 +1,83 @@
+#include "sim/testbed.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace mecsc::sim {
+namespace {
+
+TEST(Testbed, AlgorithmNames) {
+  EXPECT_EQ(algorithm_name(Algorithm::Lcf), "LCF");
+  EXPECT_EQ(algorithm_name(Algorithm::JoOffloadCache), "JoOffloadCache");
+  EXPECT_EQ(algorithm_name(Algorithm::OffloadCache), "OffloadCache");
+}
+
+TEST(Testbed, RunAlgorithmMeasuresTime) {
+  util::Rng rng(1);
+  core::InstanceParams p;
+  p.network_size = 60;
+  p.provider_count = 30;
+  const core::Instance inst = core::generate_instance(p, rng);
+  double ms = -1.0;
+  const core::Assignment a =
+      run_algorithm(inst, Algorithm::Lcf, 0.3, &ms);
+  EXPECT_GE(ms, 0.0);
+  EXPECT_TRUE(a.feasible());
+}
+
+TEST(Testbed, RunAlgorithmNullTimerOk) {
+  util::Rng rng(2);
+  core::InstanceParams p;
+  p.network_size = 50;
+  p.provider_count = 10;
+  const core::Instance inst = core::generate_instance(p, rng);
+  const core::Assignment a =
+      run_algorithm(inst, Algorithm::OffloadCache, 0.3, nullptr);
+  EXPECT_TRUE(a.feasible());
+}
+
+TEST(Testbed, FullRunProducesAllThreeAlgorithms) {
+  util::Rng rng(3);
+  TestbedConfig config;
+  config.provider_count = 30;
+  config.workload.horizon_s = 10.0;
+  const TestbedRun run = run_testbed(config, rng);
+  ASSERT_EQ(run.results.size(), 3u);
+  for (const auto& r : run.results) {
+    EXPECT_GT(r.analytic_social_cost, 0.0);
+    EXPECT_GT(r.measured_social_cost, 0.0);
+    EXPECT_GE(r.algorithm_ms, 0.0);
+    EXPECT_GT(r.request_latency_s.count, 0u);
+  }
+}
+
+TEST(Testbed, LcfBeatsBaselinesOnAs1755) {
+  // Fig. 5(a) shape: LCF has a much lower social cost than the baselines.
+  double lcf = 0.0, jo = 0.0, oc = 0.0;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    util::Rng rng(seed);
+    TestbedConfig config;
+    config.provider_count = 60;
+    config.workload.horizon_s = 10.0;
+    const TestbedRun run = run_testbed(config, rng);
+    lcf += run.results[0].analytic_social_cost;
+    jo += run.results[1].analytic_social_cost;
+    oc += run.results[2].analytic_social_cost;
+  }
+  EXPECT_LT(lcf, jo);
+  EXPECT_LT(jo, oc);
+}
+
+TEST(Testbed, UsesAs1755Topology) {
+  util::Rng rng(4);
+  TestbedConfig config;
+  config.instance.use_as1755 = false;  // forced back on by run_testbed
+  config.provider_count = 10;
+  config.workload.horizon_s = 5.0;
+  const TestbedRun run = run_testbed(config, rng);
+  EXPECT_EQ(run.results.size(), 3u);
+}
+
+}  // namespace
+}  // namespace mecsc::sim

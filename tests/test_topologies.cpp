@@ -1,0 +1,202 @@
+// Tests for the topology generators: Waxman, GT-ITM-style transit-stub, and
+// the AS1755 synthetic equivalent.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/topology_zoo.h"
+#include "net/transit_stub.h"
+#include "net/waxman.h"
+#include "util/rng.h"
+
+namespace mecsc::net {
+namespace {
+
+TEST(Waxman, NodeCountMatches) {
+  util::Rng rng(1);
+  const auto sg = generate_waxman({.node_count = 64}, rng);
+  EXPECT_EQ(sg.graph.node_count(), 64u);
+  EXPECT_EQ(sg.x.size(), 64u);
+  EXPECT_EQ(sg.y.size(), 64u);
+}
+
+TEST(Waxman, AlwaysConnected) {
+  util::Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto sg = generate_waxman(
+        {.node_count = 30, .alpha = 0.05, .beta = 0.05}, rng);
+    EXPECT_TRUE(sg.graph.connected());
+  }
+}
+
+TEST(Waxman, CoordinatesInUnitSquare) {
+  util::Rng rng(3);
+  const auto sg = generate_waxman({.node_count = 50}, rng);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_GE(sg.x[i], 0.0);
+    EXPECT_LT(sg.x[i], 1.0);
+    EXPECT_GE(sg.y[i], 0.0);
+    EXPECT_LT(sg.y[i], 1.0);
+  }
+}
+
+TEST(Waxman, EdgeLengthsMatchEuclideanDistance) {
+  util::Rng rng(4);
+  const auto sg = generate_waxman({.node_count = 40}, rng);
+  for (const Edge& e : sg.graph.edges()) {
+    const double dx = sg.x[e.u] - sg.x[e.v];
+    const double dy = sg.y[e.u] - sg.y[e.v];
+    EXPECT_NEAR(e.length, std::sqrt(dx * dx + dy * dy), 1e-12);
+  }
+}
+
+TEST(Waxman, BandwidthInRange) {
+  util::Rng rng(5);
+  WaxmanParams p{.node_count = 40,
+                 .alpha = 0.4,
+                 .beta = 0.4,
+                 .bandwidth_lo_mbps = 100.0,
+                 .bandwidth_hi_mbps = 200.0};
+  const auto sg = generate_waxman(p, rng);
+  for (const Edge& e : sg.graph.edges()) {
+    EXPECT_GE(e.bandwidth_mbps, 100.0);
+    EXPECT_LE(e.bandwidth_mbps, 200.0);
+  }
+}
+
+TEST(Waxman, HigherAlphaGivesDenserGraphs) {
+  util::Rng rng1(6), rng2(6);
+  const auto sparse = generate_waxman(
+      {.node_count = 60, .alpha = 0.1, .beta = 0.4}, rng1);
+  const auto dense = generate_waxman(
+      {.node_count = 60, .alpha = 0.9, .beta = 0.4}, rng2);
+  EXPECT_GT(dense.graph.edge_count(), sparse.graph.edge_count());
+}
+
+TEST(Waxman, DeterministicGivenSeed) {
+  util::Rng a(7), b(7);
+  const auto g1 = generate_waxman({.node_count = 30}, a);
+  const auto g2 = generate_waxman({.node_count = 30}, b);
+  ASSERT_EQ(g1.graph.edge_count(), g2.graph.edge_count());
+  for (std::size_t e = 0; e < g1.graph.edge_count(); ++e) {
+    EXPECT_EQ(g1.graph.edge(e).u, g2.graph.edge(e).u);
+    EXPECT_EQ(g1.graph.edge(e).v, g2.graph.edge(e).v);
+  }
+}
+
+TEST(TransitStub, StructureCounts) {
+  util::Rng rng(8);
+  TransitStubParams p;
+  p.transit_domains = 2;
+  p.nodes_per_transit = 3;
+  p.stubs_per_transit_node = 2;
+  p.nodes_per_stub = 4;
+  const auto ts = generate_transit_stub(p, rng);
+  EXPECT_EQ(ts.transit_nodes.size(), 6u);
+  EXPECT_EQ(ts.stub_nodes.size(), 6u * 2u * 4u);
+  EXPECT_EQ(ts.graph.node_count(),
+            ts.transit_nodes.size() + ts.stub_nodes.size());
+  EXPECT_TRUE(ts.graph.connected());
+}
+
+TEST(TransitStub, KindsAndDomainsConsistent) {
+  util::Rng rng(9);
+  const auto ts = generate_transit_stub({}, rng);
+  ASSERT_EQ(ts.kind.size(), ts.graph.node_count());
+  ASSERT_EQ(ts.domain.size(), ts.graph.node_count());
+  for (const NodeId n : ts.transit_nodes) {
+    EXPECT_EQ(ts.kind[n], NodeKind::Transit);
+  }
+  for (const NodeId n : ts.stub_nodes) {
+    EXPECT_EQ(ts.kind[n], NodeKind::Stub);
+  }
+}
+
+TEST(TransitStub, SizedGeneratorHitsTarget) {
+  util::Rng rng(10);
+  for (const std::size_t target : {50u, 100u, 250u, 400u}) {
+    const auto ts = generate_transit_stub_sized(target, rng);
+    const double n = static_cast<double>(ts.graph.node_count());
+    EXPECT_GE(n, 0.7 * static_cast<double>(target))
+        << "target " << target;
+    EXPECT_LE(n, 1.3 * static_cast<double>(target))
+        << "target " << target;
+    EXPECT_TRUE(ts.graph.connected());
+  }
+}
+
+TEST(TransitStub, StubNodesAreMajority) {
+  util::Rng rng(11);
+  const auto ts = generate_transit_stub_sized(200, rng);
+  EXPECT_GT(ts.stub_nodes.size(), ts.transit_nodes.size() * 3);
+}
+
+TEST(As1755, MatchesPublishedCounts) {
+  const Graph g = as1755_topology();
+  EXPECT_EQ(g.node_count(), 87u);
+  EXPECT_EQ(g.edge_count(), 161u);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(As1755, DeterministicAcrossCalls) {
+  const Graph a = as1755_topology();
+  const Graph b = as1755_topology();
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (std::size_t e = 0; e < a.edge_count(); ++e) {
+    EXPECT_EQ(a.edge(e).u, b.edge(e).u);
+    EXPECT_EQ(a.edge(e).v, b.edge(e).v);
+    EXPECT_DOUBLE_EQ(a.edge(e).length, b.edge(e).length);
+  }
+}
+
+TEST(As1755, HeavyTailedDegrees) {
+  const Graph g = as1755_topology();
+  std::size_t max_degree = 0;
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    max_degree = std::max(max_degree, g.degree(n));
+  }
+  const double avg_degree =
+      2.0 * static_cast<double>(g.edge_count()) /
+      static_cast<double>(g.node_count());
+  // A measured ISP backbone has hubs several times the average degree.
+  EXPECT_GT(static_cast<double>(max_degree), 2.5 * avg_degree);
+}
+
+TEST(EdgeList, RoundTrip) {
+  const Graph g = as1755_topology();
+  const Graph h = parse_edge_list(to_edge_list(g));
+  ASSERT_EQ(h.node_count(), g.node_count());
+  ASSERT_EQ(h.edge_count(), g.edge_count());
+  for (std::size_t e = 0; e < g.edge_count(); ++e) {
+    EXPECT_EQ(h.edge(e).u, g.edge(e).u);
+    EXPECT_EQ(h.edge(e).v, g.edge(e).v);
+    EXPECT_NEAR(h.edge(e).length, g.edge(e).length, 1e-6);
+  }
+}
+
+TEST(EdgeList, CommentsAndBlankLines) {
+  const Graph g = parse_edge_list(
+      "# header\n"
+      "\n"
+      "0 1 2.5 100 # trailing comment\n"
+      "1 2 1.0 50\n");
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_DOUBLE_EQ(g.edge(0).length, 2.5);
+}
+
+TEST(EdgeList, RejectsMalformed) {
+  EXPECT_THROW(parse_edge_list("0 1 2.5\n"), std::invalid_argument);
+  EXPECT_THROW(parse_edge_list("0 0 1 1\n"), std::invalid_argument);
+  EXPECT_THROW(parse_edge_list("0 1 -2 1\n"), std::invalid_argument);
+}
+
+TEST(EdgeList, EmptyInputGivesEmptyGraph) {
+  const Graph g = parse_edge_list("# nothing\n\n");
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+}  // namespace
+}  // namespace mecsc::net

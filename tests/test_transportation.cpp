@@ -1,0 +1,149 @@
+#include "opt/transportation.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace mecsc::opt {
+namespace {
+
+/// Brute force over all group choices (m^n), honoring slots.
+double brute_force(const TransportationInstance& t) {
+  const std::size_t n = t.num_items, m = t.num_groups;
+  std::vector<std::size_t> choice(n, 0);
+  double best = 1e300;
+  while (true) {
+    std::vector<std::size_t> used(m, 0);
+    double cost = 0.0;
+    bool ok = true;
+    for (std::size_t j = 0; j < n && ok; ++j) {
+      const std::size_t g = choice[j];
+      if (t.cost_at(g, j) >= kInadmissibleThreshold) ok = false;
+      ++used[g];
+      cost += t.cost_at(g, j);
+    }
+    if (ok) {
+      for (std::size_t g = 0; g < m; ++g) {
+        if (used[g] > t.slots[g]) ok = false;
+      }
+    }
+    if (ok) best = std::min(best, cost);
+    // Increment the mixed-radix counter.
+    std::size_t k = 0;
+    while (k < n && ++choice[k] == m) choice[k++] = 0;
+    if (k == n) break;
+  }
+  return best;
+}
+
+TransportationInstance random_instance(util::Rng& rng, std::size_t groups,
+                                       std::size_t items) {
+  TransportationInstance t;
+  t.num_groups = groups;
+  t.num_items = items;
+  t.slots.resize(groups);
+  for (auto& s : t.slots) {
+    s = static_cast<std::size_t>(rng.uniform_int(0, 3));
+  }
+  // Guarantee feasibility: last group can hold everyone.
+  t.slots.back() = items;
+  t.cost.resize(groups * items);
+  for (auto& c : t.cost) c = rng.uniform_real(0.0, 10.0);
+  return t;
+}
+
+TEST(Transportation, EmptyIsFeasible) {
+  TransportationInstance t;
+  const auto s = solve_transportation(t);
+  EXPECT_TRUE(s.feasible);
+  EXPECT_DOUBLE_EQ(s.cost, 0.0);
+}
+
+TEST(Transportation, PicksCheapestGroup) {
+  TransportationInstance t;
+  t.num_groups = 2;
+  t.num_items = 1;
+  t.slots = {1, 1};
+  t.cost = {5.0, 2.0};
+  const auto s = solve_transportation(t);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_EQ(s.assignment[0], 1u);
+  EXPECT_DOUBLE_EQ(s.cost, 2.0);
+}
+
+TEST(Transportation, SlotLimitForcesSecondBest) {
+  TransportationInstance t;
+  t.num_groups = 2;
+  t.num_items = 2;
+  t.slots = {1, 2};
+  t.cost = {1.0, 1.0, 5.0, 5.0};  // both want group 0, only one seat
+  const auto s = solve_transportation(t);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_DOUBLE_EQ(s.cost, 6.0);
+}
+
+TEST(Transportation, InfeasibleWhenSlotsShort) {
+  TransportationInstance t;
+  t.num_groups = 1;
+  t.num_items = 2;
+  t.slots = {1};
+  t.cost = {1.0, 1.0};
+  EXPECT_FALSE(solve_transportation(t).feasible);
+}
+
+TEST(Transportation, InadmissiblePairsAvoided) {
+  TransportationInstance t;
+  t.num_groups = 2;
+  t.num_items = 1;
+  t.slots = {1, 1};
+  t.cost = {kInadmissible, 3.0};
+  const auto s = solve_transportation(t);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_EQ(s.assignment[0], 1u);
+}
+
+TEST(Transportation, InfeasibleWhenOnlyInadmissible) {
+  TransportationInstance t;
+  t.num_groups = 1;
+  t.num_items = 1;
+  t.slots = {1};
+  t.cost = {kInadmissible};
+  EXPECT_FALSE(solve_transportation(t).feasible);
+}
+
+TEST(Transportation, ZeroSlotGroupNeverUsed) {
+  TransportationInstance t;
+  t.num_groups = 2;
+  t.num_items = 1;
+  t.slots = {0, 1};
+  t.cost = {0.1, 9.0};  // group 0 cheaper but has no seat
+  const auto s = solve_transportation(t);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_EQ(s.assignment[0], 1u);
+}
+
+class TransportationBruteForceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TransportationBruteForceTest, MatchesBruteForce) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337 + 5);
+  const std::size_t m = 2 + static_cast<std::size_t>(rng.uniform_int(0, 1));
+  const std::size_t n = 2 + static_cast<std::size_t>(rng.uniform_int(0, 4));
+  const auto t = random_instance(rng, m, n);
+  const auto s = solve_transportation(t);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_NEAR(s.cost, brute_force(t), 1e-9);
+  // Assignment respects slots.
+  std::vector<std::size_t> used(m, 0);
+  for (std::size_t j = 0; j < n; ++j) ++used[s.assignment[j]];
+  for (std::size_t g = 0; g < m; ++g) EXPECT_LE(used[g], t.slots[g]);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, TransportationBruteForceTest,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace mecsc::opt

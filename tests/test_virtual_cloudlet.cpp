@@ -1,0 +1,111 @@
+#include "core/virtual_cloudlet.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace mecsc::core {
+namespace {
+
+Instance make(std::uint64_t seed = 1) {
+  util::Rng rng(seed);
+  InstanceParams p;
+  p.network_size = 80;
+  p.provider_count = 40;
+  return generate_instance(p, rng);
+}
+
+TEST(VirtualCloudlet, Equation7) {
+  const Instance inst = make();
+  const auto split = split_cloudlets(inst);
+  EXPECT_DOUBLE_EQ(split.a_max, inst.max_compute_demand());
+  EXPECT_DOUBLE_EQ(split.b_max, inst.max_bandwidth_demand());
+  ASSERT_EQ(split.slots.size(), inst.cloudlet_count());
+  for (std::size_t i = 0; i < inst.cloudlet_count(); ++i) {
+    const auto& cl = inst.network.cloudlets()[i];
+    const auto expected = std::min(
+        static_cast<std::size_t>(std::floor(cl.compute_capacity / split.a_max)),
+        static_cast<std::size_t>(
+            std::floor(cl.bandwidth_capacity / split.b_max)));
+    EXPECT_EQ(split.slots[i], expected);
+  }
+}
+
+TEST(VirtualCloudlet, SlotsGuaranteeCapacity) {
+  // n_i virtual cloudlets each holding one service of demand <= a_max/b_max
+  // never exceed the physical capacities (Lemma 1's core argument).
+  const Instance inst = make(2);
+  const auto split = split_cloudlets(inst);
+  for (std::size_t i = 0; i < inst.cloudlet_count(); ++i) {
+    const auto& cl = inst.network.cloudlets()[i];
+    EXPECT_LE(static_cast<double>(split.slots[i]) * split.a_max,
+              cl.compute_capacity + 1e-9);
+    EXPECT_LE(static_cast<double>(split.slots[i]) * split.b_max,
+              cl.bandwidth_capacity + 1e-9);
+  }
+}
+
+TEST(VirtualCloudlet, OverridesShrinkOrGrowSlots) {
+  const Instance inst = make(3);
+  const auto normal = split_cloudlets(inst);
+  const auto bigger_amax = split_cloudlets(inst, normal.a_max * 2.0, 0.0);
+  const auto smaller_amax = split_cloudlets(inst, normal.a_max / 2.0, 0.0);
+  for (std::size_t i = 0; i < inst.cloudlet_count(); ++i) {
+    EXPECT_LE(bigger_amax.slots[i], normal.slots[i]);
+    EXPECT_GE(smaller_amax.slots[i], normal.slots[i]);
+  }
+}
+
+TEST(VirtualCloudlet, TotalSlotsSums) {
+  const Instance inst = make(4);
+  const auto split = split_cloudlets(inst);
+  std::size_t total = 0;
+  for (auto s : split.slots) total += s;
+  EXPECT_EQ(split.total_slots(), total);
+  EXPECT_GT(total, 0u);
+}
+
+TEST(VirtualCloudlet, DeltaKappaDefinitions) {
+  const Instance inst = make(5);
+  const auto split = split_cloudlets(inst);
+  for (std::size_t i = 0; i < inst.cloudlet_count(); ++i) {
+    EXPECT_NEAR(split.delta(inst, i),
+                inst.network.cloudlets()[i].compute_capacity / split.a_max,
+                1e-12);
+    EXPECT_NEAR(split.kappa(inst, i),
+                inst.network.cloudlets()[i].bandwidth_capacity / split.b_max,
+                1e-12);
+    EXPECT_LE(split.delta(inst, i), split.delta_max(inst));
+    EXPECT_LE(split.kappa(inst, i), split.kappa_max(inst));
+  }
+  // δ_i >= n_i by construction.
+  for (std::size_t i = 0; i < inst.cloudlet_count(); ++i) {
+    EXPECT_GE(split.delta(inst, i),
+              static_cast<double>(split.slots[i]) - 1e-9);
+  }
+}
+
+TEST(VirtualCloudlet, NoProvidersMeansNoSlots) {
+  util::Rng rng(6);
+  InstanceParams p;
+  p.network_size = 50;
+  p.provider_count = 1;
+  Instance inst = generate_instance(p, rng);
+  inst.providers.clear();
+  const auto split = split_cloudlets(inst);
+  EXPECT_EQ(split.total_slots(), 0u);
+  EXPECT_DOUBLE_EQ(split.a_max, 0.0);
+}
+
+TEST(VirtualCloudlet, HugeDemandYieldsZeroSlots) {
+  const Instance inst = make(7);
+  const double huge =
+      inst.network.cloudlets()[0].compute_capacity * 100.0;
+  const auto split = split_cloudlets(inst, huge, 0.0);
+  for (auto s : split.slots) EXPECT_EQ(s, 0u);
+}
+
+}  // namespace
+}  // namespace mecsc::core

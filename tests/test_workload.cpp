@@ -1,0 +1,82 @@
+#include "sim/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace mecsc::sim {
+namespace {
+
+core::Instance make(std::uint64_t seed = 1) {
+  util::Rng rng(seed);
+  core::InstanceParams p;
+  p.network_size = 60;
+  p.provider_count = 20;
+  return core::generate_instance(p, rng);
+}
+
+TEST(Workload, OneRequestPerProviderRequest) {
+  const core::Instance inst = make();
+  util::Rng rng(2);
+  const auto trace = generate_workload(inst, {}, rng);
+  std::size_t expected = 0;
+  for (const auto& p : inst.providers) expected += p.requests;
+  EXPECT_EQ(trace.size(), expected);
+}
+
+TEST(Workload, SortedByArrival) {
+  const core::Instance inst = make();
+  util::Rng rng(3);
+  const auto trace = generate_workload(inst, {}, rng);
+  for (std::size_t k = 1; k < trace.size(); ++k) {
+    EXPECT_LE(trace[k - 1].arrival_s, trace[k].arrival_s);
+  }
+}
+
+TEST(Workload, ArrivalsWithinHorizon) {
+  const core::Instance inst = make();
+  WorkloadParams params;
+  params.horizon_s = 30.0;
+  util::Rng rng(4);
+  for (const auto& r : generate_workload(inst, params, rng)) {
+    EXPECT_GE(r.arrival_s, 0.0);
+    EXPECT_LE(r.arrival_s, params.horizon_s);
+  }
+}
+
+TEST(Workload, SizesWithinPaperRange) {
+  const core::Instance inst = make();
+  util::Rng rng(5);
+  for (const auto& r : generate_workload(inst, {}, rng)) {
+    EXPECT_GE(r.size_gb, 10.0 / 1024.0);
+    EXPECT_LE(r.size_gb, 200.0 / 1024.0);
+  }
+}
+
+TEST(Workload, ProvidersAllRepresented) {
+  const core::Instance inst = make();
+  util::Rng rng(6);
+  std::vector<std::size_t> counts(inst.provider_count(), 0);
+  for (const auto& r : generate_workload(inst, {}, rng)) {
+    ++counts[r.provider];
+  }
+  for (core::ProviderId l = 0; l < inst.provider_count(); ++l) {
+    EXPECT_EQ(counts[l], inst.providers[l].requests);
+  }
+}
+
+TEST(Workload, DeterministicGivenSeed) {
+  const core::Instance inst = make();
+  util::Rng a(7), b(7);
+  const auto t1 = generate_workload(inst, {}, a);
+  const auto t2 = generate_workload(inst, {}, b);
+  ASSERT_EQ(t1.size(), t2.size());
+  for (std::size_t k = 0; k < t1.size(); ++k) {
+    EXPECT_EQ(t1[k].provider, t2[k].provider);
+    EXPECT_DOUBLE_EQ(t1[k].arrival_s, t2[k].arrival_s);
+    EXPECT_DOUBLE_EQ(t1[k].size_gb, t2[k].size_gb);
+  }
+}
+
+}  // namespace
+}  // namespace mecsc::sim

@@ -1,0 +1,356 @@
+// mecsc — command-line front end for the service-caching library.
+//
+// Workflow-oriented subcommands around the JSON interchange format
+// (core/io.h):
+//
+//   mecsc generate --size 250 --providers 100 --seed 7 -o instance.json
+//   mecsc solve    -i instance.json --algorithm lcf --one-minus-xi 0.3
+//                  -o placement.json
+//   mecsc evaluate -i instance.json -p placement.json
+//   mecsc info     -i instance.json
+//
+// Every command reads/writes files (or stdout with "-") so experiments can
+// be scripted and diffed.
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/appro.h"
+#include "core/baselines.h"
+#include "core/congestion_game.h"
+#include "core/delay_model.h"
+#include "core/incentives.h"
+#include "core/io.h"
+#include "core/lcf.h"
+#include "core/pricing.h"
+#include "core/social_optimum.h"
+#include "sim/emulation.h"
+#include "sim/workload.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace mecsc;
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr <<
+      R"(mecsc — stable service caching in mobile edge-clouds (ICDCS 2020)
+
+usage:
+  mecsc generate [--size N] [--providers N] [--seed S] [--as1755]
+                 [--congestion linear|quadratic|exponential|harmonic]
+                 [-o FILE]
+  mecsc solve    -i FILE --algorithm lcf|appro|appro-literal|jo|offload|
+                 selfish|optimal [--one-minus-xi X] [-o FILE]
+  mecsc evaluate -i FILE -p FILE
+  mecsc emulate  -i FILE -p FILE [--horizon S] [--seed S]
+  mecsc delay    -i FILE -p FILE
+  mecsc stability -i FILE [--one-minus-xi X]
+  mecsc price    -i FILE [-o FILE]
+  mecsc info     -i FILE
+
+"-o -" (default) writes JSON to stdout.
+)";
+  std::exit(error.empty() ? 0 : 2);
+}
+
+/// Tiny flag parser: --key value pairs plus boolean switches.
+class Args {
+ public:
+  Args(int argc, char** argv, int start) {
+    for (int i = start; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0 && key.rfind('-', 0) != 0) {
+        usage("unexpected argument '" + key + "'");
+      }
+      if (key == "--as1755") {
+        values_[key] = "true";
+        continue;
+      }
+      if (i + 1 >= argc) usage("flag '" + key + "' needs a value");
+      values_[key] = argv[++i];
+    }
+  }
+
+  std::optional<std::string> get(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::string get_or(const std::string& key, const std::string& dflt) const {
+    return get(key).value_or(dflt);
+  }
+
+  double number_or(const std::string& key, double dflt) const {
+    const auto v = get(key);
+    return v ? std::stod(*v) : dflt;
+  }
+
+  std::string require(const std::string& key) const {
+    const auto v = get(key);
+    if (!v) usage("missing required flag '" + key + "'");
+    return *v;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+void emit(const std::string& target, const std::string& content) {
+  if (target == "-") {
+    std::cout << content << "\n";
+  } else {
+    core::write_text_file(target, content);
+    std::cerr << "wrote " << target << "\n";
+  }
+}
+
+core::Instance load_instance(const Args& args) {
+  const std::string path = args.require("-i");
+  return core::instance_from_json(
+      util::parse_json(core::read_text_file(path)));
+}
+
+int cmd_generate(const Args& args) {
+  util::Rng rng(static_cast<std::uint64_t>(args.number_or("--seed", 1)));
+  core::InstanceParams params;
+  params.network_size =
+      static_cast<std::size_t>(args.number_or("--size", 100));
+  params.provider_count =
+      static_cast<std::size_t>(args.number_or("--providers", 100));
+  params.use_as1755 = args.get("--as1755").has_value();
+  core::Instance inst = core::generate_instance(params, rng);
+  if (const auto kind = args.get("--congestion")) {
+    bool found = false;
+    for (const auto k :
+         {core::CongestionKind::Linear, core::CongestionKind::Quadratic,
+          core::CongestionKind::Exponential, core::CongestionKind::Harmonic}) {
+      if (*kind == core::congestion_kind_name(k)) {
+        inst.cost.congestion = k;
+        found = true;
+      }
+    }
+    if (!found) usage("unknown congestion kind '" + *kind + "'");
+  }
+  emit(args.get_or("-o", "-"), core::instance_to_json(inst).dump(2));
+  return 0;
+}
+
+int cmd_solve(const Args& args) {
+  const core::Instance inst = load_instance(args);
+  const std::string algorithm = args.require("--algorithm");
+  const double one_minus_xi = args.number_or("--one-minus-xi", 0.3);
+
+  util::Timer timer;
+  std::optional<core::Assignment> result;
+  if (algorithm == "lcf") {
+    core::LcfOptions options;
+    options.coordinated_fraction = 1.0 - one_minus_xi;
+    result = core::run_lcf(inst, options).assignment;
+  } else if (algorithm == "appro") {
+    result = core::run_appro(inst).assignment;
+  } else if (algorithm == "appro-literal") {
+    core::ApproOptions options;
+    options.congestion_aware = false;
+    result = core::run_appro(inst, options).assignment;
+  } else if (algorithm == "jo") {
+    result = core::run_jo_offload_cache(inst);
+  } else if (algorithm == "offload") {
+    result = core::run_offload_cache(inst);
+  } else if (algorithm == "selfish") {
+    result = core::best_response_dynamics(
+                 core::Assignment(inst),
+                 std::vector<bool>(inst.provider_count(), true))
+                 .assignment;
+  } else if (algorithm == "optimal") {
+    const auto opt = core::solve_social_optimum(inst);
+    if (!opt.proven_optimal) {
+      std::cerr << "warning: node budget hit; placement is the incumbent, "
+                   "not proven optimal\n";
+    }
+    result = opt.assignment;
+  } else {
+    usage("unknown algorithm '" + algorithm + "'");
+  }
+  const double ms = timer.elapsed_ms();
+
+  auto doc = core::assignment_to_json(*result);
+  doc.as_object()["algorithm"] = util::JsonValue(algorithm);
+  doc.as_object()["elapsed_ms"] = util::JsonValue(ms);
+  emit(args.get_or("-o", "-"), doc.dump(2));
+  return 0;
+}
+
+int cmd_evaluate(const Args& args) {
+  const core::Instance inst = load_instance(args);
+  const core::Assignment a = core::assignment_from_json(
+      inst,
+      util::parse_json(core::read_text_file(args.require("-p"))));
+
+  util::Table summary({"metric", "value"});
+  summary.add_row({std::string("social cost"), a.social_cost()});
+  summary.add_row({std::string("potential"), a.potential()});
+  long long cached = 0;
+  for (core::ProviderId l = 0; l < inst.provider_count(); ++l) {
+    if (a.choice(l) != core::kRemote) ++cached;
+  }
+  summary.add_row({std::string("cached services"), cached});
+  summary.add_row(
+      {std::string("remote services"),
+       static_cast<long long>(inst.provider_count()) - cached});
+  summary.add_row(
+      {std::string("feasible"), std::string(a.feasible() ? "yes" : "no")});
+  summary.add_row(
+      {std::string("nash equilibrium (all selfish)"),
+       std::string(core::is_nash_equilibrium(
+                       a, std::vector<bool>(inst.provider_count(), true))
+                       ? "yes"
+                       : "no")});
+  summary.add_row({std::string("congestion-free lower bound"),
+                   core::social_cost_lower_bound(inst)});
+  std::cout << summary.to_string();
+
+  util::Table load({"cloudlet", "tenants", "compute left", "bandwidth left"});
+  for (core::CloudletId i = 0; i < inst.cloudlet_count(); ++i) {
+    load.add_row({static_cast<long long>(i),
+                  static_cast<long long>(a.occupancy(i)), a.compute_left(i),
+                  a.bandwidth_left(i)});
+  }
+  util::print_section(std::cout, "cloudlet load", load);
+  return 0;
+}
+
+int cmd_emulate(const Args& args) {
+  const core::Instance inst = load_instance(args);
+  const core::Assignment a = core::assignment_from_json(
+      inst, util::parse_json(core::read_text_file(args.require("-p"))));
+  util::Rng rng(static_cast<std::uint64_t>(args.number_or("--seed", 1)));
+  sim::WorkloadParams wp;
+  wp.horizon_s = args.number_or("--horizon", 30.0);
+  const auto trace = sim::generate_workload(inst, wp, rng);
+  const sim::EmulationResult r = sim::replay(a, trace);
+
+  util::Table t({"metric", "value"});
+  t.add_row({std::string("requests served"),
+             static_cast<long long>(r.requests_served)});
+  t.add_row({std::string("measured social cost"), r.measured_social_cost});
+  t.add_row({std::string("analytic social cost"), a.social_cost()});
+  t.add_row({std::string("latency p50 (ms)"),
+             r.request_latency_s.p50 * 1e3});
+  t.add_row({std::string("latency p95 (ms)"),
+             r.request_latency_s.p95 * 1e3});
+  t.add_row({std::string("latency max (ms)"),
+             r.request_latency_s.max * 1e3});
+  t.add_row({std::string("transfer volume (GB x hops)"),
+             r.total_transfer_gb});
+  std::cout << t.to_string();
+  return 0;
+}
+
+int cmd_delay(const Args& args) {
+  const core::Instance inst = load_instance(args);
+  const core::Assignment a = core::assignment_from_json(
+      inst, util::parse_json(core::read_text_file(args.require("-p"))));
+  const core::DelayReport r = core::evaluate_delay(a);
+  util::Table t({"metric", "value"});
+  t.add_row({std::string("mean request delay (ms)"), r.mean_delay_s * 1e3});
+  t.add_row({std::string("max request delay (ms)"), r.max_delay_s * 1e3});
+  t.add_row({std::string("overloaded providers"),
+             static_cast<long long>(r.overloaded_providers)});
+  std::cout << t.to_string();
+  util::Table u({"cloudlet", "utilization"});
+  for (core::CloudletId i = 0; i < inst.cloudlet_count(); ++i) {
+    u.add_row({static_cast<long long>(i), r.cloudlet_utilization[i]});
+  }
+  util::print_section(std::cout, "queue utilization", u);
+  return 0;
+}
+
+int cmd_stability(const Args& args) {
+  const core::Instance inst = load_instance(args);
+  core::LcfOptions options;
+  options.coordinated_fraction =
+      1.0 - args.number_or("--one-minus-xi", 0.3);
+  const core::LcfResult lcf = core::run_lcf(inst, options);
+  const core::StabilityReport r = core::analyze_stability(inst, lcf);
+  util::Table t({"metric", "value"});
+  t.add_row({std::string("social cost"), lcf.social_cost()});
+  t.add_row({std::string("binding contracts"),
+             static_cast<long long>(r.binding_contracts)});
+  t.add_row({std::string("side-payment budget"), r.side_payment_budget});
+  t.add_row({std::string("max deviation incentive"), r.max_incentive});
+  t.add_row({std::string("IR violations"),
+             static_cast<long long>(r.ir_violations)});
+  t.add_row({std::string("IR subsidy"), r.ir_subsidy});
+  std::cout << t.to_string();
+  return 0;
+}
+
+int cmd_price(const Args& args) {
+  const core::Instance inst = load_instance(args);
+  const core::PricingResult r = core::decentralize_by_pricing(inst);
+  util::Table t({"metric", "value"});
+  t.add_row({std::string("social cost"), r.social_cost});
+  t.add_row({std::string("occupancy gap vs Appro"),
+             static_cast<long long>(r.occupancy_gap)});
+  t.add_row({std::string("iterations"),
+             static_cast<long long>(r.iterations)});
+  t.add_row({std::string("price revenue"), r.revenue});
+  std::cerr << t.to_string();
+  auto doc = core::assignment_to_json(r.assignment);
+  util::JsonArray prices(r.prices.begin(), r.prices.end());
+  doc.as_object()["prices"] = util::JsonValue(std::move(prices));
+  emit(args.get_or("-o", "-"), doc.dump(2));
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  const core::Instance inst = load_instance(args);
+  util::Table t({"property", "value"});
+  t.add_row({std::string("switch nodes"),
+             static_cast<long long>(inst.network.topology().node_count())});
+  t.add_row({std::string("links"),
+             static_cast<long long>(inst.network.topology().edge_count())});
+  t.add_row({std::string("cloudlets"),
+             static_cast<long long>(inst.cloudlet_count())});
+  t.add_row({std::string("data centers"),
+             static_cast<long long>(inst.network.data_center_count())});
+  t.add_row({std::string("providers"),
+             static_cast<long long>(inst.provider_count())});
+  t.add_row({std::string("congestion model"),
+             std::string(core::congestion_kind_name(inst.cost.congestion))});
+  t.add_row({std::string("max compute demand"), inst.max_compute_demand()});
+  t.add_row({std::string("max bandwidth demand"),
+             inst.max_bandwidth_demand()});
+  std::cout << t.to_string();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage("missing subcommand");
+  const std::string cmd = argv[1];
+  try {
+    const Args args(argc, argv, 2);
+    if (cmd == "generate") return cmd_generate(args);
+    if (cmd == "solve") return cmd_solve(args);
+    if (cmd == "evaluate") return cmd_evaluate(args);
+    if (cmd == "emulate") return cmd_emulate(args);
+    if (cmd == "delay") return cmd_delay(args);
+    if (cmd == "stability") return cmd_stability(args);
+    if (cmd == "price") return cmd_price(args);
+    if (cmd == "info") return cmd_info(args);
+    if (cmd == "--help" || cmd == "-h" || cmd == "help") usage();
+    usage("unknown subcommand '" + cmd + "'");
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
