@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appro_ratio.dir/bench_appro_ratio.cpp.o"
+  "CMakeFiles/bench_appro_ratio.dir/bench_appro_ratio.cpp.o.d"
+  "bench_appro_ratio"
+  "bench_appro_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appro_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

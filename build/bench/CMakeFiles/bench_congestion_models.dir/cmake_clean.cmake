@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_congestion_models.dir/bench_congestion_models.cpp.o"
+  "CMakeFiles/bench_congestion_models.dir/bench_congestion_models.cpp.o.d"
+  "bench_congestion_models"
+  "bench_congestion_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_congestion_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_dynamics.cpp" "bench/CMakeFiles/bench_dynamics.dir/bench_dynamics.cpp.o" "gcc" "bench/CMakeFiles/bench_dynamics.dir/bench_dynamics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mecsc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mecsc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mecsc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/mecsc_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mecsc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_poa.dir/bench_poa.cpp.o"
+  "CMakeFiles/bench_poa.dir/bench_poa.cpp.o.d"
+  "bench_poa"
+  "bench_poa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_poa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pricing.dir/bench_pricing.cpp.o"
+  "CMakeFiles/bench_pricing.dir/bench_pricing.cpp.o.d"
+  "bench_pricing"
+  "bench_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

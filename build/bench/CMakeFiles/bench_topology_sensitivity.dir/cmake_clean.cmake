@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_topology_sensitivity.dir/bench_topology_sensitivity.cpp.o"
+  "CMakeFiles/bench_topology_sensitivity.dir/bench_topology_sensitivity.cpp.o.d"
+  "bench_topology_sensitivity"
+  "bench_topology_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_topology_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_design.dir/market_design.cpp.o"
+  "CMakeFiles/market_design.dir/market_design.cpp.o.d"
+  "market_design"
+  "market_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poa_study.dir/poa_study.cpp.o"
+  "CMakeFiles/poa_study.dir/poa_study.cpp.o.d"
+  "poa_study"
+  "poa_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poa_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

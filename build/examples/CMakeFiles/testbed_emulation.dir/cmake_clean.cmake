@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testbed_emulation.dir/testbed_emulation.cpp.o"
+  "CMakeFiles/testbed_emulation.dir/testbed_emulation.cpp.o.d"
+  "testbed_emulation"
+  "testbed_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testbed_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

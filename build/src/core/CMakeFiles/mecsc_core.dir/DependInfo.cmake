@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/appro.cpp" "src/core/CMakeFiles/mecsc_core.dir/appro.cpp.o" "gcc" "src/core/CMakeFiles/mecsc_core.dir/appro.cpp.o.d"
+  "/root/repo/src/core/assignment.cpp" "src/core/CMakeFiles/mecsc_core.dir/assignment.cpp.o" "gcc" "src/core/CMakeFiles/mecsc_core.dir/assignment.cpp.o.d"
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/mecsc_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/mecsc_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/congestion_game.cpp" "src/core/CMakeFiles/mecsc_core.dir/congestion_game.cpp.o" "gcc" "src/core/CMakeFiles/mecsc_core.dir/congestion_game.cpp.o.d"
+  "/root/repo/src/core/congestion_model.cpp" "src/core/CMakeFiles/mecsc_core.dir/congestion_model.cpp.o" "gcc" "src/core/CMakeFiles/mecsc_core.dir/congestion_model.cpp.o.d"
+  "/root/repo/src/core/cost_model.cpp" "src/core/CMakeFiles/mecsc_core.dir/cost_model.cpp.o" "gcc" "src/core/CMakeFiles/mecsc_core.dir/cost_model.cpp.o.d"
+  "/root/repo/src/core/delay_model.cpp" "src/core/CMakeFiles/mecsc_core.dir/delay_model.cpp.o" "gcc" "src/core/CMakeFiles/mecsc_core.dir/delay_model.cpp.o.d"
+  "/root/repo/src/core/incentives.cpp" "src/core/CMakeFiles/mecsc_core.dir/incentives.cpp.o" "gcc" "src/core/CMakeFiles/mecsc_core.dir/incentives.cpp.o.d"
+  "/root/repo/src/core/instance.cpp" "src/core/CMakeFiles/mecsc_core.dir/instance.cpp.o" "gcc" "src/core/CMakeFiles/mecsc_core.dir/instance.cpp.o.d"
+  "/root/repo/src/core/io.cpp" "src/core/CMakeFiles/mecsc_core.dir/io.cpp.o" "gcc" "src/core/CMakeFiles/mecsc_core.dir/io.cpp.o.d"
+  "/root/repo/src/core/lcf.cpp" "src/core/CMakeFiles/mecsc_core.dir/lcf.cpp.o" "gcc" "src/core/CMakeFiles/mecsc_core.dir/lcf.cpp.o.d"
+  "/root/repo/src/core/market_dynamics.cpp" "src/core/CMakeFiles/mecsc_core.dir/market_dynamics.cpp.o" "gcc" "src/core/CMakeFiles/mecsc_core.dir/market_dynamics.cpp.o.d"
+  "/root/repo/src/core/poa.cpp" "src/core/CMakeFiles/mecsc_core.dir/poa.cpp.o" "gcc" "src/core/CMakeFiles/mecsc_core.dir/poa.cpp.o.d"
+  "/root/repo/src/core/pricing.cpp" "src/core/CMakeFiles/mecsc_core.dir/pricing.cpp.o" "gcc" "src/core/CMakeFiles/mecsc_core.dir/pricing.cpp.o.d"
+  "/root/repo/src/core/social_optimum.cpp" "src/core/CMakeFiles/mecsc_core.dir/social_optimum.cpp.o" "gcc" "src/core/CMakeFiles/mecsc_core.dir/social_optimum.cpp.o.d"
+  "/root/repo/src/core/virtual_cloudlet.cpp" "src/core/CMakeFiles/mecsc_core.dir/virtual_cloudlet.cpp.o" "gcc" "src/core/CMakeFiles/mecsc_core.dir/virtual_cloudlet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/mecsc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/mecsc_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mecsc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecsc_net.dir/graph.cpp.o"
+  "CMakeFiles/mecsc_net.dir/graph.cpp.o.d"
+  "CMakeFiles/mecsc_net.dir/mec_network.cpp.o"
+  "CMakeFiles/mecsc_net.dir/mec_network.cpp.o.d"
+  "CMakeFiles/mecsc_net.dir/random_graphs.cpp.o"
+  "CMakeFiles/mecsc_net.dir/random_graphs.cpp.o.d"
+  "CMakeFiles/mecsc_net.dir/shortest_path.cpp.o"
+  "CMakeFiles/mecsc_net.dir/shortest_path.cpp.o.d"
+  "CMakeFiles/mecsc_net.dir/topology_zoo.cpp.o"
+  "CMakeFiles/mecsc_net.dir/topology_zoo.cpp.o.d"
+  "CMakeFiles/mecsc_net.dir/transit_stub.cpp.o"
+  "CMakeFiles/mecsc_net.dir/transit_stub.cpp.o.d"
+  "CMakeFiles/mecsc_net.dir/waxman.cpp.o"
+  "CMakeFiles/mecsc_net.dir/waxman.cpp.o.d"
+  "libmecsc_net.a"
+  "libmecsc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecsc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/gap.cpp" "src/opt/CMakeFiles/mecsc_opt.dir/gap.cpp.o" "gcc" "src/opt/CMakeFiles/mecsc_opt.dir/gap.cpp.o.d"
+  "/root/repo/src/opt/gap_local_search.cpp" "src/opt/CMakeFiles/mecsc_opt.dir/gap_local_search.cpp.o" "gcc" "src/opt/CMakeFiles/mecsc_opt.dir/gap_local_search.cpp.o.d"
+  "/root/repo/src/opt/hungarian.cpp" "src/opt/CMakeFiles/mecsc_opt.dir/hungarian.cpp.o" "gcc" "src/opt/CMakeFiles/mecsc_opt.dir/hungarian.cpp.o.d"
+  "/root/repo/src/opt/mcmf.cpp" "src/opt/CMakeFiles/mecsc_opt.dir/mcmf.cpp.o" "gcc" "src/opt/CMakeFiles/mecsc_opt.dir/mcmf.cpp.o.d"
+  "/root/repo/src/opt/simplex.cpp" "src/opt/CMakeFiles/mecsc_opt.dir/simplex.cpp.o" "gcc" "src/opt/CMakeFiles/mecsc_opt.dir/simplex.cpp.o.d"
+  "/root/repo/src/opt/transportation.cpp" "src/opt/CMakeFiles/mecsc_opt.dir/transportation.cpp.o" "gcc" "src/opt/CMakeFiles/mecsc_opt.dir/transportation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mecsc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecsc_opt.dir/gap.cpp.o"
+  "CMakeFiles/mecsc_opt.dir/gap.cpp.o.d"
+  "CMakeFiles/mecsc_opt.dir/gap_local_search.cpp.o"
+  "CMakeFiles/mecsc_opt.dir/gap_local_search.cpp.o.d"
+  "CMakeFiles/mecsc_opt.dir/hungarian.cpp.o"
+  "CMakeFiles/mecsc_opt.dir/hungarian.cpp.o.d"
+  "CMakeFiles/mecsc_opt.dir/mcmf.cpp.o"
+  "CMakeFiles/mecsc_opt.dir/mcmf.cpp.o.d"
+  "CMakeFiles/mecsc_opt.dir/simplex.cpp.o"
+  "CMakeFiles/mecsc_opt.dir/simplex.cpp.o.d"
+  "CMakeFiles/mecsc_opt.dir/transportation.cpp.o"
+  "CMakeFiles/mecsc_opt.dir/transportation.cpp.o.d"
+  "libmecsc_opt.a"
+  "libmecsc_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecsc_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/emulation.cpp" "src/sim/CMakeFiles/mecsc_sim.dir/emulation.cpp.o" "gcc" "src/sim/CMakeFiles/mecsc_sim.dir/emulation.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/mecsc_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/mecsc_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/testbed.cpp" "src/sim/CMakeFiles/mecsc_sim.dir/testbed.cpp.o" "gcc" "src/sim/CMakeFiles/mecsc_sim.dir/testbed.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "src/sim/CMakeFiles/mecsc_sim.dir/workload.cpp.o" "gcc" "src/sim/CMakeFiles/mecsc_sim.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mecsc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mecsc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mecsc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/mecsc_opt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

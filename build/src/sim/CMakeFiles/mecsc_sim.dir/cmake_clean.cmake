@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecsc_sim.dir/emulation.cpp.o"
+  "CMakeFiles/mecsc_sim.dir/emulation.cpp.o.d"
+  "CMakeFiles/mecsc_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/mecsc_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/mecsc_sim.dir/testbed.cpp.o"
+  "CMakeFiles/mecsc_sim.dir/testbed.cpp.o.d"
+  "CMakeFiles/mecsc_sim.dir/workload.cpp.o"
+  "CMakeFiles/mecsc_sim.dir/workload.cpp.o.d"
+  "libmecsc_sim.a"
+  "libmecsc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecsc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecsc_util.dir/json.cpp.o"
+  "CMakeFiles/mecsc_util.dir/json.cpp.o.d"
+  "CMakeFiles/mecsc_util.dir/log.cpp.o"
+  "CMakeFiles/mecsc_util.dir/log.cpp.o.d"
+  "CMakeFiles/mecsc_util.dir/parallel.cpp.o"
+  "CMakeFiles/mecsc_util.dir/parallel.cpp.o.d"
+  "CMakeFiles/mecsc_util.dir/rng.cpp.o"
+  "CMakeFiles/mecsc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mecsc_util.dir/stats.cpp.o"
+  "CMakeFiles/mecsc_util.dir/stats.cpp.o.d"
+  "CMakeFiles/mecsc_util.dir/table.cpp.o"
+  "CMakeFiles/mecsc_util.dir/table.cpp.o.d"
+  "libmecsc_util.a"
+  "libmecsc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecsc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_appro.cpp" "tests/CMakeFiles/mecsc_tests.dir/test_appro.cpp.o" "gcc" "tests/CMakeFiles/mecsc_tests.dir/test_appro.cpp.o.d"
+  "/root/repo/tests/test_assignment.cpp" "tests/CMakeFiles/mecsc_tests.dir/test_assignment.cpp.o" "gcc" "tests/CMakeFiles/mecsc_tests.dir/test_assignment.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/mecsc_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/mecsc_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_congestion_game.cpp" "tests/CMakeFiles/mecsc_tests.dir/test_congestion_game.cpp.o" "gcc" "tests/CMakeFiles/mecsc_tests.dir/test_congestion_game.cpp.o.d"
+  "/root/repo/tests/test_congestion_model.cpp" "tests/CMakeFiles/mecsc_tests.dir/test_congestion_model.cpp.o" "gcc" "tests/CMakeFiles/mecsc_tests.dir/test_congestion_model.cpp.o.d"
+  "/root/repo/tests/test_cost_model.cpp" "tests/CMakeFiles/mecsc_tests.dir/test_cost_model.cpp.o" "gcc" "tests/CMakeFiles/mecsc_tests.dir/test_cost_model.cpp.o.d"
+  "/root/repo/tests/test_delay_model.cpp" "tests/CMakeFiles/mecsc_tests.dir/test_delay_model.cpp.o" "gcc" "tests/CMakeFiles/mecsc_tests.dir/test_delay_model.cpp.o.d"
+  "/root/repo/tests/test_emulation.cpp" "tests/CMakeFiles/mecsc_tests.dir/test_emulation.cpp.o" "gcc" "tests/CMakeFiles/mecsc_tests.dir/test_emulation.cpp.o.d"
+  "/root/repo/tests/test_event_queue.cpp" "tests/CMakeFiles/mecsc_tests.dir/test_event_queue.cpp.o" "gcc" "tests/CMakeFiles/mecsc_tests.dir/test_event_queue.cpp.o.d"
+  "/root/repo/tests/test_failure_injection.cpp" "tests/CMakeFiles/mecsc_tests.dir/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/mecsc_tests.dir/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/test_gap.cpp" "tests/CMakeFiles/mecsc_tests.dir/test_gap.cpp.o" "gcc" "tests/CMakeFiles/mecsc_tests.dir/test_gap.cpp.o.d"
+  "/root/repo/tests/test_gap_local_search.cpp" "tests/CMakeFiles/mecsc_tests.dir/test_gap_local_search.cpp.o" "gcc" "tests/CMakeFiles/mecsc_tests.dir/test_gap_local_search.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/mecsc_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/mecsc_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_hungarian.cpp" "tests/CMakeFiles/mecsc_tests.dir/test_hungarian.cpp.o" "gcc" "tests/CMakeFiles/mecsc_tests.dir/test_hungarian.cpp.o.d"
+  "/root/repo/tests/test_incentives.cpp" "tests/CMakeFiles/mecsc_tests.dir/test_incentives.cpp.o" "gcc" "tests/CMakeFiles/mecsc_tests.dir/test_incentives.cpp.o.d"
+  "/root/repo/tests/test_instance.cpp" "tests/CMakeFiles/mecsc_tests.dir/test_instance.cpp.o" "gcc" "tests/CMakeFiles/mecsc_tests.dir/test_instance.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/mecsc_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/mecsc_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/mecsc_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/mecsc_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_json.cpp" "tests/CMakeFiles/mecsc_tests.dir/test_json.cpp.o" "gcc" "tests/CMakeFiles/mecsc_tests.dir/test_json.cpp.o.d"
+  "/root/repo/tests/test_lcf.cpp" "tests/CMakeFiles/mecsc_tests.dir/test_lcf.cpp.o" "gcc" "tests/CMakeFiles/mecsc_tests.dir/test_lcf.cpp.o.d"
+  "/root/repo/tests/test_log.cpp" "tests/CMakeFiles/mecsc_tests.dir/test_log.cpp.o" "gcc" "tests/CMakeFiles/mecsc_tests.dir/test_log.cpp.o.d"
+  "/root/repo/tests/test_market_dynamics.cpp" "tests/CMakeFiles/mecsc_tests.dir/test_market_dynamics.cpp.o" "gcc" "tests/CMakeFiles/mecsc_tests.dir/test_market_dynamics.cpp.o.d"
+  "/root/repo/tests/test_mcmf.cpp" "tests/CMakeFiles/mecsc_tests.dir/test_mcmf.cpp.o" "gcc" "tests/CMakeFiles/mecsc_tests.dir/test_mcmf.cpp.o.d"
+  "/root/repo/tests/test_mec_network.cpp" "tests/CMakeFiles/mecsc_tests.dir/test_mec_network.cpp.o" "gcc" "tests/CMakeFiles/mecsc_tests.dir/test_mec_network.cpp.o.d"
+  "/root/repo/tests/test_parallel.cpp" "tests/CMakeFiles/mecsc_tests.dir/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/mecsc_tests.dir/test_parallel.cpp.o.d"
+  "/root/repo/tests/test_poa.cpp" "tests/CMakeFiles/mecsc_tests.dir/test_poa.cpp.o" "gcc" "tests/CMakeFiles/mecsc_tests.dir/test_poa.cpp.o.d"
+  "/root/repo/tests/test_pricing.cpp" "tests/CMakeFiles/mecsc_tests.dir/test_pricing.cpp.o" "gcc" "tests/CMakeFiles/mecsc_tests.dir/test_pricing.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/mecsc_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/mecsc_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_random_graphs.cpp" "tests/CMakeFiles/mecsc_tests.dir/test_random_graphs.cpp.o" "gcc" "tests/CMakeFiles/mecsc_tests.dir/test_random_graphs.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/mecsc_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/mecsc_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_shortest_path.cpp" "tests/CMakeFiles/mecsc_tests.dir/test_shortest_path.cpp.o" "gcc" "tests/CMakeFiles/mecsc_tests.dir/test_shortest_path.cpp.o.d"
+  "/root/repo/tests/test_simplex.cpp" "tests/CMakeFiles/mecsc_tests.dir/test_simplex.cpp.o" "gcc" "tests/CMakeFiles/mecsc_tests.dir/test_simplex.cpp.o.d"
+  "/root/repo/tests/test_social_optimum.cpp" "tests/CMakeFiles/mecsc_tests.dir/test_social_optimum.cpp.o" "gcc" "tests/CMakeFiles/mecsc_tests.dir/test_social_optimum.cpp.o.d"
+  "/root/repo/tests/test_solver_synergy.cpp" "tests/CMakeFiles/mecsc_tests.dir/test_solver_synergy.cpp.o" "gcc" "tests/CMakeFiles/mecsc_tests.dir/test_solver_synergy.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/mecsc_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/mecsc_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/mecsc_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/mecsc_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_testbed.cpp" "tests/CMakeFiles/mecsc_tests.dir/test_testbed.cpp.o" "gcc" "tests/CMakeFiles/mecsc_tests.dir/test_testbed.cpp.o.d"
+  "/root/repo/tests/test_topologies.cpp" "tests/CMakeFiles/mecsc_tests.dir/test_topologies.cpp.o" "gcc" "tests/CMakeFiles/mecsc_tests.dir/test_topologies.cpp.o.d"
+  "/root/repo/tests/test_transportation.cpp" "tests/CMakeFiles/mecsc_tests.dir/test_transportation.cpp.o" "gcc" "tests/CMakeFiles/mecsc_tests.dir/test_transportation.cpp.o.d"
+  "/root/repo/tests/test_virtual_cloudlet.cpp" "tests/CMakeFiles/mecsc_tests.dir/test_virtual_cloudlet.cpp.o" "gcc" "tests/CMakeFiles/mecsc_tests.dir/test_virtual_cloudlet.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/mecsc_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/mecsc_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mecsc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mecsc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mecsc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/mecsc_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mecsc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecsc.dir/mecsc_cli.cpp.o"
+  "CMakeFiles/mecsc.dir/mecsc_cli.cpp.o.d"
+  "mecsc"
+  "mecsc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecsc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
