@@ -1,0 +1,66 @@
+# Shared warning / sanitizer / lint flags for every mecsc target.
+#
+# Every CMakeLists.txt in the tree links its targets against the
+# `mecsc_build_flags` INTERFACE library defined here, so one knob controls
+# the whole build:
+#
+#   MECSC_SANITIZE  semicolon list of sanitizers to instrument with.
+#                   Supported: "address;undefined" (memory errors + UB) or
+#                   "thread" (data races). ASan/UBSan compose; TSan must run
+#                   alone. Empty (default) = no instrumentation.
+#   MECSC_WERROR    promote warnings to errors (CI builds set this ON).
+#   MECSC_CLANG_TIDY run clang-tidy alongside compilation when the tool is
+#                   installed; a missing binary downgrades to a warning so
+#                   local builds on minimal toolchains keep working.
+
+set(MECSC_SANITIZE "" CACHE STRING
+    "Sanitizers to enable: 'address;undefined' or 'thread' (empty = off)")
+option(MECSC_WERROR "Treat compiler warnings as errors" OFF)
+option(MECSC_CLANG_TIDY "Run clang-tidy during the build if available" OFF)
+
+add_library(mecsc_build_flags INTERFACE)
+
+target_compile_options(mecsc_build_flags INTERFACE -Wall -Wextra)
+if(MECSC_WERROR)
+  target_compile_options(mecsc_build_flags INTERFACE -Werror)
+endif()
+
+if(MECSC_SANITIZE)
+  set(_mecsc_san_flags "")
+  foreach(_san IN LISTS MECSC_SANITIZE)
+    if(NOT _san MATCHES "^(address|undefined|thread|leak)$")
+      message(FATAL_ERROR
+              "MECSC_SANITIZE: unknown sanitizer '${_san}' "
+              "(expected address, undefined, thread, or leak)")
+    endif()
+    list(APPEND _mecsc_san_flags "-fsanitize=${_san}")
+  endforeach()
+  if("thread" IN_LIST MECSC_SANITIZE AND "address" IN_LIST MECSC_SANITIZE)
+    message(FATAL_ERROR "MECSC_SANITIZE: thread and address are incompatible")
+  endif()
+
+  # Frame pointers keep sanitizer stack traces usable in optimized builds;
+  # no-recover turns every UBSan diagnostic into a hard failure so CI cannot
+  # scroll past one.
+  list(APPEND _mecsc_san_flags -fno-omit-frame-pointer)
+  if("undefined" IN_LIST MECSC_SANITIZE)
+    list(APPEND _mecsc_san_flags -fno-sanitize-recover=undefined)
+  endif()
+
+  target_compile_options(mecsc_build_flags INTERFACE ${_mecsc_san_flags})
+  target_link_options(mecsc_build_flags INTERFACE ${_mecsc_san_flags})
+  message(STATUS "mecsc: sanitizers enabled: ${MECSC_SANITIZE}")
+endif()
+
+if(MECSC_CLANG_TIDY)
+  find_program(MECSC_CLANG_TIDY_EXE NAMES clang-tidy)
+  if(MECSC_CLANG_TIDY_EXE)
+    # Applied globally; the checks themselves live in .clang-tidy at the
+    # repo root so editors and CI agree on one configuration.
+    set(CMAKE_CXX_CLANG_TIDY "${MECSC_CLANG_TIDY_EXE}")
+    message(STATUS "mecsc: clang-tidy enabled: ${MECSC_CLANG_TIDY_EXE}")
+  else()
+    message(WARNING "MECSC_CLANG_TIDY=ON but clang-tidy was not found; "
+                    "continuing without it")
+  endif()
+endif()

@@ -72,5 +72,76 @@ TEST(ParallelFor, DefaultThreadCountPositive) {
   EXPECT_GE(default_thread_count(), 1u);
 }
 
+TEST(ParallelFor, ZeroCountWithExplicitThreadsIsNoop) {
+  bool called = false;
+  parallel_for(
+      0, [&](std::size_t) { called = true; }, 16);
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, ExceptionDoesNotCancelOtherIndices) {
+  // A throwing index must not starve the rest: every index still runs
+  // exactly once, workers all join, and one exception is rethrown.
+  std::vector<std::atomic<int>> hits(64);
+  EXPECT_THROW(parallel_for(
+                   64,
+                   [&](std::size_t i) {
+                     ++hits[i];
+                     if (i % 2 == 0) throw std::runtime_error("boom");
+                   },
+                   8),
+               std::runtime_error);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ExceptionsFromAllWorkersStillJoin) {
+  // Every invocation throws on every worker; exactly one exception must
+  // surface after all workers have finished (no std::terminate, no hang).
+  std::atomic<int> calls{0};
+  EXPECT_THROW(parallel_for(
+                   100,
+                   [&](std::size_t) {
+                     ++calls;
+                     throw std::logic_error("everything fails");
+                   },
+                   8),
+               std::logic_error);
+  EXPECT_EQ(calls.load(), 100);
+}
+
+TEST(ParallelMap, ZeroCountReturnsEmpty) {
+  const auto out =
+      parallel_map<int>(0, [](std::size_t) { return 1; }, 8);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ParallelMap, MoreThreadsThanWorkKeepsIndexOrder) {
+  const auto out = parallel_map<std::size_t>(
+      3, [](std::size_t i) { return i + 10; }, 64);
+  EXPECT_EQ(out, (std::vector<std::size_t>{10, 11, 12}));
+}
+
+TEST(ParallelMap, NestedMapsAreDeterministic) {
+  // parallel_map inside parallel_map: result ordering depends only on the
+  // indices, never on which worker ran which slot.
+  auto nested = [](std::size_t threads) {
+    return parallel_map<std::vector<std::size_t>>(
+        4,
+        [&](std::size_t outer) {
+          return parallel_map<std::size_t>(
+              8, [&](std::size_t inner) { return outer * 100 + inner; }, 4);
+        },
+        threads);
+  };
+  const auto serial = nested(1);
+  const auto wide = nested(4);
+  EXPECT_EQ(serial, wide);
+  for (std::size_t outer = 0; outer < 4; ++outer) {
+    for (std::size_t inner = 0; inner < 8; ++inner) {
+      EXPECT_EQ(serial[outer][inner], outer * 100 + inner);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace mecsc::util

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Runs the mecsc CLI twice with identical seeds and diffs every artifact.
+# Any divergence means hidden nondeterminism (unordered iteration, uninit
+# reads, wall-clock leakage) crept into an algorithm — the reproducibility
+# guarantee behind every figure in the paper.
+#
+# Usage: check_determinism.sh /path/to/mecsc [seed]
+set -eu
+
+MECSC="${1:?usage: check_determinism.sh /path/to/mecsc [seed]}"
+SEED="${2:-42}"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+run_once() {
+  out="$1"
+  mkdir -p "$out"
+  "$MECSC" generate --size 80 --providers 30 --seed "$SEED" \
+      -o "$out/inst.json"
+  for alg in lcf appro appro-literal jo offload selfish; do
+    "$MECSC" solve -i "$out/inst.json" --algorithm "$alg" \
+        -o "$out/$alg.raw.json" 2>/dev/null
+    # elapsed_ms is wall-clock metadata, not an algorithm result; everything
+    # else in the artifact must be bit-identical across runs.
+    grep -v '"elapsed_ms"' "$out/$alg.raw.json" > "$out/$alg.json"
+    rm "$out/$alg.raw.json"
+    "$MECSC" evaluate -i "$out/inst.json" -p "$out/$alg.json" \
+        > "$out/$alg.eval.txt"
+  done
+  "$MECSC" price -i "$out/inst.json" -o "$out/priced.json" 2>/dev/null
+  "$MECSC" stability -i "$out/inst.json" > "$out/stability.txt"
+  "$MECSC" delay -i "$out/inst.json" -p "$out/lcf.json" > "$out/delay.txt"
+  "$MECSC" emulate -i "$out/inst.json" -p "$out/lcf.json" --horizon 10 \
+      > "$out/emulate.txt"
+}
+
+run_once "$DIR/a"
+run_once "$DIR/b"
+
+if ! diff -ru "$DIR/a" "$DIR/b"; then
+  echo "check_determinism: FAIL — identical seeds produced different output" >&2
+  exit 1
+fi
+echo "check_determinism: OK (seed $SEED, $(ls "$DIR/a" | wc -l) artifacts identical)"

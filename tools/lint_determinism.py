@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Determinism lint for mecsc.
+
+Every figure and table in this repo must be reproducible bit-for-bit from a
+seed (see src/util/rng.h). This lint rejects the source patterns that break
+that guarantee:
+
+  rng           Raw randomness outside src/util/rng.*: rand()/srand(),
+                std::random_device, ad-hoc <random> engines, and
+                std::*_distribution (whose streams differ across standard
+                libraries even for equal seeds).
+  unordered     std::unordered_map / std::unordered_set in library code.
+                Their iteration order is unspecified and varies across
+                libstdc++/libc++ and ASLR runs, so any result that flows
+                through one is silently nondeterministic. Use std::map,
+                std::set, sorted vectors, or index-keyed vectors.
+  wall-clock    Wall-clock reads (…_clock::now, time(), gettimeofday,
+                clock()) in algorithm code. Timing belongs in
+                src/util/timer.h; algorithm results must not depend on it.
+
+Suppressing a finding: append  // determinism-lint: allow(<rule>)  to the
+line (e.g. when an unordered container provably never feeds an iteration
+into results). Allowlisted files (the RNG itself, the timer) are exempt from
+the relevant rule wholesale.
+
+Usage: lint_determinism.py [PATH...]   (default: src/)
+Exit status: 0 = clean, 1 = findings, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+SOURCE_SUFFIXES = {".h", ".hpp", ".cpp", ".cc", ".cxx"}
+
+# rule -> (regex, message, files exempt from this rule)
+RULES: dict[str, tuple[re.Pattern[str], str, tuple[str, ...]]] = {
+    "rng": (
+        re.compile(
+            r"(?<![\w:])(?:s?rand|drand48|lrand48|random)\s*\("
+            r"|std::random_device"
+            r"|std::(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine"
+            r"|ranlux\w+|knuth_b)"
+            r"|std::(?:uniform_int|uniform_real|normal|bernoulli|poisson"
+            r"|exponential|geometric|binomial|discrete)_distribution"
+        ),
+        "raw randomness; draw through mecsc::util::Rng (src/util/rng.h)",
+        ("src/util/rng.h", "src/util/rng.cpp"),
+    ),
+    "unordered": (
+        re.compile(r"\bstd::unordered_(?:map|set|multimap|multiset)\b"),
+        "unordered container: iteration order is nondeterministic; "
+        "use std::map/std::set/sorted vectors",
+        (),
+    ),
+    "wall-clock": (
+        re.compile(
+            r"\bstd::chrono::(?:system|steady|high_resolution)_clock\b"
+            r"|(?<![\w:])(?:system|steady|high_resolution)_clock::now\b"
+            r"|(?<![\w:])time\s*\(\s*(?:NULL|nullptr|0|&\w+)\s*\)"
+            r"|(?<![\w:])clock\s*\(\s*\)"
+            r"|\bgettimeofday\s*\("
+            r"|\bclock_gettime\s*\("
+        ),
+        "wall-clock read in algorithm code; timing belongs in "
+        "src/util/timer.h and must not influence results",
+        ("src/util/timer.h",),
+    ),
+}
+
+ALLOW_RE = re.compile(r"determinism-lint:\s*allow\(([\w, -]+)\)")
+
+STRING_OR_CHAR = re.compile(
+    r'"(?:\\.|[^"\\])*"'  # string literal
+    r"|'(?:\\.|[^'\\])*'"  # char literal
+)
+
+
+def strip_code(text: str) -> list[str]:
+    """Returns the file's lines with comments and literals blanked out
+    (structure and line numbers preserved), so rules match only real code.
+    Suppression markers live in comments, so they are read separately."""
+    # Blank string/char literal bodies first so "//" inside them is inert.
+    text = STRING_OR_CHAR.sub(lambda m: '"' + " " * (len(m.group()) - 2) + '"', text)
+    out: list[str] = []
+    in_block = False
+    for line in text.split("\n"):
+        if in_block:
+            end = line.find("*/")
+            if end < 0:
+                out.append("")
+                continue
+            line = " " * (end + 2) + line[end + 2 :]
+            in_block = False
+        # Strip block comments that open (and maybe close) on this line.
+        while True:
+            start = line.find("/*")
+            if start < 0:
+                break
+            end = line.find("*/", start + 2)
+            if end < 0:
+                line = line[:start]
+                in_block = True
+                break
+            line = line[:start] + " " * (end + 2 - start) + line[end + 2 :]
+        cut = line.find("//")
+        if cut >= 0:
+            line = line[:cut]
+        out.append(line)
+    return out
+
+
+def lint_file(path: Path, repo_root: Path) -> list[str]:
+    resolved = path.resolve()
+    if resolved.is_relative_to(repo_root):
+        rel = resolved.relative_to(repo_root).as_posix()
+    else:
+        rel = resolved.as_posix()
+    try:
+        raw = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as err:
+        return [f"{rel}: unreadable: {err}"]
+    code_lines = strip_code(raw)
+    raw_lines = raw.split("\n")
+    findings = []
+    for rule, (pattern, message, exempt) in RULES.items():
+        if rel in exempt:
+            continue
+        for lineno, code in enumerate(code_lines, start=1):
+            if not pattern.search(code):
+                continue
+            allow = ALLOW_RE.search(raw_lines[lineno - 1])
+            if allow and rule in [a.strip() for a in allow.group(1).split(",")]:
+                continue
+            findings.append(
+                f"{rel}:{lineno}: [{rule}] {message}\n"
+                f"    {raw_lines[lineno - 1].strip()}"
+            )
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    targets = [Path(a) for a in argv[1:]] or [repo_root / "src"]
+    files: list[Path] = []
+    for target in targets:
+        if target.is_dir():
+            files.extend(
+                p for p in sorted(target.rglob("*")) if p.suffix in SOURCE_SUFFIXES
+            )
+        elif target.is_file():
+            files.append(target)
+        else:
+            print(f"lint_determinism: no such path: {target}", file=sys.stderr)
+            return 2
+
+    findings: list[str] = []
+    for f in files:
+        findings.extend(lint_file(f, repo_root))
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(
+            f"\nlint_determinism: {len(findings)} finding(s) in "
+            f"{len(files)} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"lint_determinism: OK ({len(files)} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
