@@ -8,13 +8,18 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "core/baselines.h"
 #include "core/instance.h"
 #include "core/lcf.h"
+#include "obs/run_info.h"
+#include "util/json.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -82,5 +87,76 @@ double mean_of(const std::vector<AlgorithmComparison>& runs, Fn&& get) {
   for (const auto& r : runs) s.add(get(r));
   return s.mean();
 }
+
+/// Machine-readable bench output, mirroring google-benchmark's JSON layout
+/// (a context header plus one record per data point). Each wired bench
+/// writes BENCH_<name>.json next to its fixed-width tables so downstream
+/// tooling can track perf trajectories without screen-scraping.
+///
+/// Determinism contract: every wall-clock field uses the "wall_" key
+/// prefix; everything else is reproducible bit-for-bit from the seeds
+/// (tools/strip_wallclock.py + check_determinism.sh enforce this for the
+/// CLI artifacts, and the same convention applies here).
+class BenchRecorder {
+ public:
+  explicit BenchRecorder(std::string name) : name_(std::move(name)) {}
+
+  /// Adds one data-point record. `deterministic` holds algorithm results;
+  /// `wall_ms` holds {metric -> milliseconds} timing pairs, each emitted
+  /// under a "wall_<metric>_ms" key.
+  void add(const std::string& label, util::JsonObject deterministic,
+           const std::map<std::string, double>& wall_ms = {}) {
+    deterministic["label"] = util::JsonValue(label);
+    for (const auto& [metric, ms] : wall_ms) {
+      deterministic["wall_" + metric + "_ms"] = util::JsonValue(ms);
+    }
+    records_.emplace_back(std::move(deterministic));
+  }
+
+  /// Record layout for the LCF-vs-baselines comparison benches.
+  void add_comparison_means(const std::string& label,
+                            const std::vector<AlgorithmComparison>& runs) {
+    util::JsonObject row;
+    row["lcf_social_cost"] =
+        mean_of(runs, [](auto& r) { return r.lcf.social_cost; });
+    row["lcf_selfish_cost"] =
+        mean_of(runs, [](auto& r) { return r.lcf.selfish_cost; });
+    row["lcf_coordinated_cost"] =
+        mean_of(runs, [](auto& r) { return r.lcf.coordinated_cost; });
+    row["jo_social_cost"] =
+        mean_of(runs, [](auto& r) { return r.jo.social_cost; });
+    row["offload_social_cost"] =
+        mean_of(runs, [](auto& r) { return r.offload.social_cost; });
+    add(label, std::move(row),
+        {{"lcf", mean_of(runs, [](auto& r) { return r.lcf.elapsed_ms; })},
+         {"jo", mean_of(runs, [](auto& r) { return r.jo.elapsed_ms; })},
+         {"offload",
+          mean_of(runs, [](auto& r) { return r.offload.elapsed_ms; })}});
+  }
+
+  /// Writes BENCH_<name>.json into the current directory (or
+  /// $MECSC_BENCH_JSON_DIR when set).
+  void write_file() const {
+    std::string dir = ".";
+    if (const char* env = std::getenv("MECSC_BENCH_JSON_DIR")) dir = env;
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    util::JsonObject doc;
+    doc["bench"] = util::JsonValue(name_);
+    doc["obs_format_version"] = util::JsonValue(obs::kObsFormatVersion);
+    doc["repetitions"] = util::JsonValue(kRepetitions);
+    doc["records"] = util::JsonValue(records_);
+    std::ofstream out(path, std::ios::out | std::ios::trunc);
+    out << util::JsonValue(std::move(doc)).dump(2) << "\n";
+    if (out) {
+      std::cerr << "wrote " << path << "\n";
+    } else {
+      std::cerr << "warning: could not write " << path << "\n";
+    }
+  }
+
+ private:
+  std::string name_;
+  util::JsonArray records_;
+};
 
 }  // namespace mecsc::bench

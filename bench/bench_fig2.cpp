@@ -18,6 +18,7 @@ int main() {
       {"network size", "LCF", "JoOffloadCache", "OffloadCache"});
   util::Table runtime({"network size", "LCF (ms)", "JoOffloadCache (ms)",
                        "OffloadCache (ms)"});
+  BenchRecorder recorder("fig2");
 
   for (const std::size_t size : sizes) {
     std::vector<AlgorithmComparison> runs;
@@ -46,7 +47,9 @@ int main() {
         {n, mean_of(runs, [](auto& r) { return r.lcf.elapsed_ms; }),
          mean_of(runs, [](auto& r) { return r.jo.elapsed_ms; }),
          mean_of(runs, [](auto& r) { return r.offload.elapsed_ms; })});
+    recorder.add_comparison_means("size=" + std::to_string(size), runs);
   }
+  recorder.write_file();
 
   std::cout << "Fig. 2 — GT-ITM networks, 100 providers, 1-xi = 0.3, "
             << kRepetitions << " seeds per point\n";

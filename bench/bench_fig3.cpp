@@ -2,6 +2,8 @@
 // 250 (100 providers), (1-ξ) varied from 0 to 1.
 //   (a) social cost            (b) cost of the selfish providers
 //   (c) cost of the coordinated providers   (d) running times
+#include <cstdio>
+
 #include "bench_common.h"
 
 int main() {
@@ -17,6 +19,7 @@ int main() {
   util::Table coordinated({"1-xi", "LCF", "JoOffloadCache", "OffloadCache"});
   util::Table runtime(
       {"1-xi", "LCF (ms)", "JoOffloadCache (ms)", "OffloadCache (ms)"});
+  BenchRecorder recorder("fig3");
 
   for (const double share : shares) {
     std::vector<AlgorithmComparison> runs;
@@ -44,7 +47,11 @@ int main() {
         {share, mean_of(runs, [](auto& r) { return r.lcf.elapsed_ms; }),
          mean_of(runs, [](auto& r) { return r.jo.elapsed_ms; }),
          mean_of(runs, [](auto& r) { return r.offload.elapsed_ms; })});
+    char label[32];
+    std::snprintf(label, sizeof label, "one_minus_xi=%.1f", share);
+    recorder.add_comparison_means(label, runs);
   }
+  recorder.write_file();
 
   std::cout << "Fig. 3 — GT-ITM network size 250, 100 providers, "
             << kRepetitions << " seeds per point\n";

@@ -4,8 +4,11 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "opt/gap.h"
 #include "opt/transportation.h"
+#include "util/timer.h"
 
 namespace mecsc::core {
 
@@ -144,6 +147,7 @@ ApproResult run_appro(const Instance& inst, const ApproOptions& options) {
 
   std::vector<std::size_t> group_of(n, m);  // default: remote group index m
 
+  const util::Timer inner_timer;
   if (options.solver == ApproOptions::InnerSolver::Transportation) {
     if (options.congestion_aware) {
       const auto t = build_convex_transportation(inst, result.split);
@@ -156,6 +160,12 @@ ApproResult run_appro(const Instance& inst, const ApproOptions& options) {
       assert(sol.feasible);
       group_of = sol.assignment;
     }
+    MECSC_TRACE(obs::TraceEvent("appro.inner_solve")
+                    .f("solver", "transportation")
+                    .f("congestion_aware", options.congestion_aware)
+                    .f("groups", m + 1)
+                    .f("items", n)
+                    .f("wall_ms", inner_timer.elapsed_ms()));
   } else {
     const auto g = build_gap(inst, result.split);
     const auto sol = opt::solve_gap_shmoys_tardos(g);
@@ -164,6 +174,14 @@ ApproResult run_appro(const Instance& inst, const ApproOptions& options) {
       group_of = sol.assignment;
     }
     // else: keep everyone remote (cannot happen: remote admits all items).
+    MECSC_TRACE(obs::TraceEvent("appro.lp_solve")
+                    .f("solver", "shmoys_tardos")
+                    .f("groups", m + 1)
+                    .f("items", n)
+                    .f("lp_bound", sol.lp_bound.value_or(0.0))
+                    .f("lp_pivots", sol.lp_pivots)
+                    .f("rounded_feasible", sol.feasible)
+                    .f("wall_ms", inner_timer.elapsed_ms()));
   }
 
   // Step 4: move virtual-cloudlet assignments onto physical cloudlets.
@@ -200,6 +218,21 @@ ApproResult run_appro(const Instance& inst, const ApproOptions& options) {
     flat += c == kRemote ? remote_cost(inst, l) : flat_cache_cost(inst, l, c);
   }
   result.flat_cost = flat;
+
+  std::size_t cached = 0;
+  for (ProviderId l = 0; l < n; ++l) {
+    if (result.assignment.choice(l) != kRemote) ++cached;
+  }
+  MECSC_TRACE(obs::TraceEvent("appro.rounding")
+                  .f("cached", cached)
+                  .f("remote", n - cached)
+                  .f("evicted_to_remote", result.evicted_to_remote)
+                  .f("flat_cost", result.flat_cost));
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.counter_add("appro.runs");
+  metrics.counter_add("appro.evicted_to_remote",
+                      static_cast<std::int64_t>(result.evicted_to_remote));
+  metrics.value_record("appro.flat_cost", result.flat_cost);
 
   assert(result.assignment.feasible());
   return result;

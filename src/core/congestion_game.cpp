@@ -3,6 +3,9 @@
 #include <cassert>
 #include <numeric>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace mecsc::core {
 
 namespace {
@@ -50,7 +53,7 @@ GameResult best_response_dynamics(Assignment start,
     if (options.shuffle_rng != nullptr) {
       options.shuffle_rng->shuffle(order);
     }
-    bool any_move = false;
+    std::size_t round_moves = 0;
     for (const ProviderId l : order) {
       if (!movable[l]) continue;
       const std::size_t target =
@@ -59,15 +62,28 @@ GameResult best_response_dynamics(Assignment start,
       if (target != result.assignment.choice(l)) {
         result.assignment.move(l, target);
         ++result.moves;
-        any_move = true;
+        ++round_moves;
       }
     }
     ++result.rounds;
-    if (!any_move) {
+    // The potential/social-cost evaluations are O(|N|+|M|); MECSC_TRACE
+    // evaluates them only when a trace sink is attached.
+    MECSC_TRACE(obs::TraceEvent("game.best_response_round")
+                    .f("round", result.rounds)
+                    .f("moves", round_moves)
+                    .f("potential", result.assignment.potential())
+                    .f("social_cost", result.assignment.social_cost()));
+    if (round_moves == 0) {
       result.converged = true;
       break;
     }
   }
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.counter_add("game.dynamics_runs");
+  metrics.counter_add("game.rounds",
+                      static_cast<std::int64_t>(result.rounds));
+  metrics.counter_add("game.moves", static_cast<std::int64_t>(result.moves));
+  if (result.converged) metrics.counter_add("game.converged");
   return result;
 }
 

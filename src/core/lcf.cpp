@@ -5,6 +5,9 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace mecsc::core {
 
 LcfResult run_lcf(const Instance& inst, const LcfOptions& options) {
@@ -31,6 +34,20 @@ LcfResult run_lcf(const Instance& inst, const LcfOptions& options) {
   for (std::size_t k = 0; k < coordinated_count; ++k) {
     coordinated[by_cost[k]] = true;
   }
+  MECSC_TRACE([&] {
+    double pinned_cost = 0.0;
+    std::size_t pinned_cached = 0;
+    for (std::size_t k = 0; k < coordinated_count; ++k) {
+      pinned_cost += appro.assignment.provider_cost(by_cost[k]);
+      if (appro.assignment.choice(by_cost[k]) != kRemote) ++pinned_cached;
+    }
+    return obs::TraceEvent("lcf.coordination_set")
+        .f("coordinated", coordinated_count)
+        .f("selfish", n - coordinated_count)
+        .f("coordinated_fraction", options.coordinated_fraction)
+        .f("pinned_cost_under_appro", pinned_cost)
+        .f("pinned_cached", pinned_cached);
+  }());
 
   // Build the starting profile: coordinated players sit at their ζ seats;
   // selfish players start remote (or warm-start at ζ).
@@ -68,6 +85,11 @@ LcfResult run_lcf(const Instance& inst, const LcfOptions& options) {
       result.selfish_cost += c;
     }
   }
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.counter_add("lcf.runs");
+  metrics.value_record("lcf.social_cost", result.social_cost());
+  metrics.value_record("lcf.game_rounds",
+                       static_cast<double>(result.game_rounds));
   return result;
 }
 

@@ -1,0 +1,81 @@
+#include "obs/run_info.h"
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace mecsc::obs {
+
+namespace {
+
+const char* build_type() {
+#ifdef NDEBUG
+  return "optimized";
+#else
+  return "debug";
+#endif
+}
+
+const char* compiler() {
+#if defined(__clang__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace
+
+std::string fnv1a64_hex(const std::string& bytes) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  std::string hex(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    hex[static_cast<std::size_t>(i)] = "0123456789abcdef"[h & 0xf];
+    h >>= 4;
+  }
+  return hex;
+}
+
+util::JsonValue manifest_to_json(const RunManifest& manifest) {
+  util::JsonObject doc;
+  doc["obs_format_version"] = util::JsonValue(kObsFormatVersion);
+  doc["tool"] = util::JsonValue(manifest.tool);
+  doc["command"] = util::JsonValue(manifest.command);
+  doc["config"] = util::JsonValue(manifest.config);
+  if (!manifest.instance_digest.empty()) {
+    doc["instance_digest"] = util::JsonValue(manifest.instance_digest);
+  }
+  util::JsonObject build;
+  build["compiler"] = util::JsonValue(compiler());
+  build["build_type"] = util::JsonValue(build_type());
+  doc["build"] = util::JsonValue(std::move(build));
+  // The only wall-clock field: when the manifest was written. Manifests
+  // describe runs, so "when" is provenance, not an algorithm result.
+  const auto now_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  doc["wall_written_unix_ms"] =
+      util::JsonValue(static_cast<long long>(now_ms));
+  return util::JsonValue(std::move(doc));
+}
+
+void write_manifest(const std::string& path, const RunManifest& manifest) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("cannot open manifest output '" + path + "'");
+  }
+  out << manifest_to_json(manifest).dump(2) << "\n";
+  if (!out) {
+    throw std::runtime_error("failed writing manifest '" + path + "'");
+  }
+}
+
+}  // namespace mecsc::obs

@@ -1,0 +1,46 @@
+// Run manifests: a machine-readable record of *how* an artifact was
+// produced — tool, subcommand, configuration, seed, instance digest, and
+// build provenance — written next to every trace/metrics artifact so a
+// number in a figure can always be traced back to the exact run.
+//
+// All manifest fields are deterministic except those with the "wall_"
+// key prefix (the write timestamp), which tools/strip_wallclock.py
+// removes before determinism diffs.
+#pragma once
+
+#include <string>
+
+#include "util/json.h"
+
+namespace mecsc::obs {
+
+/// Version stamp written into manifests, metrics files, and bench records.
+inline constexpr int kObsFormatVersion = 1;
+
+/// Everything the caller knows about the run; build info and the
+/// timestamp are filled in by manifest_to_json().
+struct RunManifest {
+  std::string tool;     ///< e.g. "mecsc"
+  std::string command;  ///< e.g. "solve"
+  /// Flag/value pairs exactly as given on the command line (or any other
+  /// configuration the producer wants replayable).
+  util::JsonObject config;
+  /// Digest of the primary input (fnv1a64_hex of the instance file), empty
+  /// when the run had no instance input.
+  std::string instance_digest;
+};
+
+/// 64-bit FNV-1a of `bytes`, as 16 lowercase hex digits. Stable across
+/// platforms and standard libraries (unlike std::hash), so digests are
+/// comparable between machines.
+std::string fnv1a64_hex(const std::string& bytes);
+
+/// Serializes the manifest, adding obs_format_version, build provenance
+/// (compiler, build type), and the wall_written_unix_ms timestamp.
+util::JsonValue manifest_to_json(const RunManifest& manifest);
+
+/// Writes manifest_to_json(manifest).dump(2) to `path`. Throws
+/// std::runtime_error on I/O failure.
+void write_manifest(const std::string& path, const RunManifest& manifest);
+
+}  // namespace mecsc::obs

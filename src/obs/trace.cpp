@@ -1,0 +1,81 @@
+#include "obs/trace.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/log.h"
+
+namespace mecsc::obs {
+
+Trace& Trace::global() {
+  static Trace trace;
+  return trace;
+}
+
+void Trace::open_file(const std::string& path) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  file_.open(path, std::ios::out | std::ios::trunc);
+  if (!file_) {
+    throw std::runtime_error("cannot open trace output '" + path + "'");
+  }
+  out_ = &file_;
+  seq_ = 0;
+  events_.store(0, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Trace::open_stream(std::ostream* out) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  file_.close();
+  out_ = out;
+  seq_ = 0;
+  events_.store(0, std::memory_order_relaxed);
+  enabled_.store(out != nullptr, std::memory_order_release);
+}
+
+void Trace::close() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  enabled_.store(false, std::memory_order_release);
+  if (out_ != nullptr) out_->flush();
+  if (file_.is_open()) file_.close();
+  out_ = nullptr;
+}
+
+void Trace::emit(const TraceEvent& event) {
+  // JsonObject is a sorted map, so the serialized field order — and with
+  // it the whole line — is deterministic.
+  util::JsonObject line = event.fields_;
+  line["event"] = util::JsonValue(event.name_);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (out_ == nullptr) return;
+  line["seq"] = util::JsonValue(seq_++);
+  *out_ << util::JsonValue(std::move(line)).dump() << "\n";
+  events_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void install_log_bridge() {
+  util::set_log_observer([](util::LogLevel level, const std::string& msg) {
+    const char* name = "debug";
+    switch (level) {
+      case util::LogLevel::Debug:
+        name = "debug";
+        break;
+      case util::LogLevel::Info:
+        name = "info";
+        break;
+      case util::LogLevel::Warn:
+        name = "warn";
+        break;
+      case util::LogLevel::Error:
+        name = "error";
+        break;
+      case util::LogLevel::Off:
+        return;
+    }
+    MetricsRegistry::global().counter_add(std::string("log.lines.") + name);
+    MECSC_TRACE(TraceEvent("log").f("level", name).f("message", msg));
+  });
+}
+
+}  // namespace mecsc::obs

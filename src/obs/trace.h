@@ -1,0 +1,140 @@
+// Structured algorithm tracing: JSON-lines event records behind a
+// near-zero-cost null sink.
+//
+// Each emitted event becomes one line of JSON — an object holding the
+// event name, a monotonically increasing sequence number, and the fields
+// the call site attached:
+//
+//   {"event":"game.best_response_round","moves":4,"potential":81.2,"seq":7}
+//
+// Event taxonomy (see DESIGN.md "Observability" for the full field lists):
+//   appro.inner_solve          one inner GAP/transportation solve
+//   appro.lp_solve             the Shmoys-Tardos LP relaxation
+//   appro.rounding             step 4: virtual -> physical placement
+//   lcf.coordination_set       the leader's ⌊ξ|N|⌋ pinned providers
+//   game.best_response_round   one full pass of best-response dynamics
+//   log                        a LOG_* line routed through the bridge
+//
+// Cost model: tracing is off by default and Trace::enabled() is a relaxed
+// atomic load. Call sites go through MECSC_TRACE(...), which evaluates its
+// argument — the TraceEvent construction and every field expression —
+// only when a sink is attached, so a disabled trace does zero work and
+// zero allocations on the hot path.
+//
+// Determinism contract: events carry deterministic algorithm state; any
+// wall-clock field must use the "wall_" key prefix (the only fields
+// tools/strip_wallclock.py removes before determinism diffs). Single-
+// threaded runs produce byte-identical traces for identical seeds;
+// concurrent emitters are serialized by a mutex but their interleaving is
+// scheduler-dependent.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "util/json.h"
+
+namespace mecsc::obs {
+
+/// One event under construction: a name plus typed fields. Field setters
+/// return *this so call sites can chain inside MECSC_TRACE(...).
+class TraceEvent {
+ public:
+  explicit TraceEvent(const char* name) : name_(name) {}
+
+  TraceEvent& f(const char* key, double v) {
+    fields_[key] = util::JsonValue(v);
+    return *this;
+  }
+  TraceEvent& f(const char* key, std::size_t v) {
+    fields_[key] = util::JsonValue(v);
+    return *this;
+  }
+  TraceEvent& f(const char* key, long long v) {
+    fields_[key] = util::JsonValue(v);
+    return *this;
+  }
+  TraceEvent& f(const char* key, int v) {
+    fields_[key] = util::JsonValue(v);
+    return *this;
+  }
+  TraceEvent& f(const char* key, bool v) {
+    fields_[key] = util::JsonValue(v);
+    return *this;
+  }
+  TraceEvent& f(const char* key, const char* v) {
+    fields_[key] = util::JsonValue(v);
+    return *this;
+  }
+  TraceEvent& f(const char* key, std::string v) {
+    fields_[key] = util::JsonValue(std::move(v));
+    return *this;
+  }
+
+ private:
+  friend class Trace;
+  const char* name_;
+  util::JsonObject fields_;
+};
+
+/// Process-wide trace sink. Disabled (null sink) until open_file() or
+/// open_stream() attaches a destination.
+class Trace {
+ public:
+  static Trace& global();
+
+  /// True when a sink is attached. Relaxed atomic read — safe and cheap
+  /// to call from any thread on any hot path.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Starts writing JSON lines to `path` (truncates). Throws
+  /// std::runtime_error when the file cannot be opened.
+  void open_file(const std::string& path);
+
+  /// Starts writing to a caller-owned stream (tests). The stream must
+  /// outlive the trace session.
+  void open_stream(std::ostream* out);
+
+  /// Flushes and detaches the sink; the trace becomes a null sink again.
+  void close();
+
+  /// Serializes and writes one event line. Thread-safe. A no-op when
+  /// disabled — but prefer MECSC_TRACE so the event is never even built.
+  void emit(const TraceEvent& event);
+
+  /// Events written since the sink was attached.
+  std::uint64_t events_emitted() const {
+    return events_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> events_{0};
+  std::mutex mutex_;
+  std::ofstream file_;
+  std::ostream* out_ = nullptr;  // points at file_ or a caller's stream
+  std::uint64_t seq_ = 0;
+};
+
+/// Emits an event iff tracing is enabled. The argument (typically
+/// `TraceEvent("name").f(...)...`) is NOT evaluated when the trace is
+/// disabled, so instrumentation may compute expensive fields (potential
+/// values, cost sums) inline without a guard at the call site.
+#define MECSC_TRACE(...)                                \
+  do {                                                  \
+    if (::mecsc::obs::Trace::global().enabled()) {      \
+      ::mecsc::obs::Trace::global().emit(__VA_ARGS__);  \
+    }                                                   \
+  } while (0)
+
+/// Routes util::log lines through the trace as "log" events (in addition
+/// to the normal stderr sink) and counts them per level in the metrics
+/// registry, giving the CLI one configuration point for --log-level and
+/// --trace-out. Idempotent.
+void install_log_bridge();
+
+}  // namespace mecsc::obs

@@ -6,6 +6,7 @@
 #include <limits>
 #include <numeric>
 
+#include "obs/metrics.h"
 #include "opt/mcmf.h"
 #include "opt/simplex.h"
 
@@ -100,6 +101,9 @@ GapSolution solve_gap_shmoys_tardos(const GapInstance& instance) {
   }
 
   const LpSolution lp_sol = solve_lp(lp);
+  sol.lp_pivots = lp_sol.pivots;
+  obs::MetricsRegistry::global().counter_add(
+      "gap.lp_pivots", static_cast<std::int64_t>(lp_sol.pivots));
   if (lp_sol.status != LpStatus::Optimal) return sol;
   sol.lp_bound = lp_sol.objective;
 
@@ -190,6 +194,8 @@ GapSolution solve_gap_shmoys_tardos(const GapInstance& instance) {
   sol.feasible = checked.feasible;
   sol.cost = checked.cost;
   sol.within_capacity = checked.within_capacity;
+  obs::MetricsRegistry::global().counter_add(
+      "gap.rounding_slots", static_cast<std::int64_t>(num_slots));
   return sol;
 }
 
@@ -282,8 +288,12 @@ GapSolution solve_gap_exact(const GapInstance& instance,
   }
 
   bnb_dfs(st, 0, 0.0);
+  obs::MetricsRegistry::global().counter_add(
+      "gap.bnb_nodes", static_cast<std::int64_t>(st.nodes));
   if (st.best_assignment.empty()) return sol;  // infeasible or limit w/o incumbent
-  return evaluate_gap_assignment(instance, st.best_assignment);
+  GapSolution best = evaluate_gap_assignment(instance, st.best_assignment);
+  best.nodes_expanded = st.nodes;
+  return best;
 }
 
 // ---------------------------------------------------------------------------

@@ -57,6 +57,10 @@ struct GapSolution {
   /// Objective of the LP relaxation (lower bound on the integral optimum);
   /// set by the Shmoys-Tardos solver.
   std::optional<double> lp_bound;
+  /// Simplex pivots spent on the LP relaxation (Shmoys-Tardos solver only).
+  std::size_t lp_pivots = 0;
+  /// Branch-and-bound nodes expanded (exact solver only).
+  std::size_t nodes_expanded = 0;
 };
 
 /// Validates an assignment against the instance; recomputes cost and

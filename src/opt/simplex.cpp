@@ -5,6 +5,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
+
 namespace mecsc::opt {
 
 namespace {
@@ -182,12 +184,16 @@ LpSolution solve_lp(const LpProblem& problem, const SimplexOptions& options) {
   }
   std::vector<bool> allowed(total_cols - 1, true);
   RunResult p1 = run_simplex(t, basis, allowed, options.max_iterations, eps);
-  if (p1.status == LpStatus::IterationLimit) {
-    return LpSolution{LpStatus::IterationLimit, 0.0, {}};
-  }
-  // Phase-1 objective value is -t(m, rhs); feasible iff ~0.
-  if (t.at(m, rhs_col) < -1e-6) {
-    return LpSolution{LpStatus::Infeasible, 0.0, {}};
+  if (p1.status == LpStatus::IterationLimit || t.at(m, rhs_col) < -1e-6) {
+    obs::MetricsRegistry::global().counter_add("simplex.solves");
+    obs::MetricsRegistry::global().counter_add(
+        "simplex.pivots", static_cast<std::int64_t>(p1.iterations_used));
+    // Phase-1 hit the budget, or its objective -t(m, rhs) is nonzero
+    // (infeasible).
+    const LpStatus status = p1.status == LpStatus::IterationLimit
+                                ? LpStatus::IterationLimit
+                                : LpStatus::Infeasible;
+    return LpSolution{status, 0.0, {}, p1.iterations_used};
   }
 
   // Drive any artificial still in the basis out (or confirm its row is
@@ -226,12 +232,17 @@ LpSolution solve_lp(const LpProblem& problem, const SimplexOptions& options) {
           ? options.max_iterations - p1.iterations_used
           : 0;
   RunResult p2 = run_simplex(t, basis, allowed, remaining, eps);
+  const std::size_t pivots = p1.iterations_used + p2.iterations_used;
+  obs::MetricsRegistry::global().counter_add("simplex.solves");
+  obs::MetricsRegistry::global().counter_add(
+      "simplex.pivots", static_cast<std::int64_t>(pivots));
   if (p2.status != LpStatus::Optimal) {
-    return LpSolution{p2.status, 0.0, {}};
+    return LpSolution{p2.status, 0.0, {}, pivots};
   }
 
   LpSolution sol;
   sol.status = LpStatus::Optimal;
+  sol.pivots = pivots;
   sol.x.assign(n, 0.0);
   for (std::size_t r = 0; r < m; ++r) {
     if (basis[r] < n) sol.x[basis[r]] = t.at(r, rhs_col);

@@ -39,6 +39,7 @@ struct LpSolution {
   LpStatus status = LpStatus::IterationLimit;
   double objective = 0.0;
   std::vector<double> x;  ///< primal values, size num_vars (valid if Optimal)
+  std::size_t pivots = 0;  ///< simplex iterations across both phases
 };
 
 struct SimplexOptions {

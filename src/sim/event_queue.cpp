@@ -3,6 +3,8 @@
 #include <cassert>
 #include <limits>
 
+#include "obs/metrics.h"
+
 namespace mecsc::sim {
 
 void EventQueue::schedule_at(SimTime at, Callback cb) {
@@ -24,6 +26,10 @@ std::size_t EventQueue::run(SimTime until) {
     now_ = item.at;
     item.cb();
     ++fired;
+  }
+  if (fired > 0) {
+    obs::MetricsRegistry::global().counter_add(
+        "sim.events_fired", static_cast<std::int64_t>(fired));
   }
   return fired;
 }

@@ -2,11 +2,16 @@
 
 #include <atomic>
 #include <iostream>
+#include <mutex>
+#include <utility>
 
 namespace mecsc::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+std::mutex g_observer_mutex;
+LogObserver g_observer;  // guarded by g_observer_mutex
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -29,9 +34,24 @@ void set_log_level(LogLevel level) { g_level.store(level); }
 
 LogLevel log_level() { return g_level.load(); }
 
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(g_level.load());
+}
+
+void set_log_observer(LogObserver observer) {
+  const std::lock_guard<std::mutex> lock(g_observer_mutex);
+  g_observer = std::move(observer);
+}
+
 void log_line(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  if (!log_enabled(level)) return;
   std::cerr << "[" << level_name(level) << "] " << message << "\n";
+  LogObserver observer;
+  {
+    const std::lock_guard<std::mutex> lock(g_observer_mutex);
+    observer = g_observer;
+  }
+  if (observer) observer(level, message);
 }
 
 }  // namespace mecsc::util

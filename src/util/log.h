@@ -2,6 +2,8 @@
 // to Debug to trace algorithm internals (best-response steps, LP pivots).
 #pragma once
 
+#include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -15,26 +17,42 @@ void set_log_level(LogLevel level);
 /// Current global level.
 LogLevel log_level();
 
+/// True when a message at `level` would be emitted.
+bool log_enabled(LogLevel level);
+
 /// Emits one line to stderr if `level` >= the global level.
 void log_line(LogLevel level, const std::string& message);
 
+/// Additional tap on every emitted line (after the level filter, alongside
+/// the stderr sink). obs::install_log_bridge() uses this to forward log
+/// lines into the trace/metrics plumbing; pass nullptr to detach.
+using LogObserver = std::function<void(LogLevel, const std::string&)>;
+void set_log_observer(LogObserver observer);
+
 namespace detail {
+/// Builds the message lazily: when the level is suppressed, no stream is
+/// constructed and the inserted values are never formatted — only the
+/// insertion expressions themselves are evaluated.
 class LogStream {
  public:
-  explicit LogStream(LogLevel level) : level_(level) {}
-  ~LogStream() { log_line(level_, os_.str()); }
+  explicit LogStream(LogLevel level) : level_(level) {
+    if (log_enabled(level)) os_.emplace();
+  }
+  ~LogStream() {
+    if (os_) log_line(level_, os_->str());
+  }
   LogStream(const LogStream&) = delete;
   LogStream& operator=(const LogStream&) = delete;
 
   template <typename T>
   LogStream& operator<<(const T& v) {
-    os_ << v;
+    if (os_) *os_ << v;
     return *this;
   }
 
  private:
   LogLevel level_;
-  std::ostringstream os_;
+  std::optional<std::ostringstream> os_;
 };
 }  // namespace detail
 

@@ -1,0 +1,82 @@
+#include "obs/run_info.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/json.h"
+
+namespace mecsc::obs {
+namespace {
+
+// Published FNV-1a 64-bit test vectors — the digest must match across
+// platforms, that is its whole point.
+TEST(ObsRunInfo, Fnv1a64KnownAnswers) {
+  EXPECT_EQ(fnv1a64_hex(""), "cbf29ce484222325");
+  EXPECT_EQ(fnv1a64_hex("a"), "af63dc4c8601ec8c");
+  EXPECT_EQ(fnv1a64_hex("foobar"), "85944171f73967e8");
+}
+
+TEST(ObsRunInfo, DigestIsSensitiveToEveryByte) {
+  EXPECT_NE(fnv1a64_hex("instance-a"), fnv1a64_hex("instance-b"));
+  EXPECT_EQ(fnv1a64_hex("same"), fnv1a64_hex("same"));
+  EXPECT_EQ(fnv1a64_hex("x").size(), 16u);
+}
+
+TEST(ObsRunInfo, ManifestJsonCarriesAllFields) {
+  RunManifest m;
+  m.tool = "mecsc";
+  m.command = "solve";
+  m.config["--seed"] = util::JsonValue("42");
+  m.config["--algorithm"] = util::JsonValue("lcf");
+  m.instance_digest = fnv1a64_hex("instance bytes");
+
+  const util::JsonValue doc = manifest_to_json(m);
+  EXPECT_EQ(doc.string_at("tool"), "mecsc");
+  EXPECT_EQ(doc.string_at("command"), "solve");
+  EXPECT_EQ(doc.number_at("obs_format_version"), kObsFormatVersion);
+  EXPECT_EQ(doc.at("config").string_at("--seed"), "42");
+  EXPECT_EQ(doc.at("config").string_at("--algorithm"), "lcf");
+  EXPECT_EQ(doc.string_at("instance_digest"), m.instance_digest);
+  EXPECT_TRUE(doc.at("build").contains("compiler"));
+  EXPECT_TRUE(doc.at("build").contains("build_type"));
+  // The only wall-clock field, and it wears the wall_ prefix so
+  // strip_wallclock.py removes it before determinism diffs.
+  EXPECT_TRUE(doc.contains("wall_written_unix_ms"));
+}
+
+TEST(ObsRunInfo, DeterministicSectionsIdenticalAcrossCalls) {
+  RunManifest m;
+  m.tool = "mecsc";
+  m.command = "generate";
+  m.config["--size"] = util::JsonValue("80");
+
+  auto strip_wall = [](util::JsonValue doc) {
+    util::JsonObject obj = doc.as_object();
+    obj.erase("wall_written_unix_ms");
+    return util::JsonValue(obj).dump(2);
+  };
+  EXPECT_EQ(strip_wall(manifest_to_json(m)), strip_wall(manifest_to_json(m)));
+}
+
+TEST(ObsRunInfo, WriteManifestProducesParseableFile) {
+  const std::string path = testing::TempDir() + "/mecsc_manifest_test.json";
+  RunManifest m;
+  m.tool = "mecsc";
+  m.command = "solve";
+  write_manifest(path, m);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream text;
+  text << in.rdbuf();
+  const util::JsonValue doc = util::parse_json(text.str());
+  EXPECT_EQ(doc.string_at("tool"), "mecsc");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mecsc::obs

@@ -1,0 +1,171 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <iterator>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/lcf.h"
+#include "obs/metrics.h"
+#include "util/json.h"
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace mecsc::obs {
+namespace {
+
+/// Guarantees the global trace is detached again even when an assertion
+/// fails mid-test, so one failure cannot cascade into the rest of the
+/// suite.
+class ObsTrace : public testing::Test {
+ protected:
+  void SetUp() override { Trace::global().close(); }
+  void TearDown() override {
+    Trace::global().close();
+    util::set_log_observer(nullptr);
+    util::set_log_level(util::LogLevel::Warn);
+  }
+};
+
+std::vector<util::JsonValue> parse_lines(const std::string& text) {
+  std::vector<util::JsonValue> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) out.push_back(util::parse_json(line));
+  }
+  return out;
+}
+
+TEST_F(ObsTrace, DisabledByDefaultAndArgumentNotEvaluated) {
+  Trace& trace = Trace::global();
+  EXPECT_FALSE(trace.enabled());
+
+  // The macro's argument must not be evaluated while disabled — this is
+  // the "zero work, zero allocations on the hot path" guarantee. The
+  // side-effecting helper would flip the flag if the event were built.
+  bool evaluated = false;
+  auto expensive_field = [&evaluated] {
+    evaluated = true;
+    return 42.0;
+  };
+  MECSC_TRACE(TraceEvent("never").f("v", expensive_field()));
+  EXPECT_FALSE(evaluated);
+  EXPECT_EQ(trace.events_emitted(), 0u);
+
+  // Attached: the same expression now runs.
+  std::ostringstream sink;
+  trace.open_stream(&sink);
+  MECSC_TRACE(TraceEvent("now").f("v", expensive_field()));
+  trace.close();
+  EXPECT_TRUE(evaluated);
+  EXPECT_NE(sink.str().find("\"event\":\"now\""), std::string::npos);
+}
+
+TEST_F(ObsTrace, EmitsOneJsonObjectPerLineWithEventAndSeq) {
+  std::ostringstream sink;
+  Trace& trace = Trace::global();
+  trace.open_stream(&sink);
+  MECSC_TRACE(TraceEvent("alpha").f("x", 1).f("label", "one"));
+  MECSC_TRACE(TraceEvent("beta").f("flag", true).f("y", 2.5));
+  EXPECT_EQ(trace.events_emitted(), 2u);
+  trace.close();
+
+  const std::vector<util::JsonValue> lines = parse_lines(sink.str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].string_at("event"), "alpha");
+  EXPECT_DOUBLE_EQ(lines[0].number_at("x"), 1.0);
+  EXPECT_EQ(lines[0].string_at("label"), "one");
+  EXPECT_DOUBLE_EQ(lines[0].number_at("seq"), 0.0);
+  EXPECT_EQ(lines[1].string_at("event"), "beta");
+  EXPECT_TRUE(lines[1].at("flag").as_bool());
+  EXPECT_DOUBLE_EQ(lines[1].number_at("seq"), 1.0);
+}
+
+TEST_F(ObsTrace, LogBridgeForwardsLinesAsEventsAndCountsThem) {
+  install_log_bridge();
+  MetricsRegistry::global().reset();
+  util::set_log_level(util::LogLevel::Info);
+
+  std::ostringstream sink;
+  Trace::global().open_stream(&sink);
+  testing::internal::CaptureStderr();
+  LOG_INFO() << "bridged " << 7;
+  LOG_DEBUG() << "suppressed";  // below the level: neither sink sees it
+  testing::internal::GetCapturedStderr();
+  Trace::global().close();
+
+  const std::vector<util::JsonValue> lines = parse_lines(sink.str());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].string_at("event"), "log");
+  EXPECT_EQ(lines[0].string_at("level"), "info");
+  EXPECT_EQ(lines[0].string_at("message"), "bridged 7");
+  EXPECT_EQ(MetricsRegistry::global().snapshot().counters.at(
+                "log.lines.info"),
+            1);
+}
+
+// Golden trace: two identical-seed LCF runs must serialize byte-identical
+// traces once the "wall_"-prefixed timing fields are stripped (the same
+// contract tools/strip_wallclock.py enforces), and the trace must contain
+// the events a convergence plot needs — the coordination-set summary and
+// every best-response round with its potential value.
+TEST_F(ObsTrace, GoldenLcfTraceIsDeterministicAndComplete) {
+  core::InstanceParams params;
+  params.network_size = 60;
+  params.provider_count = 20;
+
+  auto trace_once = [&] {
+    util::Rng rng(2024);
+    const core::Instance inst = core::generate_instance(params, rng);
+    std::ostringstream sink;
+    Trace::global().open_stream(&sink);
+    core::run_lcf(inst);
+    Trace::global().close();
+    return sink.str();
+  };
+
+  auto strip_wall = [](const std::string& text) {
+    std::string out;
+    for (const util::JsonValue& line : parse_lines(text)) {
+      util::JsonObject obj = line.as_object();
+      for (auto it = obj.begin(); it != obj.end();) {
+        it = it->first.rfind("wall_", 0) == 0 ? obj.erase(it) : std::next(it);
+      }
+      out += util::JsonValue(std::move(obj)).dump() + "\n";
+    }
+    return out;
+  };
+
+  const std::string first = trace_once();
+  const std::string second = trace_once();
+  EXPECT_EQ(strip_wall(first), strip_wall(second));
+
+  std::size_t coordination_events = 0;
+  std::size_t round_events = 0;
+  double last_potential = 0.0;
+  for (const util::JsonValue& line : parse_lines(first)) {
+    const std::string& event = line.string_at("event");
+    if (event == "lcf.coordination_set") {
+      ++coordination_events;
+      EXPECT_GT(line.number_at("coordinated"), 0.0);
+      EXPECT_TRUE(line.contains("coordinated_fraction"));
+    } else if (event == "game.best_response_round") {
+      ++round_events;
+      EXPECT_TRUE(line.contains("moves"));
+      last_potential = line.number_at("potential");
+    }
+  }
+  EXPECT_EQ(coordination_events, 1u);
+  EXPECT_GE(round_events, 1u);
+  // The dynamics minimize the potential, so the last round's value is a
+  // real finite number (and the field exists on every round).
+  EXPECT_GT(last_potential, 0.0);
+}
+
+}  // namespace
+}  // namespace mecsc::obs

@@ -11,6 +11,7 @@ MECSC="${1:?usage: check_determinism.sh /path/to/mecsc [seed]}"
 SEED="${2:-42}"
 DIR="$(mktemp -d)"
 trap 'rm -rf "$DIR"' EXIT
+TOOLS_DIR="$(cd "$(dirname "$0")" && pwd)"
 
 run_once() {
   out="$1"
@@ -32,6 +33,19 @@ run_once() {
   "$MECSC" delay -i "$out/inst.json" -p "$out/lcf.json" > "$out/delay.txt"
   "$MECSC" emulate -i "$out/inst.json" -p "$out/lcf.json" --horizon 10 \
       > "$out/emulate.txt"
+
+  # Observability artifacts: trace, metrics, and run manifest from one
+  # instrumented solve. Their deterministic sections (everything except
+  # "wall_"-prefixed keys) must also be bit-identical across runs.
+  "$MECSC" solve -i "$out/inst.json" --algorithm lcf -o - \
+      --trace-out "$out/lcf.trace.jsonl" \
+      --metrics-out "$out/lcf.metrics.json" \
+      --manifest-out "$out/lcf.manifest.json" > /dev/null 2>&1
+  python3 "$TOOLS_DIR/strip_wallclock.py" \
+      "$out/lcf.trace.jsonl" "$out/lcf.metrics.json" "$out/lcf.manifest.json"
+  # The manifest faithfully records the flags, which contain this run's
+  # scratch directory; normalize the path so the a/b dirs compare equal.
+  sed -i "s|$out|RUNDIR|g" "$out/lcf.manifest.json"
 }
 
 run_once "$DIR/a"

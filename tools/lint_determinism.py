@@ -16,12 +16,18 @@ that guarantee:
                 std::set, sorted vectors, or index-keyed vectors.
   wall-clock    Wall-clock reads (…_clock::now, time(), gettimeofday,
                 clock()) in algorithm code. Timing belongs in
-                src/util/timer.h; algorithm results must not depend on it.
+                src/util/timer.h, and duration/timestamp fields of the
+                observability layer belong in src/obs/ — those are the
+                only places allowed to read the clock, and they must
+                publish timing only under "wall_"-prefixed keys (see
+                tools/strip_wallclock.py). Algorithm results must never
+                depend on the clock.
 
 Suppressing a finding: append  // determinism-lint: allow(<rule>)  to the
 line (e.g. when an unordered container provably never feeds an iteration
 into results). Allowlisted files (the RNG itself, the timer) are exempt from
-the relevant rule wholesale.
+the relevant rule wholesale; an allowlist entry ending in "/" exempts the
+whole directory (src/obs/ for the wall-clock rule).
 
 Usage: lint_determinism.py [PATH...]   (default: src/)
 Exit status: 0 = clean, 1 = findings, 2 = usage error.
@@ -65,8 +71,9 @@ RULES: dict[str, tuple[re.Pattern[str], str, tuple[str, ...]]] = {
             r"|\bclock_gettime\s*\("
         ),
         "wall-clock read in algorithm code; timing belongs in "
-        "src/util/timer.h and must not influence results",
-        ("src/util/timer.h",),
+        "src/util/timer.h (or src/obs/ wall_* fields) and must not "
+        "influence results",
+        ("src/util/timer.h", "src/obs/"),
     ),
 }
 
@@ -126,7 +133,10 @@ def lint_file(path: Path, repo_root: Path) -> list[str]:
     raw_lines = raw.split("\n")
     findings = []
     for rule, (pattern, message, exempt) in RULES.items():
-        if rel in exempt:
+        # Entries ending in "/" exempt every file under that directory.
+        if any(
+            rel == e or (e.endswith("/") and rel.startswith(e)) for e in exempt
+        ):
             continue
         for lineno, code in enumerate(code_lines, start=1):
             if not pattern.search(code):

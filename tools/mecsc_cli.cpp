@@ -26,8 +26,12 @@
 #include "core/lcf.h"
 #include "core/pricing.h"
 #include "core/social_optimum.h"
+#include "obs/metrics.h"
+#include "obs/run_info.h"
+#include "obs/trace.h"
 #include "sim/emulation.h"
 #include "sim/workload.h"
+#include "util/log.h"
 #include "util/rng.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -53,6 +57,15 @@ usage:
   mecsc stability -i FILE [--one-minus-xi X]
   mecsc price    -i FILE [-o FILE]
   mecsc info     -i FILE
+
+observability flags (valid on every subcommand):
+  --log-level debug|info|warn|error|off   stderr log threshold (default warn)
+  --trace-out FILE     JSON-lines algorithm trace (per-round game events,
+                       solver spans; see DESIGN.md "Observability")
+  --metrics-out FILE   counters/gauges/histograms of the run as JSON
+  --manifest-out FILE  run manifest (seed, config, instance digest, build);
+                       defaults to <metrics-out|trace-out>.manifest.json
+                       when either of those is requested
 
 "-o -" (default) writes JSON to stdout.
 )";
@@ -98,8 +111,88 @@ class Args {
     return *v;
   }
 
+  /// Every flag as parsed, for the run manifest.
+  const std::map<std::string, std::string>& all() const { return values_; }
+
  private:
   std::map<std::string, std::string> values_;
+};
+
+/// Digest of the instance consumed (or generated) by the current command,
+/// recorded into the run manifest.
+std::optional<std::string> g_instance_digest;
+
+/// Configures logging/tracing/metrics from the shared observability flags
+/// and, on finish(), writes the metrics file and run manifest.
+class ObsSession {
+ public:
+  ObsSession(std::string command, const Args& args)
+      : command_(std::move(command)),
+        trace_out_(args.get("--trace-out")),
+        metrics_out_(args.get("--metrics-out")),
+        manifest_out_(args.get("--manifest-out")) {
+    if (const auto level = args.get("--log-level")) {
+      if (*level == "debug") {
+        util::set_log_level(util::LogLevel::Debug);
+      } else if (*level == "info") {
+        util::set_log_level(util::LogLevel::Info);
+      } else if (*level == "warn") {
+        util::set_log_level(util::LogLevel::Warn);
+      } else if (*level == "error") {
+        util::set_log_level(util::LogLevel::Error);
+      } else if (*level == "off") {
+        util::set_log_level(util::LogLevel::Off);
+      } else {
+        usage("unknown log level '" + *level + "'");
+      }
+    }
+    // One configuration point: LOG_* lines flow into the same trace file
+    // and metrics registry as the algorithm events.
+    obs::install_log_bridge();
+    obs::MetricsRegistry::global().reset();
+    if (trace_out_) obs::Trace::global().open_file(*trace_out_);
+    for (const auto& [key, value] : args.all()) {
+      config_[key] = util::JsonValue(value);
+    }
+  }
+
+  /// Writes the requested observability artifacts. Called once after the
+  /// subcommand succeeded (skipped on error paths so partial runs never
+  /// leave misleading artifacts).
+  void finish() {
+    if (trace_out_) {
+      obs::Trace::global().close();
+      std::cerr << "wrote " << *trace_out_ << "\n";
+    }
+    if (metrics_out_) {
+      core::write_text_file(
+          *metrics_out_,
+          obs::MetricsRegistry::global().snapshot().to_json().dump(2));
+      std::cerr << "wrote " << *metrics_out_ << "\n";
+    }
+    std::optional<std::string> manifest_path = manifest_out_;
+    if (!manifest_path && metrics_out_) {
+      manifest_path = *metrics_out_ + ".manifest.json";
+    }
+    if (!manifest_path && trace_out_) {
+      manifest_path = *trace_out_ + ".manifest.json";
+    }
+    if (!manifest_path) return;
+    obs::RunManifest manifest;
+    manifest.tool = "mecsc";
+    manifest.command = command_;
+    manifest.config = config_;
+    if (g_instance_digest) manifest.instance_digest = *g_instance_digest;
+    obs::write_manifest(*manifest_path, manifest);
+    std::cerr << "wrote " << *manifest_path << "\n";
+  }
+
+ private:
+  std::string command_;
+  std::optional<std::string> trace_out_;
+  std::optional<std::string> metrics_out_;
+  std::optional<std::string> manifest_out_;
+  util::JsonObject config_;
 };
 
 void emit(const std::string& target, const std::string& content) {
@@ -113,8 +206,9 @@ void emit(const std::string& target, const std::string& content) {
 
 core::Instance load_instance(const Args& args) {
   const std::string path = args.require("-i");
-  return core::instance_from_json(
-      util::parse_json(core::read_text_file(path)));
+  const std::string text = core::read_text_file(path);
+  g_instance_digest = obs::fnv1a64_hex(text);
+  return core::instance_from_json(util::parse_json(text));
 }
 
 int cmd_generate(const Args& args) {
@@ -138,7 +232,9 @@ int cmd_generate(const Args& args) {
     }
     if (!found) usage("unknown congestion kind '" + *kind + "'");
   }
-  emit(args.get_or("-o", "-"), core::instance_to_json(inst).dump(2));
+  const std::string doc = core::instance_to_json(inst).dump(2);
+  g_instance_digest = obs::fnv1a64_hex(doc);
+  emit(args.get_or("-o", "-"), doc);
   return 0;
 }
 
@@ -179,6 +275,11 @@ int cmd_solve(const Args& args) {
     usage("unknown algorithm '" + algorithm + "'");
   }
   const double ms = timer.elapsed_ms();
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.gauge_set("solve.social_cost", result->social_cost());
+  metrics.gauge_set("solve.potential", result->potential());
+  metrics.gauge_set("solve.one_minus_xi", one_minus_xi);
+  metrics.wall_duration_record("solve." + algorithm + "_ms", ms);
 
   auto doc = core::assignment_to_json(*result);
   doc.as_object()["algorithm"] = util::JsonValue(algorithm);
@@ -332,23 +433,33 @@ int cmd_info(const Args& args) {
   return 0;
 }
 
+int dispatch(const std::string& cmd, const Args& args) {
+  if (cmd == "generate") return cmd_generate(args);
+  if (cmd == "solve") return cmd_solve(args);
+  if (cmd == "evaluate") return cmd_evaluate(args);
+  if (cmd == "emulate") return cmd_emulate(args);
+  if (cmd == "delay") return cmd_delay(args);
+  if (cmd == "stability") return cmd_stability(args);
+  if (cmd == "price") return cmd_price(args);
+  if (cmd == "info") return cmd_info(args);
+  usage("unknown subcommand '" + cmd + "'");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) usage("missing subcommand");
   const std::string cmd = argv[1];
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") usage();
   try {
     const Args args(argc, argv, 2);
-    if (cmd == "generate") return cmd_generate(args);
-    if (cmd == "solve") return cmd_solve(args);
-    if (cmd == "evaluate") return cmd_evaluate(args);
-    if (cmd == "emulate") return cmd_emulate(args);
-    if (cmd == "delay") return cmd_delay(args);
-    if (cmd == "stability") return cmd_stability(args);
-    if (cmd == "price") return cmd_price(args);
-    if (cmd == "info") return cmd_info(args);
-    if (cmd == "--help" || cmd == "-h" || cmd == "help") usage();
-    usage("unknown subcommand '" + cmd + "'");
+    ObsSession session(cmd, args);
+    const util::Timer run_timer;
+    const int status = dispatch(cmd, args);
+    obs::MetricsRegistry::global().wall_duration_record(
+        "cli." + cmd + "_ms", run_timer.elapsed_ms());
+    if (status == 0) session.finish();
+    return status;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Strips wall-clock fields from observability artifacts, in place.
+
+The obs subsystem segregates timing metadata from algorithm results by a
+single convention: any JSON key that starts with "wall_" (at any nesting
+depth) is wall-clock and excluded from the determinism guarantee; every
+other field must be bit-identical across same-seed runs. This script
+removes exactly those keys and re-serializes canonically (sorted keys), so
+check_determinism.sh can diff what remains.
+
+Handles both whole-document JSON (metrics files, run manifests, BENCH_*
+records) and JSON-lines traces (one object per line; files ending in
+.jsonl, or any file when --jsonl is given).
+
+Usage: strip_wallclock.py [--jsonl] FILE...
+Exit status: 0 = all files rewritten, 2 = usage/parse error.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+WALL_PREFIX = "wall_"
+
+
+def strip(value):
+    if isinstance(value, dict):
+        return {
+            k: strip(v)
+            for k, v in value.items()
+            if not k.startswith(WALL_PREFIX)
+        }
+    if isinstance(value, list):
+        return [strip(v) for v in value]
+    return value
+
+
+def rewrite(path: str, jsonl: bool) -> None:
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    if jsonl or path.endswith(".jsonl"):
+        lines = [
+            json.dumps(strip(json.loads(line)), sort_keys=True)
+            for line in text.splitlines()
+            if line.strip()
+        ]
+        out = "\n".join(lines)
+    else:
+        out = json.dumps(strip(json.loads(text)), sort_keys=True, indent=2)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(out + "\n")
+
+
+def main(argv: list[str]) -> int:
+    args = argv[1:]
+    jsonl = False
+    if args and args[0] == "--jsonl":
+        jsonl = True
+        args = args[1:]
+    if not args:
+        print("usage: strip_wallclock.py [--jsonl] FILE...", file=sys.stderr)
+        return 2
+    for path in args:
+        try:
+            rewrite(path, jsonl)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"strip_wallclock: {path}: {err}", file=sys.stderr)
+            return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
