@@ -10,6 +10,7 @@
 #include <iostream>
 #include <numeric>
 
+#include "bench_common.h"
 #include "core/appro.h"
 #include "core/congestion_game.h"
 #include "core/lcf.h"
@@ -64,14 +65,16 @@ double lcf_variant(const core::Instance& inst, Selection rule,
 
 int main() {
   using namespace mecsc;
-  constexpr std::size_t kRepetitions = 5;
+  using namespace mecsc::bench;
+  const std::size_t kReps = repetitions();
+  BenchRecorder recorder("ablation");
 
   // --- (1) Appro pricing ----------------------------------------------------
   util::Table pricing({"network size", "congestion-aware", "literal Eq.(9)",
                        "aware advantage %"});
-  for (const std::size_t size : {100u, 200u, 300u}) {
+  for (const std::size_t size : smoke_trim(std::vector<std::size_t>{100, 200, 300})) {
     util::RunningStats aware, literal;
-    for (std::size_t rep = 0; rep < kRepetitions; ++rep) {
+    for (std::size_t rep = 0; rep < kReps; ++rep) {
       util::Rng rng(800 + rep);
       core::InstanceParams p;
       p.network_size = size;
@@ -86,14 +89,19 @@ int main() {
                      literal.mean(),
                      100.0 * (literal.mean() - aware.mean()) /
                          literal.mean()});
+    util::JsonObject row;
+    row["aware_social_cost"] = util::JsonValue(aware.mean());
+    row["literal_social_cost"] = util::JsonValue(literal.mean());
+    recorder.add("pricing:size=" + std::to_string(size), std::move(row));
   }
 
   // --- (2) coordinated-set selection rule ------------------------------------
   util::Table selection({"network size", "LCF (largest cost)", "random",
                          "smallest cost"});
-  for (const std::size_t size : {100u, 200u}) {
+  for (const std::size_t size :
+       smoke_trim(std::vector<std::size_t>{100, 200}, 1)) {
     util::RunningStats lcf, random, smallest;
-    for (std::size_t rep = 0; rep < kRepetitions; ++rep) {
+    for (std::size_t rep = 0; rep < kReps; ++rep) {
       util::Rng rng(900 + rep);
       core::InstanceParams p;
       p.network_size = size;
@@ -106,14 +114,20 @@ int main() {
     }
     selection.add_row({static_cast<long long>(size), lcf.mean(),
                        random.mean(), smallest.mean()});
+    util::JsonObject row;
+    row["largest_cost_social_cost"] = util::JsonValue(lcf.mean());
+    row["random_social_cost"] = util::JsonValue(random.mean());
+    row["smallest_cost_social_cost"] = util::JsonValue(smallest.mean());
+    recorder.add("selection:size=" + std::to_string(size), std::move(row));
   }
 
   // --- (3) selfish start ------------------------------------------------------
   util::Table start({"network size", "cold start (remote)",
                      "warm start (Appro seats)"});
-  for (const std::size_t size : {100u, 200u}) {
+  for (const std::size_t size :
+       smoke_trim(std::vector<std::size_t>{100, 200}, 1)) {
     util::RunningStats cold, warm;
-    for (std::size_t rep = 0; rep < kRepetitions; ++rep) {
+    for (std::size_t rep = 0; rep < kReps; ++rep) {
       util::Rng rng(950 + rep);
       core::InstanceParams p;
       p.network_size = size;
@@ -127,9 +141,15 @@ int main() {
     }
     start.add_row(
         {static_cast<long long>(size), cold.mean(), warm.mean()});
+    util::JsonObject row;
+    row["cold_start_social_cost"] = util::JsonValue(cold.mean());
+    row["warm_start_social_cost"] = util::JsonValue(warm.mean());
+    recorder.add("start:size=" + std::to_string(size), std::move(row));
   }
 
-  std::cout << "Ablations — " << kRepetitions << " seeds per point\n";
+  recorder.write_file();
+
+  std::cout << "Ablations — " << kReps << " seeds per point\n";
   util::print_section(std::cout,
                       "(1) Appro slot pricing (social cost, lower=better)",
                       pricing);

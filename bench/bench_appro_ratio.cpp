@@ -4,6 +4,7 @@
 // congestion-aware default (see DESIGN.md).
 #include <iostream>
 
+#include "bench_common.h"
 #include "core/appro.h"
 #include "core/social_optimum.h"
 #include "util/rng.h"
@@ -12,11 +13,14 @@
 
 int main() {
   using namespace mecsc;
-  constexpr std::size_t kInstances = 8;
+  using namespace mecsc::bench;
+  const std::size_t kInstances = smoke_mode() ? 3 : 8;
 
   util::Table table({"providers", "Appro/OPT (aware)", "Appro/OPT (literal)",
                      "ShmoysTardos/OPT", "2*delta*kappa"});
-  for (const std::size_t n : {5u, 7u, 9u, 11u}) {
+  BenchRecorder recorder("appro_ratio");
+  for (const std::size_t n :
+       smoke_trim(std::vector<std::size_t>{5, 7, 9, 11})) {
     util::RunningStats aware, literal, st, bound;
     for (std::size_t k = 0; k < kInstances; ++k) {
       util::Rng rng(700 + 17 * k + n);
@@ -42,7 +46,14 @@ int main() {
     }
     table.add_row({static_cast<long long>(n), aware.mean(), literal.mean(),
                    st.mean(), bound.mean()});
+    util::JsonObject row;
+    row["appro_aware_over_opt"] = util::JsonValue(aware.mean());
+    row["appro_literal_over_opt"] = util::JsonValue(literal.mean());
+    row["shmoys_tardos_over_opt"] = util::JsonValue(st.mean());
+    row["two_delta_kappa"] = util::JsonValue(bound.mean());
+    recorder.add("providers=" + std::to_string(n), std::move(row));
   }
+  recorder.write_file();
 
   std::cout << "Lemma 2 — empirical approximation ratio of Appro ("
             << kInstances << " instances per row, exact OPT)\n";

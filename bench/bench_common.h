@@ -18,6 +18,7 @@
 #include "core/baselines.h"
 #include "core/instance.h"
 #include "core/lcf.h"
+#include "obs/profiler.h"
 #include "obs/run_info.h"
 #include "util/json.h"
 #include "util/rng.h"
@@ -27,8 +28,33 @@
 
 namespace mecsc::bench {
 
-/// Number of seeded repetitions per data point.
+/// Number of seeded repetitions per data point (full runs).
 inline constexpr std::size_t kRepetitions = 5;
+
+/// True when MECSC_BENCH_SMOKE=1: benches shrink their parameter sweeps and
+/// repetition counts so CI can execute the whole suite in seconds. Smoke
+/// results are still deterministic (same seeds, same records), just fewer.
+inline bool smoke_mode() {
+  const char* env = std::getenv("MECSC_BENCH_SMOKE");
+  return env != nullptr && env[0] == '1' && env[1] == '\0';
+}
+
+/// Seeded repetitions per data point, honoring smoke mode.
+inline std::size_t repetitions() { return smoke_mode() ? 2 : kRepetitions; }
+
+/// Trims a parameter sweep to its first `keep` points in smoke mode; full
+/// runs keep the whole sweep.
+template <typename T>
+std::vector<T> smoke_trim(std::vector<T> v, std::size_t keep = 2) {
+  if (smoke_mode() && v.size() > keep) v.resize(keep);
+  return v;
+}
+
+/// Scales a single size down in smoke mode (never below `floor`).
+inline std::size_t smoke_scale(std::size_t full, std::size_t floor_value) {
+  if (!smoke_mode()) return full;
+  return full / 4 > floor_value ? full / 4 : floor_value;
+}
 
 /// Metrics of one algorithm run on one instance.
 struct RunMetrics {
@@ -99,7 +125,14 @@ double mean_of(const std::vector<AlgorithmComparison>& runs, Fn&& get) {
 /// CLI artifacts, and the same convention applies here).
 class BenchRecorder {
  public:
-  explicit BenchRecorder(std::string name) : name_(std::move(name)) {}
+  explicit BenchRecorder(std::string name) : name_(std::move(name)) {
+    // MECSC_BENCH_PROFILE=1 captures a phase profile of the whole bench run
+    // and writes PROFILE_<name>.json next to BENCH_<name>.json.
+    if (const char* env = std::getenv("MECSC_BENCH_PROFILE")) {
+      profile_ = env[0] == '1' && env[1] == '\0';
+    }
+    if (profile_) obs::Profiler::global().enable();
+  }
 
   /// Adds one data-point record. `deterministic` holds algorithm results;
   /// `wall_ms` holds {metric -> milliseconds} timing pairs, each emitted
@@ -143,7 +176,7 @@ class BenchRecorder {
     util::JsonObject doc;
     doc["bench"] = util::JsonValue(name_);
     doc["obs_format_version"] = util::JsonValue(obs::kObsFormatVersion);
-    doc["repetitions"] = util::JsonValue(kRepetitions);
+    doc["repetitions"] = util::JsonValue(repetitions());
     doc["records"] = util::JsonValue(records_);
     std::ofstream out(path, std::ios::out | std::ios::trunc);
     out << util::JsonValue(std::move(doc)).dump(2) << "\n";
@@ -152,11 +185,22 @@ class BenchRecorder {
     } else {
       std::cerr << "warning: could not write " << path << "\n";
     }
+    if (profile_) {
+      const std::string ppath = dir + "/PROFILE_" + name_ + ".json";
+      std::ofstream pout(ppath, std::ios::out | std::ios::trunc);
+      pout << obs::Profiler::global().report().to_json().dump(2) << "\n";
+      if (pout) {
+        std::cerr << "wrote " << ppath << "\n";
+      } else {
+        std::cerr << "warning: could not write " << ppath << "\n";
+      }
+    }
   }
 
  private:
   std::string name_;
   util::JsonArray records_;
+  bool profile_ = false;
 };
 
 }  // namespace mecsc::bench

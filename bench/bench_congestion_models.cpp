@@ -9,7 +9,8 @@
 int main() {
   using namespace mecsc;
   using namespace mecsc::bench;
-  constexpr std::size_t kReps = 5;
+  const std::size_t kReps = repetitions();
+  BenchRecorder recorder("congestion_models");
 
   util::Table cost({"congestion model", "LCF", "JoOffloadCache",
                     "OffloadCache", "LCF advantage %"});
@@ -49,7 +50,16 @@ int main() {
     cost.add_row({name, lcf.mean(), jo.mean(), oc.mean(),
                   100.0 * (jo.mean() - lcf.mean()) / jo.mean()});
     spread.add_row({name, peak.mean(), cached.mean(), rounds.mean()});
+    util::JsonObject row;
+    row["lcf_social_cost"] = util::JsonValue(lcf.mean());
+    row["jo_social_cost"] = util::JsonValue(jo.mean());
+    row["offload_social_cost"] = util::JsonValue(oc.mean());
+    row["peak_tenants"] = util::JsonValue(peak.mean());
+    row["cached_services"] = util::JsonValue(cached.mean());
+    row["ne_rounds"] = util::JsonValue(rounds.mean());
+    recorder.add("model=" + name, std::move(row));
   }
+  recorder.write_file();
 
   std::cout << "Congestion-model study — 100 providers, size 150, 1-xi=0.3, "
             << kReps << " seeds per point\n";

@@ -1,8 +1,10 @@
 // Dynamic-market study (extension; §II-B's "temporary" caching made
 // longitudinal): placement quality vs migration churn across re-planning
 // policies, and sensitivity to market volatility.
+#include <cstdio>
 #include <iostream>
 
+#include "bench_common.h"
 #include "core/market_dynamics.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -24,8 +26,10 @@ core::Instance make_pool(std::uint64_t seed) {
 
 int main() {
   using namespace mecsc;
-  constexpr std::size_t kRepetitions = 3;
-  constexpr std::size_t kEpochs = 25;
+  using namespace mecsc::bench;
+  const std::size_t kReps = smoke_mode() ? 2 : 3;
+  const std::size_t kEpochs = smoke_mode() ? 8 : 25;
+  BenchRecorder recorder("dynamics");
 
   // --- Policy comparison ------------------------------------------------------
   util::Table policy({"policy", "social cost/epoch", "migration cost/epoch",
@@ -33,7 +37,7 @@ int main() {
   for (const auto p : {core::ReplanPolicy::FullRecompute,
                        core::ReplanPolicy::IncrementalRepair}) {
     util::RunningStats social, migration, moves, total, ms;
-    for (std::size_t rep = 0; rep < kRepetitions; ++rep) {
+    for (std::size_t rep = 0; rep < kReps; ++rep) {
       const core::Instance pool = make_pool(50 + rep);
       util::Rng rng(rep + 1);
       core::MarketDynamicsParams params;
@@ -53,14 +57,21 @@ int main() {
     }
     policy.add_row({std::string(core::replan_policy_name(p)), social.mean(),
                     migration.mean(), moves.mean(), total.mean(), ms.mean()});
+    util::JsonObject row;
+    row["social_cost_per_epoch"] = util::JsonValue(social.mean());
+    row["migration_cost_per_epoch"] = util::JsonValue(migration.mean());
+    row["migrations_per_epoch"] = util::JsonValue(moves.mean());
+    row["total_cost"] = util::JsonValue(total.mean());
+    recorder.add(std::string("policy:") + core::replan_policy_name(p),
+                 std::move(row), {{"replan_per_epoch", ms.mean()}});
   }
 
   // --- Volatility sweep ---------------------------------------------------------
   util::Table volatility({"departure prob", "full: total cost",
                           "incremental: total cost", "incremental wins by %"});
-  for (const double dep : {0.02, 0.05, 0.10, 0.20, 0.35}) {
+  for (const double dep : smoke_trim(std::vector<double>{0.02, 0.05, 0.10, 0.20, 0.35})) {
     util::RunningStats full, inc;
-    for (std::size_t rep = 0; rep < kRepetitions; ++rep) {
+    for (std::size_t rep = 0; rep < kReps; ++rep) {
       const core::Instance pool = make_pool(80 + rep);
       core::MarketDynamicsParams params;
       params.epochs = kEpochs;
@@ -74,9 +85,16 @@ int main() {
     }
     volatility.add_row({dep, full.mean(), inc.mean(),
                         100.0 * (full.mean() - inc.mean()) / full.mean()});
+    util::JsonObject row;
+    row["full_total_cost"] = util::JsonValue(full.mean());
+    row["incremental_total_cost"] = util::JsonValue(inc.mean());
+    char label[48];
+    std::snprintf(label, sizeof label, "volatility:departure=%.2f", dep);
+    recorder.add(label, std::move(row));
   }
+  recorder.write_file();
 
-  std::cout << "Dynamic market — " << kEpochs << " epochs, " << kRepetitions
+  std::cout << "Dynamic market — " << kEpochs << " epochs, " << kReps
             << " seeds per point\n";
   util::print_section(
       std::cout, "Re-planning policy trade-off (placement vs churn)", policy);

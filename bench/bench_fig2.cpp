@@ -8,7 +8,8 @@ int main() {
   using namespace mecsc;
   using namespace mecsc::bench;
 
-  const std::vector<std::size_t> sizes{50, 100, 150, 200, 250, 300, 350, 400};
+  const std::vector<std::size_t> sizes = smoke_trim(
+      std::vector<std::size_t>{50, 100, 150, 200, 250, 300, 350, 400});
   constexpr double kOneMinusXi = 0.3;
 
   util::Table social({"network size", "LCF", "JoOffloadCache", "OffloadCache"});
@@ -22,7 +23,7 @@ int main() {
 
   for (const std::size_t size : sizes) {
     std::vector<AlgorithmComparison> runs;
-    for (std::size_t rep = 0; rep < kRepetitions; ++rep) {
+    for (std::size_t rep = 0; rep < repetitions(); ++rep) {
       util::Rng rng(1000 * size + rep);
       core::InstanceParams params;
       params.network_size = size;
@@ -52,7 +53,7 @@ int main() {
   recorder.write_file();
 
   std::cout << "Fig. 2 — GT-ITM networks, 100 providers, 1-xi = 0.3, "
-            << kRepetitions << " seeds per point\n";
+            << repetitions() << " seeds per point\n";
   util::print_section(std::cout, "Fig. 2 (a) social cost", social);
   util::print_section(std::cout, "Fig. 2 (b) cost of the selfish providers",
                       selfish);

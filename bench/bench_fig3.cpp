@@ -11,8 +11,10 @@ int main() {
   using namespace mecsc::bench;
 
   constexpr std::size_t kSize = 250;
-  const std::vector<double> shares{0.0, 0.1, 0.2, 0.3, 0.4, 0.5,
-                                   0.6, 0.7, 0.8, 0.9, 1.0};
+  const std::vector<double> shares =
+      smoke_trim(std::vector<double>{0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7,
+                                     0.8, 0.9, 1.0},
+                 3);
 
   util::Table social({"1-xi", "LCF", "JoOffloadCache", "OffloadCache"});
   util::Table selfish({"1-xi", "LCF", "JoOffloadCache", "OffloadCache"});
@@ -23,7 +25,7 @@ int main() {
 
   for (const double share : shares) {
     std::vector<AlgorithmComparison> runs;
-    for (std::size_t rep = 0; rep < kRepetitions; ++rep) {
+    for (std::size_t rep = 0; rep < repetitions(); ++rep) {
       util::Rng rng(777 + rep);  // same instances across shares
       core::InstanceParams params;
       params.network_size = kSize;
@@ -54,7 +56,7 @@ int main() {
   recorder.write_file();
 
   std::cout << "Fig. 3 — GT-ITM network size 250, 100 providers, "
-            << kRepetitions << " seeds per point\n";
+            << repetitions() << " seeds per point\n";
   util::print_section(std::cout, "Fig. 3 (a) social cost", social);
   util::print_section(std::cout, "Fig. 3 (b) cost of the selfish providers",
                       selfish);

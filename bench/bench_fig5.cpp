@@ -3,6 +3,7 @@
 //   (a) social cost (measured by the emulator)   (b) running times
 // X-axis: number of service caching requests (providers), as in the paper's
 // test-bed runs.
+#include "bench_common.h"
 #include "sim/testbed.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -12,18 +13,21 @@
 
 int main() {
   using namespace mecsc;
-  constexpr std::size_t kRepetitions = 3;
-  const std::vector<std::size_t> provider_counts{25, 50, 75, 100};
+  using namespace mecsc::bench;
+  const std::size_t reps = smoke_mode() ? 2 : 3;
+  const std::vector<std::size_t> provider_counts =
+      smoke_trim(std::vector<std::size_t>{25, 50, 75, 100});
 
   util::Table cost({"providers", "LCF", "JoOffloadCache", "OffloadCache"});
   util::Table runtime(
       {"providers", "LCF (ms)", "JoOffloadCache (ms)", "OffloadCache (ms)"});
   util::Table latency({"providers", "LCF p50 (ms)", "JoOffloadCache p50 (ms)",
                        "OffloadCache p50 (ms)"});
+  BenchRecorder recorder("fig5");
 
   for (const std::size_t n : provider_counts) {
     util::RunningStats c[3], t[3], lat[3];
-    for (std::size_t rep = 0; rep < kRepetitions; ++rep) {
+    for (std::size_t rep = 0; rep < reps; ++rep) {
       util::Rng rng(9000 + 37 * n + rep);
       sim::TestbedConfig config;
       config.provider_count = n;
@@ -40,10 +44,22 @@ int main() {
     cost.add_row({nn, c[0].mean(), c[1].mean(), c[2].mean()});
     runtime.add_row({nn, t[0].mean(), t[1].mean(), t[2].mean()});
     latency.add_row({nn, lat[0].mean(), lat[1].mean(), lat[2].mean()});
+    util::JsonObject row;
+    row["lcf_measured_cost"] = util::JsonValue(c[0].mean());
+    row["jo_measured_cost"] = util::JsonValue(c[1].mean());
+    row["offload_measured_cost"] = util::JsonValue(c[2].mean());
+    row["lcf_latency_p50_ms"] = util::JsonValue(lat[0].mean());  // determinism-lint: allow(wall-key) simulated time
+    row["jo_latency_p50_ms"] = util::JsonValue(lat[1].mean());  // determinism-lint: allow(wall-key) simulated time
+    row["offload_latency_p50_ms"] = util::JsonValue(lat[2].mean());  // determinism-lint: allow(wall-key) simulated time
+    recorder.add("providers=" + std::to_string(n), std::move(row),
+                 {{"lcf", t[0].mean()},
+                  {"jo", t[1].mean()},
+                  {"offload", t[2].mean()}});
   }
+  recorder.write_file();
 
   std::cout << "Fig. 5 — emulated test-bed (AS1755 overlay), 1-xi = 0.3, "
-            << kRepetitions << " seeds per point\n";
+            << reps << " seeds per point\n";
   util::print_section(std::cout, "Fig. 5 (a) social cost (measured)", cost);
   util::print_section(std::cout, "Fig. 5 (b) running times", runtime);
   util::print_section(

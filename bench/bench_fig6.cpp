@@ -5,6 +5,7 @@
 //   (c) impact of the network size (50..400; the paper observes the total
 //       cost dipping around size 200 before rising again)
 //   (d) impact of the consistency-update data volume
+#include <cstdio>
 #include <iostream>
 
 #include "bench_common.h"
@@ -57,13 +58,15 @@ core::Instance as1755_instance(std::size_t providers, util::Rng& rng,
 
 int main() {
   using namespace mecsc;
-  constexpr std::size_t kRepetitions = 3;
+  using namespace mecsc::bench;
+  const std::size_t kReps = smoke_mode() ? 2 : 3;
+  BenchRecorder recorder("fig6");
 
   // --- (a) selfish share ----------------------------------------------------
   util::Table a({"1-xi", "LCF", "JoOffloadCache", "OffloadCache"});
-  for (const double share : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+  for (const double share : smoke_trim(std::vector<double>{0.0, 0.2, 0.4, 0.6, 0.8, 1.0})) {
     util::RunningStats s[3];
-    for (std::size_t rep = 0; rep < kRepetitions; ++rep) {
+    for (std::size_t rep = 0; rep < kReps; ++rep) {
       util::Rng rng(100 + rep);
       const core::Instance inst = as1755_instance(100, rng);
       const Measured m = measure(inst, share, rng);
@@ -72,13 +75,20 @@ int main() {
       s[2].add(m.offload);
     }
     a.add_row({share, s[0].mean(), s[1].mean(), s[2].mean()});
+    util::JsonObject row;
+    row["lcf_measured_cost"] = util::JsonValue(s[0].mean());
+    row["jo_measured_cost"] = util::JsonValue(s[1].mean());
+    row["offload_measured_cost"] = util::JsonValue(s[2].mean());
+    char label[48];
+    std::snprintf(label, sizeof label, "a:one_minus_xi=%.1f", share);
+    recorder.add(label, std::move(row));
   }
 
   // --- (b) number of service caching requests -------------------------------
   util::Table b({"providers", "LCF", "JoOffloadCache", "OffloadCache"});
-  for (const std::size_t n : {20u, 40u, 60u, 80u, 100u, 120u}) {
+  for (const std::size_t n : smoke_trim(std::vector<std::size_t>{20, 40, 60, 80, 100, 120})) {
     util::RunningStats s[3];
-    for (std::size_t rep = 0; rep < kRepetitions; ++rep) {
+    for (std::size_t rep = 0; rep < kReps; ++rep) {
       util::Rng rng(200 + rep);
       const core::Instance inst = as1755_instance(n, rng);
       const Measured m = measure(inst, 0.3, rng);
@@ -88,13 +98,18 @@ int main() {
     }
     b.add_row({static_cast<long long>(n), s[0].mean(), s[1].mean(),
                s[2].mean()});
+    util::JsonObject row;
+    row["lcf_measured_cost"] = util::JsonValue(s[0].mean());
+    row["jo_measured_cost"] = util::JsonValue(s[1].mean());
+    row["offload_measured_cost"] = util::JsonValue(s[2].mean());
+    recorder.add("b:providers=" + std::to_string(n), std::move(row));
   }
 
   // --- (c) network size ------------------------------------------------------
   util::Table c({"network size", "LCF", "JoOffloadCache", "OffloadCache"});
-  for (const std::size_t size : {50u, 100u, 150u, 200u, 250u, 300u, 400u}) {
+  for (const std::size_t size : smoke_trim(std::vector<std::size_t>{50, 100, 150, 200, 250, 300, 400})) {
     util::RunningStats s[3];
-    for (std::size_t rep = 0; rep < kRepetitions; ++rep) {
+    for (std::size_t rep = 0; rep < kReps; ++rep) {
       util::Rng rng(300 + rep);
       core::InstanceParams p;
       p.network_size = size;
@@ -107,14 +122,19 @@ int main() {
     }
     c.add_row({static_cast<long long>(size), s[0].mean(), s[1].mean(),
                s[2].mean()});
+    util::JsonObject row;
+    row["lcf_measured_cost"] = util::JsonValue(s[0].mean());
+    row["jo_measured_cost"] = util::JsonValue(s[1].mean());
+    row["offload_measured_cost"] = util::JsonValue(s[2].mean());
+    recorder.add("c:size=" + std::to_string(size), std::move(row));
   }
 
   // --- (d) update data volume -------------------------------------------------
   util::Table d(
       {"update fraction", "LCF", "JoOffloadCache", "OffloadCache"});
-  for (const double frac : {0.02, 0.05, 0.10, 0.20, 0.40}) {
+  for (const double frac : smoke_trim(std::vector<double>{0.02, 0.05, 0.10, 0.20, 0.40})) {
     util::RunningStats s[3];
-    for (std::size_t rep = 0; rep < kRepetitions; ++rep) {
+    for (std::size_t rep = 0; rep < kReps; ++rep) {
       util::Rng rng(400 + rep);
       const core::Instance inst = as1755_instance(100, rng, frac);
       const Measured m = measure(inst, 0.3, rng);
@@ -123,10 +143,19 @@ int main() {
       s[2].add(m.offload);
     }
     d.add_row({frac, s[0].mean(), s[1].mean(), s[2].mean()});
+    util::JsonObject row;
+    row["lcf_measured_cost"] = util::JsonValue(s[0].mean());
+    row["jo_measured_cost"] = util::JsonValue(s[1].mean());
+    row["offload_measured_cost"] = util::JsonValue(s[2].mean());
+    char label[48];
+    std::snprintf(label, sizeof label, "d:update_fraction=%.2f", frac);
+    recorder.add(label, std::move(row));
   }
 
+  recorder.write_file();
+
   std::cout << "Fig. 6 — emulated test-bed parameter studies, "
-            << kRepetitions << " seeds per point (measured social cost)\n";
+            << kReps << " seeds per point (measured social cost)\n";
   util::print_section(std::cout, "Fig. 6 (a) impact of 1-xi", a);
   util::print_section(std::cout,
                       "Fig. 6 (b) impact of the number of requests", b);

@@ -3,8 +3,10 @@
 // n_i = min{⌊C/a_max⌋, ⌊B/b_max⌋} (Eq. (7)), so the mechanism can cache
 // fewer services and the total cost rises (the paper uses this to validate
 // Lemma 2's dependence on δ, κ).
+#include <cstdio>
 #include <iostream>
 
+#include "bench_common.h"
 #include "core/virtual_cloudlet.h"
 #include "sim/emulation.h"
 #include "sim/testbed.h"
@@ -60,24 +62,43 @@ Point run_point(double compute_hi_scale, double bandwidth_hi_scale,
 
 int main() {
   using namespace mecsc;
-  constexpr std::size_t kRepetitions = 3;
+  using namespace mecsc::bench;
+  const std::size_t kReps = smoke_mode() ? 2 : 3;
+  const std::vector<double> scales =
+      smoke_trim(std::vector<double>{1.0, 2.0, 3.0, 4.0, 6.0});
+  BenchRecorder recorder("fig7");
+
+  const auto record = [&recorder](const char* axis, double scale,
+                                  const Point& p) {
+    util::JsonObject row;
+    row["avg_slots"] = util::JsonValue(p.avg_slots);
+    row["lcf_measured_cost"] = util::JsonValue(p.lcf);
+    row["jo_measured_cost"] = util::JsonValue(p.jo);
+    row["offload_measured_cost"] = util::JsonValue(p.offload);
+    char label[48];
+    std::snprintf(label, sizeof label, "%s_scale=%.1f", axis, scale);
+    recorder.add(label, std::move(row));
+  };
 
   util::Table a({"a_max scale", "avg n_i", "LCF", "JoOffloadCache",
                  "OffloadCache"});
-  for (const double scale : {1.0, 2.0, 3.0, 4.0, 6.0}) {
-    const Point p = run_point(scale, 1.0, kRepetitions);
+  for (const double scale : scales) {
+    const Point p = run_point(scale, 1.0, kReps);
     a.add_row({scale, p.avg_slots, p.lcf, p.jo, p.offload});
+    record("a_max", scale, p);
   }
 
   util::Table b({"b_max scale", "avg n_i", "LCF", "JoOffloadCache",
                  "OffloadCache"});
-  for (const double scale : {1.0, 2.0, 3.0, 4.0, 6.0}) {
-    const Point p = run_point(1.0, scale, kRepetitions);
+  for (const double scale : scales) {
+    const Point p = run_point(1.0, scale, kReps);
     b.add_row({scale, p.avg_slots, p.lcf, p.jo, p.offload});
+    record("b_max", scale, p);
   }
+  recorder.write_file();
 
   std::cout << "Fig. 7 — emulated test-bed, 100 providers, 1-xi = 0.3, "
-            << kRepetitions
+            << kReps
             << " seeds per point (measured social cost)\n";
   util::print_section(std::cout, "Fig. 7 (a) impact of a_max", a);
   util::print_section(std::cout, "Fig. 7 (b) impact of b_max", b);

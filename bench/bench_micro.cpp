@@ -2,6 +2,10 @@
 // optimization solvers, game dynamics, and the emulator event loop.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <vector>
+
+#include "bench_common.h"
 #include "core/appro.h"
 #include "core/baselines.h"
 #include "core/congestion_game.h"
@@ -171,6 +175,51 @@ void BM_EmulatorReplay(benchmark::State& state) {
 }
 BENCHMARK(BM_EmulatorReplay);
 
+/// Console output as usual, plus a BENCH_micro.json in the shared bench
+/// layout. The benchmark *names* are the deterministic record content;
+/// google-benchmark auto-tunes the iteration count, so iterations and both
+/// timings are wall-clock ("wall_" keys).
+class MicroJsonReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      util::JsonObject row;
+      const double iters = static_cast<double>(run.iterations);
+      row["wall_iterations"] = util::JsonValue(iters);
+      row["wall_real_ns"] =
+          util::JsonValue(run.real_accumulated_time / iters * 1e9);
+      row["wall_cpu_ns"] =
+          util::JsonValue(run.cpu_accumulated_time / iters * 1e9);
+      recorder_.add(run.benchmark_name(), std::move(row));
+    }
+  }
+
+  void Finalize() override {
+    benchmark::ConsoleReporter::Finalize();
+    recorder_.write_file();
+  }
+
+ private:
+  bench::BenchRecorder recorder_{"micro"};
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Smoke mode shortens every benchmark's measurement window so CI can run
+  // the full registry in seconds; an explicit flag still wins.
+  std::vector<char*> args(argv, argv + argc);
+  char min_time_flag[] = "--benchmark_min_time=0.01";
+  if (mecsc::bench::smoke_mode()) args.push_back(min_time_flag);
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  MicroJsonReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,8 +2,10 @@
 // restricted Stackelberg mechanism versus the theoretical bound
 // 2δκ/(1-v)·(1/(4v)+1-ξ), on instances small enough for the exact social
 // optimum (the PoA denominator).
+#include <cstdio>
 #include <iostream>
 
+#include "bench_common.h"
 #include "core/poa.h"
 #include "core/virtual_cloudlet.h"
 #include "util/rng.h"
@@ -12,11 +14,14 @@
 
 int main() {
   using namespace mecsc;
-  constexpr std::size_t kInstances = 5;
+  using namespace mecsc::bench;
+  const std::size_t kInstances = smoke_mode() ? 2 : 5;
 
   util::Table table({"xi", "worst NE / OPT", "best NE / OPT",
                      "Theorem 1 bound", "bound looseness"});
-  for (const double xi : {0.0, 0.25, 0.5, 0.75}) {
+  BenchRecorder recorder("poa");
+  for (const double xi :
+       smoke_trim(std::vector<double>{0.0, 0.25, 0.5, 0.75})) {
     util::RunningStats worst, best, bound;
     for (std::size_t k = 0; k < kInstances; ++k) {
       util::Rng rng(600 + 13 * k);
@@ -36,7 +41,15 @@ int main() {
     }
     table.add_row({xi, worst.mean(), best.mean(), bound.mean(),
                    bound.mean() / std::max(worst.mean(), 1e-9)});
+    util::JsonObject row;
+    row["worst_ne_over_opt"] = util::JsonValue(worst.mean());
+    row["best_ne_over_opt"] = util::JsonValue(best.mean());
+    row["theorem1_bound"] = util::JsonValue(bound.mean());
+    char label[32];
+    std::snprintf(label, sizeof label, "xi=%.2f", xi);
+    recorder.add(label, std::move(row));
   }
+  recorder.write_file();
 
   std::cout << "Theorem 1 — empirical PoA vs bound ("
             << kInstances << " instances per row, 9 providers, exact OPT)\n";

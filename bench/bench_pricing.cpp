@@ -5,6 +5,7 @@
 // revenue the leader collects.
 #include <iostream>
 
+#include "bench_common.h"
 #include "core/congestion_game.h"
 #include "core/lcf.h"
 #include "core/pricing.h"
@@ -14,12 +15,14 @@
 
 int main() {
   using namespace mecsc;
-  constexpr std::size_t kReps = 5;
+  using namespace mecsc::bench;
+  const std::size_t kReps = repetitions();
+  BenchRecorder recorder("pricing");
 
   util::Table table({"network size", "Appro (target)", "LCF (contracts)",
                      "pricing (posted)", "free NE", "occupancy gap: priced",
                      "occupancy gap: free", "revenue"});
-  for (const std::size_t size : {80u, 150u, 250u}) {
+  for (const std::size_t size : smoke_trim(std::vector<std::size_t>{80, 150, 250})) {
     util::RunningStats appro, lcf, priced, ne, gap_p, gap_f, revenue;
     for (std::size_t rep = 0; rep < kReps; ++rep) {
       util::Rng rng(8000 + rep);
@@ -57,7 +60,17 @@ int main() {
     table.add_row({static_cast<long long>(size), appro.mean(), lcf.mean(),
                    priced.mean(), ne.mean(), gap_p.mean(), gap_f.mean(),
                    revenue.mean()});
+    util::JsonObject row;
+    row["appro_social_cost"] = util::JsonValue(appro.mean());
+    row["lcf_social_cost"] = util::JsonValue(lcf.mean());
+    row["priced_social_cost"] = util::JsonValue(priced.mean());
+    row["free_ne_social_cost"] = util::JsonValue(ne.mean());
+    row["occupancy_gap_priced"] = util::JsonValue(gap_p.mean());
+    row["occupancy_gap_free"] = util::JsonValue(gap_f.mean());
+    row["revenue"] = util::JsonValue(revenue.mean());
+    recorder.add("size=" + std::to_string(size), std::move(row));
   }
+  recorder.write_file();
 
   std::cout << "Pricing vs contracts — 100 providers, " << kReps
             << " seeds per point (social cost; transfers excluded)\n";

@@ -3,8 +3,10 @@
 //       budget that would make coordinated obedience voluntary, vs ξ;
 //   (2) the delay side of the story: analytic M/M/1 + hop delays per
 //       algorithm (the paper's motivation, quantified).
+#include <cstdio>
 #include <iostream>
 
+#include "bench_common.h"
 #include "core/baselines.h"
 #include "core/delay_model.h"
 #include "core/incentives.h"
@@ -15,13 +17,16 @@
 
 int main() {
   using namespace mecsc;
-  constexpr std::size_t kReps = 5;
+  using namespace mecsc::bench;
+  const std::size_t kReps = repetitions();
+  BenchRecorder recorder("stability");
 
   // --- (1) contract pressure vs coordination level ---------------------------
   util::Table contracts({"1-xi", "binding contracts", "side-payment budget",
                          "budget / social cost %", "IR violations",
                          "max incentive"});
-  for (const double one_minus_xi : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+  for (const double one_minus_xi :
+       smoke_trim(std::vector<double>{0.0, 0.2, 0.4, 0.6, 0.8, 1.0})) {
     util::RunningStats binding, budget, share, ir, peak;
     for (std::size_t rep = 0; rep < kReps; ++rep) {
       util::Rng rng(6000 + rep);
@@ -41,6 +46,15 @@ int main() {
     }
     contracts.add_row({one_minus_xi, binding.mean(), budget.mean(),
                        share.mean(), ir.mean(), peak.mean()});
+    util::JsonObject row;
+    row["binding_contracts"] = util::JsonValue(binding.mean());
+    row["side_payment_budget"] = util::JsonValue(budget.mean());
+    row["ir_violations"] = util::JsonValue(ir.mean());
+    row["max_incentive"] = util::JsonValue(peak.mean());
+    char label[40];
+    std::snprintf(label, sizeof label, "contracts:one_minus_xi=%.1f",
+                  one_minus_xi);
+    recorder.add(label, std::move(row));
   }
 
   // --- (2) analytic delay per algorithm --------------------------------------
@@ -72,7 +86,14 @@ int main() {
   for (int k = 0; k < 3; ++k) {
     delay.add_row({std::string(names[k]), mean_d[k].mean(), max_d[k].mean(),
                    over[k].mean(), util_peak[k].mean()});
+    util::JsonObject row;
+    row["mean_delay_ms"] = util::JsonValue(mean_d[k].mean());  // determinism-lint: allow(wall-key) simulated time
+    row["max_delay_ms"] = util::JsonValue(max_d[k].mean());  // determinism-lint: allow(wall-key) simulated time
+    row["overloaded_providers"] = util::JsonValue(over[k].mean());
+    row["peak_utilization"] = util::JsonValue(util_peak[k].mean());
+    recorder.add(std::string("delay:") + names[k], std::move(row));
   }
+  recorder.write_file();
 
   std::cout << "Market stability & latency — 100 providers, size 150, "
             << kReps << " seeds per point\n";

@@ -5,6 +5,7 @@
 // each family alongside the social costs.
 #include <iostream>
 
+#include "bench_common.h"
 #include "core/baselines.h"
 #include "core/lcf.h"
 #include "net/random_graphs.h"
@@ -54,8 +55,10 @@ core::Instance build_on(net::Graph topology, util::Rng& rng,
 
 int main() {
   using namespace mecsc;
-  constexpr std::size_t kReps = 5;
+  using namespace mecsc::bench;
+  const std::size_t kReps = repetitions();
   constexpr std::size_t kSize = 120;
+  BenchRecorder recorder("topology_sensitivity");
 
   util::Table table({"topology", "nodes", "degree var", "clustering", "LCF",
                      "JoOffloadCache", "OffloadCache"});
@@ -100,7 +103,18 @@ int main() {
     table.add_row({std::string(names[family]),
                    static_cast<long long>(nodes.mean()), dvar.mean(),
                    clus.mean(), lcf.mean(), jo.mean(), oc.mean()});
+    const char* slugs[] = {"transit_stub", "as1755", "erdos_renyi",
+                           "barabasi_albert"};
+    util::JsonObject row;
+    row["nodes"] = util::JsonValue(nodes.mean());
+    row["degree_variance"] = util::JsonValue(dvar.mean());
+    row["clustering"] = util::JsonValue(clus.mean());
+    row["lcf_social_cost"] = util::JsonValue(lcf.mean());
+    row["jo_social_cost"] = util::JsonValue(jo.mean());
+    row["offload_social_cost"] = util::JsonValue(oc.mean());
+    recorder.add(std::string("family=") + slugs[family], std::move(row));
   }
+  recorder.write_file();
 
   std::cout << "Topology sensitivity — 100 providers, 1-xi = 0.3, " << kReps
             << " seeds per family\n";

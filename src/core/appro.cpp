@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "opt/gap.h"
 #include "opt/transportation.h"
@@ -135,12 +136,14 @@ opt::GapInstance build_gap(const Instance& inst,
 }  // namespace
 
 ApproResult run_appro(const Instance& inst, const ApproOptions& options) {
-  ApproResult result{Assignment(inst),
-                     split_cloudlets(inst, options.a_max_override,
-                                     options.b_max_override),
-                     0.0,
-                     {},
-                     0};
+  MECSC_PROFILE_SCOPE("appro");
+  VirtualCloudletSplit split;
+  {
+    MECSC_PROFILE_SCOPE("appro.split");
+    split = split_cloudlets(inst, options.a_max_override,
+                            options.b_max_override);
+  }
+  ApproResult result{Assignment(inst), std::move(split), 0.0, {}, 0};
   const std::size_t m = inst.cloudlet_count();
   const std::size_t n = inst.provider_count();
   if (n == 0) return result;
@@ -150,15 +153,31 @@ ApproResult run_appro(const Instance& inst, const ApproOptions& options) {
   const util::Timer inner_timer;
   if (options.solver == ApproOptions::InnerSolver::Transportation) {
     if (options.congestion_aware) {
-      const auto t = build_convex_transportation(inst, result.split);
-      const auto sol = opt::solve_convex_transportation(t);
+      opt::ConvexTransportationInstance t;
+      {
+        MECSC_PROFILE_SCOPE("appro.build");
+        t = build_convex_transportation(inst, result.split);
+      }
+      opt::TransportationSolution sol;
+      {
+        MECSC_PROFILE_SCOPE("appro.inner_solve");
+        sol = opt::solve_convex_transportation(t);
+      }
       assert(sol.feasible);  // remote group absorbs everyone
-      group_of = sol.assignment;
+      group_of = std::move(sol.assignment);
     } else {
-      const auto t = build_transportation(inst, result.split);
-      const auto sol = opt::solve_transportation(t);
+      opt::TransportationInstance t;
+      {
+        MECSC_PROFILE_SCOPE("appro.build");
+        t = build_transportation(inst, result.split);
+      }
+      opt::TransportationSolution sol;
+      {
+        MECSC_PROFILE_SCOPE("appro.inner_solve");
+        sol = opt::solve_transportation(t);
+      }
       assert(sol.feasible);
-      group_of = sol.assignment;
+      group_of = std::move(sol.assignment);
     }
     MECSC_TRACE(obs::TraceEvent("appro.inner_solve")
                     .f("solver", "transportation")
@@ -167,11 +186,19 @@ ApproResult run_appro(const Instance& inst, const ApproOptions& options) {
                     .f("items", n)
                     .f("wall_ms", inner_timer.elapsed_ms()));
   } else {
-    const auto g = build_gap(inst, result.split);
-    const auto sol = opt::solve_gap_shmoys_tardos(g);
+    opt::GapInstance g;
+    {
+      MECSC_PROFILE_SCOPE("appro.build");
+      g = build_gap(inst, result.split);
+    }
+    opt::GapSolution sol;
+    {
+      MECSC_PROFILE_SCOPE("appro.lp_solve");
+      sol = opt::solve_gap_shmoys_tardos(g);
+    }
     result.lp_bound = sol.lp_bound;
     if (sol.feasible) {
-      group_of = sol.assignment;
+      group_of = std::move(sol.assignment);
     }
     // else: keep everyone remote (cannot happen: remote admits all items).
     MECSC_TRACE(obs::TraceEvent("appro.lp_solve")
@@ -184,6 +211,7 @@ ApproResult run_appro(const Instance& inst, const ApproOptions& options) {
                     .f("wall_ms", inner_timer.elapsed_ms()));
   }
 
+  MECSC_PROFILE_SCOPE("appro.rounding");
   // Step 4: move virtual-cloudlet assignments onto physical cloudlets.
   // Process cache placements in decreasing flat-cost order so that, if the
   // Shmoys-Tardos load relaxation overfills a cloudlet, the cheapest-gain

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace mecsc::core {
@@ -45,11 +46,13 @@ GameResult best_response_dynamics(Assignment start,
                                   const std::vector<bool>& movable,
                                   const BestResponseOptions& options) {
   assert(movable.size() == start.provider_count());
+  MECSC_PROFILE_SCOPE("game.dynamics");
   GameResult result{std::move(start), 0, 0, false};
   std::vector<ProviderId> order(result.assignment.provider_count());
   std::iota(order.begin(), order.end(), ProviderId{0});
 
   for (std::size_t round = 0; round < options.max_rounds; ++round) {
+    MECSC_PROFILE_SCOPE("game.best_response_round");
     if (options.shuffle_rng != nullptr) {
       options.shuffle_rng->shuffle(order);
     }

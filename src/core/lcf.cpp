@@ -6,17 +6,22 @@
 #include <numeric>
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace mecsc::core {
 
 LcfResult run_lcf(const Instance& inst, const LcfOptions& options) {
+  MECSC_PROFILE_SCOPE("lcf");
   assert(options.coordinated_fraction >= 0.0 &&
          options.coordinated_fraction <= 1.0);
   const std::size_t n = inst.provider_count();
 
   // Step 1: approximate solution for the non-selfish problem.
-  ApproResult appro = run_appro(inst, options.appro);
+  ApproResult appro = [&] {
+    MECSC_PROFILE_SCOPE("lcf.appro_phase");
+    return run_appro(inst, options.appro);
+  }();
 
   // Step 2: Largest Cost First — coordinate the ⌊ξ|N|⌋ providers whose
   // caching cost under ζ is highest (their strategies have the largest
@@ -66,8 +71,11 @@ LcfResult run_lcf(const Instance& inst, const LcfOptions& options) {
   // Step 3: the rest best-respond to a pure NE.
   std::vector<bool> movable(n);
   for (ProviderId l = 0; l < n; ++l) movable[l] = !coordinated[l];
-  GameResult game =
-      best_response_dynamics(std::move(start), movable, options.dynamics);
+  GameResult game = [&] {
+    MECSC_PROFILE_SCOPE("lcf.game_phase");
+    return best_response_dynamics(std::move(start), movable,
+                                  options.dynamics);
+  }();
 
   LcfResult result{std::move(game.assignment),
                    std::move(appro),

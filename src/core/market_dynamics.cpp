@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "core/congestion_game.h"
+#include "obs/profiler.h"
 #include "util/timer.h"
 
 namespace mecsc::core {
@@ -69,6 +70,7 @@ MarketDynamicsResult simulate_market(const Instance& pool,
 
   MarketDynamicsResult result;
   for (std::size_t epoch = 0; epoch < params.epochs; ++epoch) {
+    MECSC_PROFILE_SCOPE("market.epoch");
     EpochStats stats;
     stats.epoch = epoch;
 
@@ -100,25 +102,28 @@ MarketDynamicsResult simulate_market(const Instance& pool,
     const ActiveView view = make_view(pool, active);
     util::Timer timer;
     Assignment plan(view.sub);
-    if (params.policy == ReplanPolicy::FullRecompute) {
-      const LcfResult lcf = run_lcf(view.sub, params.lcf);
-      plan = lcf.assignment;
-      stats.equilibrium = lcf.converged;
-    } else {
-      // Inherit seats (jointly feasible: they were feasible last epoch and
-      // departures only freed capacity), then repair by best response.
-      for (std::size_t j = 0; j < view.pool_id.size(); ++j) {
-        const std::size_t s = seat[view.pool_id[j]];
-        if (s != kRemote) {
-          assert(plan.can_move(j, s));
-          plan.move(j, s);
+    {
+      MECSC_PROFILE_SCOPE("market.replan");
+      if (params.policy == ReplanPolicy::FullRecompute) {
+        const LcfResult lcf = run_lcf(view.sub, params.lcf);
+        plan = lcf.assignment;
+        stats.equilibrium = lcf.converged;
+      } else {
+        // Inherit seats (jointly feasible: they were feasible last epoch and
+        // departures only freed capacity), then repair by best response.
+        for (std::size_t j = 0; j < view.pool_id.size(); ++j) {
+          const std::size_t s = seat[view.pool_id[j]];
+          if (s != kRemote) {
+            assert(plan.can_move(j, s));
+            plan.move(j, s);
+          }
         }
+        const GameResult game = best_response_dynamics(
+            std::move(plan),
+            std::vector<bool>(view.sub.provider_count(), true));
+        plan = game.assignment;
+        stats.equilibrium = game.converged;
       }
-      const GameResult game = best_response_dynamics(
-          std::move(plan),
-          std::vector<bool>(view.sub.provider_count(), true));
-      plan = game.assignment;
-      stats.equilibrium = game.converged;
     }
     stats.replan_ms = timer.elapsed_ms();
 

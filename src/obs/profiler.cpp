@@ -1,0 +1,224 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/run_info.h"
+
+namespace mecsc::obs {
+
+namespace {
+
+/// Session generation counter; shards stamped with an older epoch belong
+/// to a session that enable()/reset() already discarded.
+std::atomic<std::uint64_t> g_epoch{0};
+
+/// Worker-index source. Reset to 0 each session so the main thread (which
+/// enables the profiler and usually opens the first span) gets tid 0 and
+/// parallel_for workers number from 1 in arrival order.
+std::atomic<std::uint32_t> g_next_tid{0};
+
+/// Timeline origin. Written by enable() before the epoch bump publishes
+/// it; read by recording threads after they observe the new epoch.
+std::chrono::steady_clock::time_point g_start;
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - g_start)
+      .count();
+}
+
+/// Per-shard timeline buffer cap. Spans beyond it still feed the
+/// aggregate tree; only the Perfetto event is dropped (and counted).
+constexpr std::size_t kMaxShardEvents = std::size_t{1} << 20;
+
+void merge_nodes(std::map<std::string, ProfileNode>& dst,
+                 const std::map<std::string, ProfileNode>& src) {
+  for (const auto& [name, node] : src) {
+    ProfileNode& d = dst[name];
+    if (d.count == 0) {
+      d.min_ms = node.min_ms;
+      d.max_ms = node.max_ms;
+    } else if (node.count > 0) {
+      d.min_ms = std::min(d.min_ms, node.min_ms);
+      d.max_ms = std::max(d.max_ms, node.max_ms);
+    }
+    d.count += node.count;
+    d.total_ms += node.total_ms;
+    d.self_ms += node.self_ms;
+    merge_nodes(d.children, node.children);
+  }
+}
+
+util::JsonValue node_to_json(const ProfileNode& node) {
+  util::JsonObject o;
+  o["count"] = util::JsonValue(static_cast<std::size_t>(node.count));
+  o["wall_total_ms"] = util::JsonValue(node.total_ms);
+  o["wall_self_ms"] = util::JsonValue(node.self_ms);
+  if (node.count > 0) {
+    o["wall_min_ms"] = util::JsonValue(node.min_ms);
+    o["wall_max_ms"] = util::JsonValue(node.max_ms);
+  }
+  if (!node.children.empty()) {
+    util::JsonObject children;
+    for (const auto& [name, child] : node.children) {
+      children[name] = node_to_json(child);
+    }
+    o["children"] = util::JsonValue(std::move(children));
+  }
+  return util::JsonValue(std::move(o));
+}
+
+}  // namespace
+
+util::JsonValue ProfileReport::aggregate_to_json() const {
+  util::JsonObject agg;
+  for (const auto& [name, node] : roots) agg[name] = node_to_json(node);
+  return util::JsonValue(std::move(agg));
+}
+
+util::JsonValue ProfileReport::to_json() const {
+  util::JsonObject doc;
+  doc["obs_format_version"] = util::JsonValue(kObsFormatVersion);
+  doc["displayTimeUnit"] = util::JsonValue("ms");
+  doc["aggregate"] = aggregate_to_json();
+  doc["spans_total"] = util::JsonValue(static_cast<std::size_t>(spans_total));
+  doc["wall_events_dropped"] =
+      util::JsonValue(static_cast<std::size_t>(events_dropped));
+  util::JsonArray trace;
+  trace.reserve(events.size());
+  for (const ProfileSpanEvent& e : events) {
+    util::JsonObject ev;
+    ev["name"] = util::JsonValue(e.name);
+    ev["cat"] = util::JsonValue("mecsc");
+    ev["ph"] = util::JsonValue("X");
+    ev["ts"] = util::JsonValue(e.start_us);
+    ev["dur"] = util::JsonValue(e.dur_us);
+    ev["pid"] = util::JsonValue(1);
+    ev["tid"] = util::JsonValue(static_cast<std::size_t>(e.tid));
+    trace.emplace_back(std::move(ev));
+  }
+  doc["traceEvents"] = util::JsonValue(std::move(trace));
+  return util::JsonValue(std::move(doc));
+}
+
+/// Thread-local owner of one shard; hands it back to the profiler when
+/// the thread exits (parallel_for joins its workers, so by the time it
+/// returns every worker shard has been retired).
+struct ProfilerShardHandle {
+  Profiler::Shard shard;
+  ~ProfilerShardHandle() { Profiler::global().retire(std::move(shard)); }
+};
+
+Profiler& Profiler::global() {
+  static Profiler profiler;
+  return profiler;
+}
+
+Profiler::Shard& Profiler::local_shard() {
+  thread_local ProfilerShardHandle handle;
+  const std::uint64_t epoch = g_epoch.load(std::memory_order_acquire);
+  if (handle.shard.epoch != epoch) {
+    handle.shard = Shard{};
+    handle.shard.epoch = epoch;
+    handle.shard.tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  }
+  return handle.shard;
+}
+
+void Profiler::retire(Shard&& shard) {
+  if (shard.empty()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (shard.epoch != g_epoch.load(std::memory_order_relaxed)) return;
+  retired_.push_back(std::move(shard));
+}
+
+void Profiler::enable() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  retired_.clear();
+  g_start = std::chrono::steady_clock::now();
+  g_next_tid.store(0, std::memory_order_relaxed);
+  // Release-publish g_start/tid before recorders can observe the epoch.
+  g_epoch.fetch_add(1, std::memory_order_acq_rel);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Profiler::disable() {
+  enabled_.store(false, std::memory_order_release);
+}
+
+void Profiler::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  enabled_.store(false, std::memory_order_release);
+  g_epoch.fetch_add(1, std::memory_order_acq_rel);
+  retired_.clear();
+}
+
+void Profiler::begin_span(const char* name) {
+  Shard& shard = local_shard();
+  ProfileNode* node = shard.node_stack.empty()
+                          ? &shard.roots[name]
+                          : &shard.node_stack.back()->children[name];
+  shard.stack.push_back(OpenSpan{name, now_ms(), 0.0});
+  shard.node_stack.push_back(node);
+}
+
+void Profiler::end_span() {
+  Shard& shard = local_shard();
+  // An empty stack means the span began before an enable()/reset()
+  // boundary invalidated this shard; discard rather than mismatch.
+  if (shard.stack.empty()) return;
+  const OpenSpan span = shard.stack.back();
+  shard.stack.pop_back();
+  ProfileNode* node = shard.node_stack.back();
+  shard.node_stack.pop_back();
+
+  const double end = now_ms();
+  const double dur = end - span.start_ms;
+  if (node->count == 0) {
+    node->min_ms = dur;
+    node->max_ms = dur;
+  } else {
+    node->min_ms = std::min(node->min_ms, dur);
+    node->max_ms = std::max(node->max_ms, dur);
+  }
+  ++node->count;
+  node->total_ms += dur;
+  node->self_ms += dur - span.child_ms;
+  if (!shard.stack.empty()) shard.stack.back().child_ms += dur;
+
+  ++shard.spans_total;
+  if (shard.events.size() < kMaxShardEvents) {
+    shard.events.push_back(ProfileSpanEvent{
+        span.name, shard.tid, span.start_ms * 1e3, dur * 1e3});
+  } else {
+    ++shard.events_dropped;
+  }
+}
+
+ProfileReport Profiler::report() {
+  ProfileReport out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto merge_shard = [&](const Shard& s) {
+      merge_nodes(out.roots, s.roots);
+      out.events.insert(out.events.end(), s.events.begin(), s.events.end());
+      out.spans_total += s.spans_total;
+      out.events_dropped += s.events_dropped;
+    };
+    for (const Shard& s : retired_) merge_shard(s);
+    const Shard& live = local_shard();
+    if (live.epoch == g_epoch.load(std::memory_order_relaxed)) {
+      merge_shard(live);
+    }
+  }
+  std::sort(out.events.begin(), out.events.end(),
+            [](const ProfileSpanEvent& a, const ProfileSpanEvent& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.start_us != b.start_us) return a.start_us < b.start_us;
+              return a.dur_us > b.dur_us;  // parents before children
+            });
+  return out;
+}
+
+}  // namespace mecsc::obs

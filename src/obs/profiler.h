@@ -1,0 +1,192 @@
+// Hierarchical scoped-span profiler: where does a solve spend its time?
+//
+// Call sites mark phases with an RAII scope —
+//
+//   void run_appro(...) {
+//     MECSC_PROFILE_SCOPE("appro");
+//     ...
+//     { MECSC_PROFILE_SCOPE("appro.lp_solve"); solve_lp(lp); }
+//     ...
+//   }
+//
+// — and the profiler assembles two views of the run:
+//
+//   (a) a deterministic *aggregate tree*: per-phase call counts and the
+//       parent/child structure implied by scope nesting, with every
+//       duration field segregated under the "wall_" key contract
+//       (wall_total_ms / wall_self_ms / wall_min_ms / wall_max_ms), so
+//       tools/strip_wallclock.py reduces the report to pure structure that
+//       must be byte-identical across same-seed runs; and
+//   (b) a Chrome trace-event / Perfetto timeline: every completed span as
+//       a ph:"X" complete event (ts/dur in microseconds, tid = worker
+//       index) under the standard "traceEvents" key, loadable directly in
+//       chrome://tracing or ui.perfetto.dev.
+//
+// Concurrency model — the same shard discipline as metrics.cpp: each
+// thread owns a private span stack and a private aggregate tree, merged
+// (under a mutex) when the thread exits; parallel_for joins its workers,
+// so a report() taken afterwards observes every worker shard plus the
+// calling thread's live shard. Recording never touches a shared lock on
+// the hot path, so profiling adds no contention under parallel_for.
+//
+// Determinism contract: *which worker* runs a given index is racy, but the
+// aggregate tree merges per-path counts by integer addition and keys
+// children by name (std::map), so the stripped report is a pure function
+// of the work performed. A span opened inside a parallel_for worker roots
+// at that worker's (empty) stack — by design: the nesting a thread
+// observes is exactly the nesting it executed.
+//
+// Cost model: MECSC_PROFILE_SCOPE compiles to one relaxed atomic load when
+// no profiler is attached — no clock read, no allocation, no span storage
+// (mirrors the MECSC_TRACE null-sink guarantee).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace mecsc::obs {
+
+/// One node of the merged aggregate tree. Children are keyed by span name,
+/// so serialization order — and the stripped structure — is deterministic.
+struct ProfileNode {
+  std::uint64_t count = 0;      ///< completed spans at this path
+  double total_ms = 0.0;        ///< wall time inside the span (incl. children)
+  double self_ms = 0.0;         ///< total minus time inside child spans
+  double min_ms = 0.0;          ///< fastest single span (valid when count > 0)
+  double max_ms = 0.0;          ///< slowest single span (valid when count > 0)
+  std::map<std::string, ProfileNode> children;
+};
+
+/// One completed span, kept for the Perfetto timeline.
+struct ProfileSpanEvent {
+  const char* name;    ///< call-site string literal
+  std::uint32_t tid;   ///< worker index (thread arrival order; main = 0)
+  double start_us;     ///< microseconds since the profiler was enabled
+  double dur_us;
+};
+
+/// Merged, immutable view of the profiler at one point in time.
+struct ProfileReport {
+  /// Root phases by name; nesting follows scope nesting.
+  std::map<std::string, ProfileNode> roots;
+  /// Completed spans sorted by (tid, start) for the timeline export.
+  std::vector<ProfileSpanEvent> events;
+  /// Spans completed overall (deterministic: a pure count of scope exits).
+  std::uint64_t spans_total = 0;
+  /// Spans dropped because a shard hit its event-buffer cap. The timeline
+  /// loses these; the aggregate tree still counts them.
+  std::uint64_t events_dropped = 0;
+
+  /// Aggregate tree only: {name: {count, wall_total_ms, wall_self_ms,
+  /// wall_min_ms, wall_max_ms, children: {...}}}.
+  util::JsonValue aggregate_to_json() const;
+  /// Full export: {"traceEvents": [...], "aggregate": {...},
+  /// "spans_total", "wall_events_dropped", "obs_format_version",
+  /// "displayTimeUnit"}. The "traceEvents" array is wall-clock by nature;
+  /// tools/strip_wallclock.py removes it (and every "wall_" key) before
+  /// determinism diffs.
+  util::JsonValue to_json() const;
+};
+
+/// Process-wide profiler. Disabled (null) until enable() attaches it.
+class Profiler {
+ public:
+  static Profiler& global();
+
+  /// True when profiling is active. Relaxed atomic read — the only cost a
+  /// disabled MECSC_PROFILE_SCOPE pays.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Drops previous data and starts capturing. The moment of enable() is
+  /// the timeline's t = 0.
+  void enable();
+
+  /// Stops capturing. Already-recorded shards stay available to report().
+  void disable();
+
+  /// Stops capturing and drops everything (retired shards, the calling
+  /// thread's live shard). Other threads' live shards are invalidated by
+  /// epoch, exactly like MetricsRegistry::reset().
+  void reset();
+
+  /// Merges retired shards + the calling thread's live shard. Call after
+  /// the instrumented work completed (parallel_for has joined its
+  /// workers); spans still open on the calling thread are not reported.
+  ProfileReport report();
+
+  /// Opens a span. Called by ProfileScope only, and only when enabled();
+  /// `name` must outlive the profiler session (string literals do).
+  void begin_span(const char* name);
+
+  /// Closes the innermost span on this thread. A span that straddles an
+  /// enable()/reset() boundary is discarded, never mismatched.
+  void end_span();
+
+ private:
+  friend struct ProfilerShardHandle;
+
+  struct OpenSpan {
+    const char* name;
+    double start_ms;      ///< since the profiler epoch clock
+    double child_ms = 0;  ///< accumulated duration of direct children
+  };
+
+  /// One thread's private buffer (see file comment).
+  struct Shard {
+    std::uint64_t epoch = 0;
+    std::uint32_t tid = 0;
+    std::vector<OpenSpan> stack;
+    std::map<std::string, ProfileNode> roots;
+    /// Pointers into `roots` mirroring `stack` (std::map nodes are
+    /// pointer-stable, so growth never invalidates them).
+    std::vector<ProfileNode*> node_stack;
+    std::vector<ProfileSpanEvent> events;
+    std::uint64_t spans_total = 0;
+    std::uint64_t events_dropped = 0;
+    bool empty() const { return spans_total == 0 && stack.empty(); }
+  };
+
+  Shard& local_shard();
+  void retire(Shard&& shard);
+
+  std::atomic<bool> enabled_{false};
+  std::mutex mutex_;
+  std::vector<Shard> retired_;
+};
+
+/// RAII phase marker. Does nothing — not even a clock read — when no
+/// profiler is attached; begin/end otherwise.
+class ProfileScope {
+ public:
+  explicit ProfileScope(const char* name) {
+    if (Profiler::global().enabled()) {
+      active_ = true;
+      Profiler::global().begin_span(name);
+    }
+  }
+  ~ProfileScope() {
+    if (active_) Profiler::global().end_span();
+  }
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  bool active_ = false;
+};
+
+#define MECSC_PROFILE_CONCAT_IMPL(a, b) a##b
+#define MECSC_PROFILE_CONCAT(a, b) MECSC_PROFILE_CONCAT_IMPL(a, b)
+
+/// Marks the enclosing scope as one profiled phase. `name` must be a
+/// string literal (dotted hierarchy by convention: "appro.lp_solve").
+#define MECSC_PROFILE_SCOPE(name)                  \
+  ::mecsc::obs::ProfileScope MECSC_PROFILE_CONCAT( \
+      mecsc_profile_scope_, __LINE__)(name)
+
+}  // namespace mecsc::obs

@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "opt/mcmf.h"
 #include "opt/simplex.h"
 
@@ -44,6 +45,7 @@ GapSolution evaluate_gap_assignment(
 // ---------------------------------------------------------------------------
 
 GapSolution solve_gap_shmoys_tardos(const GapInstance& instance) {
+  MECSC_PROFILE_SCOPE("gap.shmoys_tardos");
   GapSolution sol;
   const std::size_t m = instance.num_knapsacks;
   const std::size_t n = instance.num_items;
@@ -57,56 +59,63 @@ GapSolution solve_gap_shmoys_tardos(const GapInstance& instance) {
 
   // Variable index per admissible (knapsack, item) pair.
   std::vector<std::ptrdiff_t> var(m * n, -1);
-  std::size_t num_vars = 0;
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      if (instance.admissible(i, j)) var[i * n + j] = static_cast<std::ptrdiff_t>(num_vars++);
-    }
-  }
-
   LpProblem lp;
-  lp.num_vars = num_vars;
-  lp.objective.assign(num_vars, 0.0);
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      const auto v = var[i * n + j];
-      if (v >= 0) lp.objective[static_cast<std::size_t>(v)] = instance.cost_at(i, j);
-    }
-  }
-  // Each item fully assigned.
-  for (std::size_t j = 0; j < n; ++j) {
-    LpConstraint con;
-    con.rel = Relation::Equal;
-    con.rhs = 1.0;
+  {
+    MECSC_PROFILE_SCOPE("gap.lp_build");
+    std::size_t num_vars = 0;
     for (std::size_t i = 0; i < m; ++i) {
-      const auto v = var[i * n + j];
-      if (v >= 0) con.terms.emplace_back(static_cast<std::size_t>(v), 1.0);
-    }
-    if (con.terms.empty()) return sol;  // item admits no knapsack
-    lp.constraints.push_back(std::move(con));
-  }
-  // Knapsack capacities.
-  for (std::size_t i = 0; i < m; ++i) {
-    LpConstraint con;
-    con.rel = Relation::LessEq;
-    con.rhs = instance.capacity[i];
-    for (std::size_t j = 0; j < n; ++j) {
-      const auto v = var[i * n + j];
-      if (v >= 0) {
-        con.terms.emplace_back(static_cast<std::size_t>(v),
-                               instance.weight_at(i, j));
+      for (std::size_t j = 0; j < n; ++j) {
+        if (instance.admissible(i, j)) var[i * n + j] = static_cast<std::ptrdiff_t>(num_vars++);
       }
     }
-    lp.constraints.push_back(std::move(con));
+
+    lp.num_vars = num_vars;
+    lp.objective.assign(num_vars, 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const auto v = var[i * n + j];
+        if (v >= 0) lp.objective[static_cast<std::size_t>(v)] = instance.cost_at(i, j);
+      }
+    }
+    // Each item fully assigned.
+    for (std::size_t j = 0; j < n; ++j) {
+      LpConstraint con;
+      con.rel = Relation::Equal;
+      con.rhs = 1.0;
+      for (std::size_t i = 0; i < m; ++i) {
+        const auto v = var[i * n + j];
+        if (v >= 0) con.terms.emplace_back(static_cast<std::size_t>(v), 1.0);
+      }
+      if (con.terms.empty()) return sol;  // item admits no knapsack
+      lp.constraints.push_back(std::move(con));
+    }
+    // Knapsack capacities.
+    for (std::size_t i = 0; i < m; ++i) {
+      LpConstraint con;
+      con.rel = Relation::LessEq;
+      con.rhs = instance.capacity[i];
+      for (std::size_t j = 0; j < n; ++j) {
+        const auto v = var[i * n + j];
+        if (v >= 0) {
+          con.terms.emplace_back(static_cast<std::size_t>(v),
+                                 instance.weight_at(i, j));
+        }
+      }
+      lp.constraints.push_back(std::move(con));
+    }
   }
 
-  const LpSolution lp_sol = solve_lp(lp);
+  const LpSolution lp_sol = [&] {
+    MECSC_PROFILE_SCOPE("gap.lp_solve");
+    return solve_lp(lp);
+  }();
   sol.lp_pivots = lp_sol.pivots;
   obs::MetricsRegistry::global().counter_add(
       "gap.lp_pivots", static_cast<std::int64_t>(lp_sol.pivots));
   if (lp_sol.status != LpStatus::Optimal) return sol;
   sol.lp_bound = lp_sol.objective;
 
+  MECSC_PROFILE_SCOPE("gap.rounding");
   // --- Rounding: build slots per knapsack --------------------------------
   // For knapsack i with fractional items sorted by weight (descending),
   // create ceil(sum of fractions) slots and pour the fractions into slots of
@@ -245,6 +254,7 @@ void bnb_dfs(BnbState& st, std::size_t depth, double cost_so_far) {
 
 GapSolution solve_gap_exact(const GapInstance& instance,
                             std::size_t node_limit) {
+  MECSC_PROFILE_SCOPE("gap.bnb");
   GapSolution sol;
   const std::size_t n = instance.num_items;
   if (n == 0) {

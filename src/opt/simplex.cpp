@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace mecsc::opt {
 
@@ -61,6 +62,7 @@ struct RunResult {
 RunResult run_simplex(Tableau& t, std::vector<std::size_t>& basis,
                       const std::vector<bool>& allowed_cols,
                       std::size_t max_iterations, double eps) {
+  MECSC_PROFILE_SCOPE("simplex.pivot_loop");
   const std::size_t m = t.rows() - 1;         // constraint rows
   const std::size_t rhs_col = t.cols() - 1;   // rhs column
   const std::size_t obj_row = m;
@@ -125,6 +127,7 @@ RunResult run_simplex(Tableau& t, std::vector<std::size_t>& basis,
 }  // namespace
 
 LpSolution solve_lp(const LpProblem& problem, const SimplexOptions& options) {
+  MECSC_PROFILE_SCOPE("simplex.solve");
   assert(problem.objective.size() == problem.num_vars);
   const std::size_t n = problem.num_vars;
   const std::size_t m = problem.constraints.size();

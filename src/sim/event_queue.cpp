@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace mecsc::sim {
 
@@ -18,6 +19,7 @@ void EventQueue::schedule_in(SimTime delay, Callback cb) {
 }
 
 std::size_t EventQueue::run(SimTime until) {
+  MECSC_PROFILE_SCOPE("sim.event_queue.run");
   std::size_t fired = 0;
   while (!heap_.empty() && heap_.top().at <= until) {
     // Copy out before pop so the callback may schedule further events.

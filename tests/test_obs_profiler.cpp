@@ -1,0 +1,248 @@
+#include "obs/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+
+#include "util/json.h"
+#include "util/parallel.h"
+
+namespace mecsc::obs {
+namespace {
+
+/// Each test owns the whole profiler: reset on entry and exit so spans
+/// recorded by other tests (the instrumented solvers run all over the
+/// suite) never leak in.
+class ObsProfiler : public testing::Test {
+ protected:
+  void SetUp() override { Profiler::global().reset(); }
+  void TearDown() override { Profiler::global().reset(); }
+};
+
+/// Serializes the aggregate tree with every "wall_" key removed — the same
+/// reduction tools/strip_wallclock.py applies before determinism diffs.
+std::string stripped_aggregate(const ProfileReport& report) {
+  util::JsonValue doc = report.aggregate_to_json();
+  struct Stripper {
+    static void strip(util::JsonValue& value) {
+      if (!value.is_object()) return;
+      util::JsonObject& obj = value.as_object();
+      for (auto it = obj.begin(); it != obj.end();) {
+        if (it->first.rfind("wall_", 0) == 0) {
+          it = obj.erase(it);
+        } else {
+          strip(it->second);
+          ++it;
+        }
+      }
+    }
+  };
+  Stripper::strip(doc);
+  return doc.dump(2);
+}
+
+TEST_F(ObsProfiler, DisabledScopeRecordsNothing) {
+  auto& prof = Profiler::global();
+  EXPECT_FALSE(prof.enabled());
+  {
+    MECSC_PROFILE_SCOPE("never.outer");
+    MECSC_PROFILE_SCOPE("never.inner");
+  }
+  const ProfileReport report = prof.report();
+  EXPECT_EQ(report.spans_total, 0u);
+  EXPECT_TRUE(report.roots.empty());
+  EXPECT_TRUE(report.events.empty());
+}
+
+TEST_F(ObsProfiler, NestingBuildsTreeAndSelfTimeMathHolds) {
+  auto& prof = Profiler::global();
+  prof.enable();
+  for (int rep = 0; rep < 3; ++rep) {
+    MECSC_PROFILE_SCOPE("solve");
+    {
+      MECSC_PROFILE_SCOPE("solve.lp");
+      { MECSC_PROFILE_SCOPE("solve.lp.pivot"); }
+      { MECSC_PROFILE_SCOPE("solve.lp.pivot"); }
+    }
+    { MECSC_PROFILE_SCOPE("solve.rounding"); }
+  }
+  const ProfileReport report = prof.report();
+
+  // 3 reps × 5 scope exits each.
+  EXPECT_EQ(report.spans_total, 15u);
+  ASSERT_EQ(report.roots.count("solve"), 1u);
+  const ProfileNode& solve = report.roots.at("solve");
+  EXPECT_EQ(solve.count, 3u);
+  ASSERT_EQ(solve.children.count("solve.lp"), 1u);
+  ASSERT_EQ(solve.children.count("solve.rounding"), 1u);
+  const ProfileNode& lp = solve.children.at("solve.lp");
+  EXPECT_EQ(lp.count, 3u);
+  ASSERT_EQ(lp.children.count("solve.lp.pivot"), 1u);
+  EXPECT_EQ(lp.children.at("solve.lp.pivot").count, 6u);
+
+  // Self time is total minus the time spent inside direct children, so it
+  // can never exceed the total, and a parent's total must cover its
+  // children's totals. min/max bracket the per-span durations.
+  EXPECT_GE(solve.total_ms, 0.0);
+  EXPECT_LE(solve.self_ms, solve.total_ms + 1e-9);
+  EXPECT_GE(solve.total_ms + 1e-9,
+            lp.total_ms + solve.children.at("solve.rounding").total_ms);
+  EXPECT_LE(solve.min_ms, solve.max_ms);
+  EXPECT_LE(3.0 * solve.min_ms, solve.total_ms + 1e-9);
+  EXPECT_GE(3.0 * solve.max_ms + 1e-9, solve.total_ms);
+
+  // A leaf has no children, so all its time is self time.
+  const ProfileNode& pivot = lp.children.at("solve.lp.pivot");
+  EXPECT_DOUBLE_EQ(pivot.self_ms, pivot.total_ms);
+}
+
+TEST_F(ObsProfiler, SiblingScopesWithSameNameAggregateIntoOneNode) {
+  auto& prof = Profiler::global();
+  prof.enable();
+  {
+    MECSC_PROFILE_SCOPE("epoch");
+    { MECSC_PROFILE_SCOPE("epoch.replan"); }
+    { MECSC_PROFILE_SCOPE("epoch.replan"); }
+    { MECSC_PROFILE_SCOPE("epoch.replan"); }
+  }
+  const ProfileReport report = prof.report();
+  const ProfileNode& epoch = report.roots.at("epoch");
+  ASSERT_EQ(epoch.children.size(), 1u);
+  EXPECT_EQ(epoch.children.at("epoch.replan").count, 3u);
+  // The timeline keeps them distinct: one complete event per span.
+  EXPECT_EQ(report.events.size(), 4u);
+}
+
+// The core determinism property: parallel_for hands out indices with an
+// atomic counter, so which worker profiles which index — and each worker's
+// span timings — differ run to run; yet the stripped aggregate (structure
+// and counts) must not.
+TEST_F(ObsProfiler, ShardMergeUnderParallelForIsDeterministic) {
+  constexpr std::size_t kItems = 256;
+  auto run_once = [&] {
+    auto& prof = Profiler::global();
+    prof.reset();
+    prof.enable();
+    {
+      MECSC_PROFILE_SCOPE("par.outer");
+      util::parallel_for(
+          kItems,
+          [](std::size_t i) {
+            MECSC_PROFILE_SCOPE("par.item");
+            if (i % 3 == 0) { MECSC_PROFILE_SCOPE("par.item.slow"); }
+          },
+          8);
+    }
+    return prof.report();
+  };
+
+  const ProfileReport first = run_once();
+  // Worker spans root at the worker's own stack, not under "par.outer":
+  // the nesting a thread observes is the nesting it executed.
+  ASSERT_EQ(first.roots.count("par.item"), 1u);
+  EXPECT_EQ(first.roots.at("par.item").count, kItems);
+  EXPECT_EQ(first.roots.at("par.item").children.at("par.item.slow").count,
+            (kItems + 2) / 3);
+  EXPECT_EQ(first.roots.at("par.outer").count, 1u);
+  EXPECT_EQ(first.spans_total, 1 + kItems + (kItems + 2) / 3);
+
+  const std::string golden = stripped_aggregate(first);
+  for (int repeat = 0; repeat < 4; ++repeat) {
+    EXPECT_EQ(stripped_aggregate(run_once()), golden) << "repeat " << repeat;
+  }
+}
+
+TEST_F(ObsProfiler, PerfettoExportMatchesTraceEventSchema) {
+  auto& prof = Profiler::global();
+  prof.enable();
+  {
+    MECSC_PROFILE_SCOPE("export.outer");
+    { MECSC_PROFILE_SCOPE("export.inner"); }
+  }
+  const util::JsonValue doc = prof.report().to_json();
+
+  // Top-level layout, including the wall_ segregation of mutable fields.
+  EXPECT_DOUBLE_EQ(doc.number_at("obs_format_version"), 1.0);
+  EXPECT_EQ(doc.string_at("displayTimeUnit"), "ms");
+  EXPECT_DOUBLE_EQ(doc.number_at("spans_total"), 2.0);
+  EXPECT_DOUBLE_EQ(doc.number_at("wall_events_dropped"), 0.0);
+  EXPECT_TRUE(doc.at("aggregate").contains("export.outer"));
+
+  // Every element of traceEvents is a Chrome trace-event "complete" event
+  // (ph:"X") with the fields Perfetto requires.
+  const util::JsonArray& events = doc.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 2u);
+  for (const util::JsonValue& event : events) {
+    EXPECT_EQ(event.string_at("cat"), "mecsc");
+    EXPECT_EQ(event.string_at("ph"), "X");
+    EXPECT_DOUBLE_EQ(event.number_at("pid"), 1.0);
+    EXPECT_DOUBLE_EQ(event.number_at("tid"), 0.0);  // main thread only
+    EXPECT_GE(event.number_at("ts"), 0.0);
+    EXPECT_GE(event.number_at("dur"), 0.0);
+    EXPECT_FALSE(event.string_at("name").empty());
+  }
+  // Both spans ran on the main thread, so the inner span nests strictly
+  // inside the outer one on the timeline.
+  const util::JsonValue& outer =
+      events[0].string_at("name") == "export.outer" ? events[0] : events[1];
+  const util::JsonValue& inner =
+      events[0].string_at("name") == "export.outer" ? events[1] : events[0];
+  EXPECT_EQ(outer.string_at("name"), "export.outer");
+  EXPECT_EQ(inner.string_at("name"), "export.inner");
+  EXPECT_LE(outer.number_at("ts"), inner.number_at("ts"));
+  EXPECT_GE(outer.number_at("ts") + outer.number_at("dur"),
+            inner.number_at("ts") + inner.number_at("dur"));
+
+  // The aggregate export segregates every duration under wall_ keys.
+  const util::JsonValue& agg_outer = doc.at("aggregate").at("export.outer");
+  EXPECT_DOUBLE_EQ(agg_outer.number_at("count"), 1.0);
+  EXPECT_TRUE(agg_outer.contains("wall_total_ms"));
+  EXPECT_TRUE(agg_outer.contains("wall_self_ms"));
+  EXPECT_TRUE(agg_outer.contains("wall_min_ms"));
+  EXPECT_TRUE(agg_outer.contains("wall_max_ms"));
+  EXPECT_TRUE(agg_outer.at("children").contains("export.inner"));
+
+  // And the whole document round-trips through the parser.
+  const util::JsonValue parsed = util::parse_json(doc.dump(2));
+  EXPECT_DOUBLE_EQ(parsed.number_at("spans_total"), 2.0);
+}
+
+TEST_F(ObsProfiler, DisableKeepsDataAndResetDropsIt) {
+  auto& prof = Profiler::global();
+  prof.enable();
+  { MECSC_PROFILE_SCOPE("kept"); }
+  prof.disable();
+  EXPECT_FALSE(prof.enabled());
+
+  // Scopes after disable() pay only the atomic load and record nothing.
+  { MECSC_PROFILE_SCOPE("after.disable"); }
+  const ProfileReport report = prof.report();
+  EXPECT_EQ(report.spans_total, 1u);
+  EXPECT_EQ(report.roots.count("kept"), 1u);
+  EXPECT_EQ(report.roots.count("after.disable"), 0u);
+
+  prof.reset();
+  const ProfileReport empty = prof.report();
+  EXPECT_EQ(empty.spans_total, 0u);
+  EXPECT_TRUE(empty.roots.empty());
+}
+
+TEST_F(ObsProfiler, EnableStartsAFreshSession) {
+  auto& prof = Profiler::global();
+  prof.enable();
+  { MECSC_PROFILE_SCOPE("first.session"); }
+  // enable() drops previous data: a new session starts from t = 0 with an
+  // empty tree, so back-to-back solves get independent profiles.
+  prof.enable();
+  { MECSC_PROFILE_SCOPE("second.session"); }
+  const ProfileReport report = prof.report();
+  EXPECT_EQ(report.spans_total, 1u);
+  EXPECT_EQ(report.roots.count("first.session"), 0u);
+  ASSERT_EQ(report.roots.count("second.session"), 1u);
+  ASSERT_EQ(report.events.size(), 1u);
+  EXPECT_GE(report.events[0].start_us, 0.0);
+}
+
+}  // namespace
+}  // namespace mecsc::obs

@@ -1,0 +1,264 @@
+#!/usr/bin/env python3
+"""Compares two directories of BENCH_*.json files (bench regression gate).
+
+Each bench binary writes BENCH_<name>.json (see bench/bench_common.h): a
+deterministic payload (algorithm results, reproducible bit-for-bit from the
+seeds) plus wall-clock timings under "wall_"-prefixed keys. This tool
+splits the two apart and holds them to different standards:
+
+  deterministic   After stripping wall_ keys, the baseline and current
+                  documents must serialize byte-identically. Any drift is
+                  an unflagged behavior change (or hidden nondeterminism)
+                  and always fails the comparison — there is no threshold
+                  for correctness.
+  wall-clock      Per-record "wall_*" timings are compared as percentages.
+                  Deltas beyond --threshold (default 25%) are reported as
+                  regressions/improvements. CI hardware is noisy, so these
+                  only fail the run under --fail-on-regression.
+
+Benches present in just one directory are listed and skipped (new benches
+appear, old ones retire; that is not a regression).
+
+Usage:
+  bench_compare.py BASELINE_DIR CURRENT_DIR [--threshold PCT]
+                   [--fail-on-regression]
+  bench_compare.py --self-check
+
+Exit status: 0 = comparable and deterministic payloads identical,
+1 = deterministic mismatch (or wall regression under --fail-on-regression),
+2 = usage error / self-check failure.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+WALL_PREFIX = "wall_"
+DEFAULT_THRESHOLD_PCT = 25.0
+
+
+def split_walls(value, path=""):
+    """Returns (deterministic_copy, {json_path: wall_value})."""
+    walls: dict[str, float] = {}
+    if isinstance(value, dict):
+        det = {}
+        for k, v in sorted(value.items()):
+            # Records carry a "label" key; use it to keep wall paths stable
+            # under record reordering-free insertions.
+            key_path = f"{path}.{k}" if path else k
+            if k.startswith(WALL_PREFIX):
+                if isinstance(v, (int, float)):
+                    walls[key_path] = float(v)
+                continue
+            sub_det, sub_walls = split_walls(v, key_path)
+            det[k] = sub_det
+            walls.update(sub_walls)
+        return det, walls
+    if isinstance(value, list):
+        det = []
+        for i, v in enumerate(value):
+            label = ""
+            if isinstance(v, dict) and isinstance(v.get("label"), str):
+                label = v["label"]
+            sub_det, sub_walls = split_walls(v, f"{path}[{label or i}]")
+            det.append(sub_det)
+            walls.update(sub_walls)
+        return det, walls
+    return value, walls
+
+
+def load(path: Path):
+    with open(path, encoding="utf-8") as f:
+        return split_walls(json.load(f))
+
+
+def compare_dirs(
+    baseline: Path, current: Path, threshold_pct: float, fail_on_regression: bool
+) -> int:
+    base_files = {p.name: p for p in sorted(baseline.glob("BENCH_*.json"))}
+    cur_files = {p.name: p for p in sorted(current.glob("BENCH_*.json"))}
+    if not base_files and not cur_files:
+        print("bench_compare: no BENCH_*.json in either directory", file=sys.stderr)
+        return 2
+
+    for name in sorted(set(base_files) - set(cur_files)):
+        print(f"bench_compare: {name}: only in baseline (skipped)")
+    for name in sorted(set(cur_files) - set(base_files)):
+        print(f"bench_compare: {name}: only in current (skipped)")
+
+    mismatches = 0
+    regressions = 0
+    compared = 0
+    for name in sorted(set(base_files) & set(cur_files)):
+        try:
+            base_det, base_walls = load(base_files[name])
+            cur_det, cur_walls = load(cur_files[name])
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"bench_compare: {name}: unreadable: {err}", file=sys.stderr)
+            return 2
+        compared += 1
+
+        base_text = json.dumps(base_det, sort_keys=True)
+        cur_text = json.dumps(cur_det, sort_keys=True)
+        if base_text != cur_text:
+            mismatches += 1
+            print(f"bench_compare: {name}: DETERMINISTIC MISMATCH")
+            diff_paths = diff_leaves(base_det, cur_det)
+            for p, (a, b) in list(diff_paths.items())[:10]:
+                print(f"  {p}: baseline={a!r} current={b!r}")
+            if len(diff_paths) > 10:
+                print(f"  ... and {len(diff_paths) - 10} more")
+            continue
+
+        for key in sorted(set(base_walls) & set(cur_walls)):
+            a, b = base_walls[key], cur_walls[key]
+            if a <= 0.0:
+                continue
+            delta_pct = 100.0 * (b - a) / a
+            if abs(delta_pct) >= threshold_pct:
+                kind = "regression" if delta_pct > 0 else "improvement"
+                print(
+                    f"bench_compare: {name}: wall {kind} {delta_pct:+.1f}% "
+                    f"at {key} ({a:.3f} -> {b:.3f})"
+                )
+                if delta_pct > 0:
+                    regressions += 1
+
+    if mismatches:
+        print(
+            f"bench_compare: FAIL — {mismatches} bench(es) changed "
+            "deterministic results",
+            file=sys.stderr,
+        )
+        return 1
+    if regressions and fail_on_regression:
+        print(
+            f"bench_compare: FAIL — {regressions} wall-time regression(s) "
+            f"over {threshold_pct:.0f}%",
+            file=sys.stderr,
+        )
+        return 1
+    note = f", {regressions} wall regression(s) noted" if regressions else ""
+    print(f"bench_compare: OK ({compared} bench(es) compared{note})")
+    return 0
+
+
+def diff_leaves(a, b, path="") -> dict:
+    """Leaf-level differences between two stripped documents."""
+    out: dict = {}
+    if isinstance(a, dict) and isinstance(b, dict):
+        for k in sorted(set(a) | set(b)):
+            p = f"{path}.{k}" if path else k
+            if k not in a:
+                out[p] = ("<absent>", b[k])
+            elif k not in b:
+                out[p] = (a[k], "<absent>")
+            else:
+                out.update(diff_leaves(a[k], b[k], p))
+        return out
+    if isinstance(a, list) and isinstance(b, list):
+        if len(a) != len(b):
+            out[f"{path}.length"] = (len(a), len(b))
+        for i, (x, y) in enumerate(zip(a, b)):
+            out.update(diff_leaves(x, y, f"{path}[{i}]"))
+        return out
+    if a != b:
+        out[path or "<root>"] = (a, b)
+    return out
+
+
+def self_check() -> int:
+    """Synthesizes baseline/current pairs and verifies both detectors."""
+    doc = {
+        "bench": "demo",
+        "obs_format_version": 1,
+        "repetitions": 5,
+        "records": [
+            {"label": "size=100", "social_cost": 10.5, "wall_lcf_ms": 4.0},
+            {"label": "size=200", "social_cost": 21.0, "wall_lcf_ms": 9.0},
+        ],
+    }
+
+    def write(dirpath: Path, document) -> None:
+        with open(dirpath / "BENCH_demo.json", "w", encoding="utf-8") as f:
+            json.dump(document, f)
+
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+
+        # (1) identical payloads pass, even with different wall times.
+        a, b = root / "a1", root / "b1"
+        a.mkdir(), b.mkdir()
+        noisy = json.loads(json.dumps(doc))
+        noisy["records"][0]["wall_lcf_ms"] = 4.3  # < threshold
+        write(a, doc), write(b, noisy)
+        if compare_dirs(a, b, DEFAULT_THRESHOLD_PCT, False) != 0:
+            failures.append("identical deterministic payloads did not pass")
+
+        # (2) a deterministic-mean change must fail.
+        a, b = root / "a2", root / "b2"
+        a.mkdir(), b.mkdir()
+        drifted = json.loads(json.dumps(doc))
+        drifted["records"][1]["social_cost"] = 21.5
+        write(a, doc), write(b, drifted)
+        if compare_dirs(a, b, DEFAULT_THRESHOLD_PCT, False) != 1:
+            failures.append("deterministic mismatch was not detected")
+
+        # (3) a large wall regression warns by default...
+        a, b = root / "a3", root / "b3"
+        a.mkdir(), b.mkdir()
+        slower = json.loads(json.dumps(doc))
+        slower["records"][0]["wall_lcf_ms"] = 8.0  # +100%
+        write(a, doc), write(b, slower)
+        if compare_dirs(a, b, DEFAULT_THRESHOLD_PCT, False) != 0:
+            failures.append("wall regression failed the run without the flag")
+        # ... and fails under --fail-on-regression.
+        if compare_dirs(a, b, DEFAULT_THRESHOLD_PCT, True) != 1:
+            failures.append("wall regression not fatal under the flag")
+
+    if failures:
+        for f in failures:
+            print(f"bench_compare --self-check: FAIL: {f}", file=sys.stderr)
+        return 2
+    print("bench_compare --self-check: OK")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    args = argv[1:]
+    if args == ["--self-check"]:
+        return self_check()
+    threshold = DEFAULT_THRESHOLD_PCT
+    fail_on_regression = False
+    positional: list[str] = []
+    i = 0
+    while i < len(args):
+        if args[i] == "--threshold":
+            if i + 1 >= len(args):
+                print("bench_compare: --threshold needs a value", file=sys.stderr)
+                return 2
+            threshold = float(args[i + 1])
+            i += 2
+        elif args[i] == "--fail-on-regression":
+            fail_on_regression = True
+            i += 1
+        else:
+            positional.append(args[i])
+            i += 1
+    if len(positional) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    baseline, current = Path(positional[0]), Path(positional[1])
+    for d in (baseline, current):
+        if not d.is_dir():
+            print(f"bench_compare: not a directory: {d}", file=sys.stderr)
+            return 2
+    return compare_dirs(baseline, current, threshold, fail_on_regression)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -21,10 +21,10 @@ run_once() {
   for alg in lcf appro appro-literal jo offload selfish; do
     "$MECSC" solve -i "$out/inst.json" --algorithm "$alg" \
         -o "$out/$alg.raw.json" 2>/dev/null
-    # elapsed_ms is wall-clock metadata, not an algorithm result; everything
-    # else in the artifact must be bit-identical across runs.
-    grep -v '"elapsed_ms"' "$out/$alg.raw.json" > "$out/$alg.json"
-    rm "$out/$alg.raw.json"
+    # wall_elapsed_ms is wall-clock metadata, not an algorithm result;
+    # everything else in the artifact must be bit-identical across runs.
+    mv "$out/$alg.raw.json" "$out/$alg.json"
+    python3 "$TOOLS_DIR/strip_wallclock.py" "$out/$alg.json"
     "$MECSC" evaluate -i "$out/inst.json" -p "$out/$alg.json" \
         > "$out/$alg.eval.txt"
   done
@@ -34,15 +34,18 @@ run_once() {
   "$MECSC" emulate -i "$out/inst.json" -p "$out/lcf.json" --horizon 10 \
       > "$out/emulate.txt"
 
-  # Observability artifacts: trace, metrics, and run manifest from one
-  # instrumented solve. Their deterministic sections (everything except
-  # "wall_"-prefixed keys) must also be bit-identical across runs.
+  # Observability artifacts: trace, metrics, phase profile, and run manifest
+  # from one instrumented solve. Their deterministic sections (everything
+  # except "wall_"-prefixed keys and the Perfetto traceEvents array) must
+  # also be bit-identical across runs.
   "$MECSC" solve -i "$out/inst.json" --algorithm lcf -o - \
       --trace-out "$out/lcf.trace.jsonl" \
       --metrics-out "$out/lcf.metrics.json" \
+      --profile-out "$out/lcf.profile.json" \
       --manifest-out "$out/lcf.manifest.json" > /dev/null 2>&1
   python3 "$TOOLS_DIR/strip_wallclock.py" \
-      "$out/lcf.trace.jsonl" "$out/lcf.metrics.json" "$out/lcf.manifest.json"
+      "$out/lcf.trace.jsonl" "$out/lcf.metrics.json" \
+      "$out/lcf.profile.json" "$out/lcf.manifest.json"
   # The manifest faithfully records the flags, which contain this run's
   # scratch directory; normalize the path so the a/b dirs compare equal.
   sed -i "s|$out|RUNDIR|g" "$out/lcf.manifest.json"

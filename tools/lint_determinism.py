@@ -22,6 +22,16 @@ that guarantee:
                 publish timing only under "wall_"-prefixed keys (see
                 tools/strip_wallclock.py). Algorithm results must never
                 depend on the clock.
+  wall-key      Wall-clock values serialized under keys that lack the
+                "wall_" prefix, which would slip past strip_wallclock.py
+                and break the determinism diff. Flags (a) util::Timer
+                reads (elapsed_ms()/elapsed_seconds()) on a line that also
+                mentions a non-"wall_" string literal, and (b) JSON/trace
+                serialization (["key"] = …, .f("key", …)) whose key has a
+                duration suffix (_ms/_us/_ns/_seconds) without the prefix.
+                Keys holding *simulated* time or analytic delays are
+                deterministic; mark those lines with the allow() form
+                below.
 
 Suppressing a finding: append  // determinism-lint: allow(<rule>)  to the
 line (e.g. when an unordered container provably never feeds an iteration
@@ -78,6 +88,50 @@ RULES: dict[str, tuple[re.Pattern[str], str, tuple[str, ...]]] = {
 }
 
 ALLOW_RE = re.compile(r"determinism-lint:\s*allow\(([\w, -]+)\)")
+
+# The wall-key rule scans RAW lines (string literals are what it inspects,
+# and strip_code blanks them).
+WALL_KEY_EXEMPT = ("src/util/timer.h", "src/obs/")
+TIMER_READ_RE = re.compile(r"\belapsed_(?:ms|seconds)\(\)")
+STRING_LITERAL_RE = re.compile(r'"((?:\\.|[^"\\])*)"')
+WALL_KEY_SERIALIZED_RE = re.compile(
+    r'\[\s*"(?!wall_)[^"]*_(?:ms|us|ns|seconds)"\s*\]\s*='
+    r'|\.f\(\s*"(?!wall_)[^"]*_(?:ms|us|ns|seconds)"'
+)
+
+
+def wall_key_findings(rel: str, raw_lines: list[str]) -> list[tuple[int, str]]:
+    """Line numbers (1-based) violating the wall-key rule, with a reason."""
+    if any(
+        rel == e or (e.endswith("/") and rel.startswith(e))
+        for e in WALL_KEY_EXEMPT
+    ):
+        return []
+    out: list[tuple[int, str]] = []
+    for lineno, line in enumerate(raw_lines, start=1):
+        # wall_duration_record() namespaces its metric under wall_timers_ms,
+        # so any key is fine there (the call may wrap onto the next line).
+        if "wall_duration_record" in line or (
+            lineno >= 2 and "wall_duration_record" in raw_lines[lineno - 2]
+        ):
+            continue
+        if TIMER_READ_RE.search(line) and any(
+            not m.group(1).startswith("wall_")
+            for m in STRING_LITERAL_RE.finditer(line)
+        ):
+            out.append(
+                (lineno, "util::Timer value keyed without a wall_ prefix")
+            )
+        elif WALL_KEY_SERIALIZED_RE.search(line):
+            out.append(
+                (
+                    lineno,
+                    "duration-suffixed key without a wall_ prefix; rename "
+                    "to wall_<key> (or allow() if the value is simulated "
+                    "time, not wall clock)",
+                )
+            )
+    return out
 
 STRING_OR_CHAR = re.compile(
     r'"(?:\\.|[^"\\])*"'  # string literal
@@ -148,6 +202,14 @@ def lint_file(path: Path, repo_root: Path) -> list[str]:
                 f"{rel}:{lineno}: [{rule}] {message}\n"
                 f"    {raw_lines[lineno - 1].strip()}"
             )
+    for lineno, reason in wall_key_findings(rel, raw_lines):
+        allow = ALLOW_RE.search(raw_lines[lineno - 1])
+        if allow and "wall-key" in [a.strip() for a in allow.group(1).split(",")]:
+            continue
+        findings.append(
+            f"{rel}:{lineno}: [wall-key] {reason}\n"
+            f"    {raw_lines[lineno - 1].strip()}"
+        )
     return findings
 
 

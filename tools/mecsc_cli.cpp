@@ -27,6 +27,7 @@
 #include "core/pricing.h"
 #include "core/social_optimum.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/run_info.h"
 #include "obs/trace.h"
 #include "sim/emulation.h"
@@ -63,6 +64,9 @@ observability flags (valid on every subcommand):
   --trace-out FILE     JSON-lines algorithm trace (per-round game events,
                        solver spans; see DESIGN.md "Observability")
   --metrics-out FILE   counters/gauges/histograms of the run as JSON
+  --profile-out FILE   hierarchical phase profile (per-phase call counts and
+                       wall times) with a Chrome/Perfetto traceEvents array;
+                       load it at https://ui.perfetto.dev
   --manifest-out FILE  run manifest (seed, config, instance digest, build);
                        defaults to <metrics-out|trace-out>.manifest.json
                        when either of those is requested
@@ -130,6 +134,7 @@ class ObsSession {
       : command_(std::move(command)),
         trace_out_(args.get("--trace-out")),
         metrics_out_(args.get("--metrics-out")),
+        profile_out_(args.get("--profile-out")),
         manifest_out_(args.get("--manifest-out")) {
     if (const auto level = args.get("--log-level")) {
       if (*level == "debug") {
@@ -151,6 +156,7 @@ class ObsSession {
     obs::install_log_bridge();
     obs::MetricsRegistry::global().reset();
     if (trace_out_) obs::Trace::global().open_file(*trace_out_);
+    if (profile_out_) obs::Profiler::global().enable();
     for (const auto& [key, value] : args.all()) {
       config_[key] = util::JsonValue(value);
     }
@@ -169,6 +175,13 @@ class ObsSession {
           *metrics_out_,
           obs::MetricsRegistry::global().snapshot().to_json().dump(2));
       std::cerr << "wrote " << *metrics_out_ << "\n";
+    }
+    if (profile_out_) {
+      core::write_text_file(
+          *profile_out_,
+          obs::Profiler::global().report().to_json().dump(2));
+      obs::Profiler::global().disable();
+      std::cerr << "wrote " << *profile_out_ << "\n";
     }
     std::optional<std::string> manifest_path = manifest_out_;
     if (!manifest_path && metrics_out_) {
@@ -191,6 +204,7 @@ class ObsSession {
   std::string command_;
   std::optional<std::string> trace_out_;
   std::optional<std::string> metrics_out_;
+  std::optional<std::string> profile_out_;
   std::optional<std::string> manifest_out_;
   util::JsonObject config_;
 };
@@ -283,7 +297,7 @@ int cmd_solve(const Args& args) {
 
   auto doc = core::assignment_to_json(*result);
   doc.as_object()["algorithm"] = util::JsonValue(algorithm);
-  doc.as_object()["elapsed_ms"] = util::JsonValue(ms);
+  doc.as_object()["wall_elapsed_ms"] = util::JsonValue(ms);
   emit(args.get_or("-o", "-"), doc.dump(2));
   return 0;
 }

@@ -8,9 +8,14 @@ other field must be bit-identical across same-seed runs. This script
 removes exactly those keys and re-serializes canonically (sorted keys), so
 check_determinism.sh can diff what remains.
 
+"traceEvents" keys (Chrome/Perfetto trace arrays from the phase profiler)
+are also removed: the literal key name is mandated by the trace-event
+format, but every event in the array carries wall-clock ts/dur values, so
+the whole array is wall-clock by nature.
+
 Handles both whole-document JSON (metrics files, run manifests, BENCH_*
-records) and JSON-lines traces (one object per line; files ending in
-.jsonl, or any file when --jsonl is given).
+records, PROFILE_* reports) and JSON-lines traces (one object per line;
+files ending in .jsonl, or any file when --jsonl is given).
 
 Usage: strip_wallclock.py [--jsonl] FILE...
 Exit status: 0 = all files rewritten, 2 = usage/parse error.
@@ -23,13 +28,17 @@ import sys
 
 WALL_PREFIX = "wall_"
 
+# Keys that are wall-clock by nature but whose literal names are mandated by
+# an external format (Chrome trace-event "traceEvents" arrays).
+WALL_KEYS = {"traceEvents"}
+
 
 def strip(value):
     if isinstance(value, dict):
         return {
             k: strip(v)
             for k, v in value.items()
-            if not k.startswith(WALL_PREFIX)
+            if not k.startswith(WALL_PREFIX) and k not in WALL_KEYS
         }
     if isinstance(value, list):
         return [strip(v) for v in value]
