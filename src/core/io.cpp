@@ -1,5 +1,6 @@
 #include "core/io.h"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -11,6 +12,67 @@ using util::JsonObject;
 using util::JsonValue;
 
 namespace {
+
+/// Validated numeric extraction. Documents arrive from untrusted sources
+/// (files, the svc socket), so every number is checked *before* any cast:
+/// a negative or NaN double cast to an unsigned index is undefined
+/// behavior, and a plausible-looking huge index would silently allocate.
+/// Every rejection names the offending element and the violated bound so
+/// the producer can fix the document without reading this source.
+
+[[noreturn]] void reject(const std::string& where, const std::string& why) {
+  throw std::invalid_argument("io: " + where + ": " + why);
+}
+
+double checked_finite(const JsonValue& v, const std::string& where) {
+  const double d = v.as_number();
+  if (!std::isfinite(d)) reject(where, "must be finite");
+  return d;
+}
+
+double checked_nonneg(const JsonValue& v, const std::string& where) {
+  const double d = checked_finite(v, where);
+  if (d < 0.0) {
+    reject(where, "is " + util::JsonValue(d).dump() + " but must be >= 0");
+  }
+  return d;
+}
+
+double checked_fraction(const JsonValue& v, const std::string& where) {
+  const double d = checked_finite(v, where);
+  if (d < 0.0 || d > 1.0) {
+    reject(where,
+           "is " + util::JsonValue(d).dump() + " but must be in [0, 1]");
+  }
+  return d;
+}
+
+/// Index in [0, bound): integral, non-negative, in range.
+std::size_t checked_index(const JsonValue& v, const std::string& where,
+                          std::size_t bound, const std::string& bound_name) {
+  const double d = checked_finite(v, where);
+  if (d < 0.0 || d != std::floor(d)) {
+    reject(where,
+           "is " + util::JsonValue(d).dump() +
+               " but must be a non-negative integer");
+  }
+  if (d >= static_cast<double>(bound)) {
+    reject(where, "is " + util::JsonValue(d).dump() + " but only " +
+                      std::to_string(bound) + " " + bound_name + " exist");
+  }
+  return static_cast<std::size_t>(d);
+}
+
+/// Non-negative integral count (no upper bound).
+std::size_t checked_count(const JsonValue& v, const std::string& where) {
+  const double d = checked_finite(v, where);
+  if (d < 0.0 || d != std::floor(d)) {
+    reject(where,
+           "is " + util::JsonValue(d).dump() +
+               " but must be a non-negative integer");
+  }
+  return static_cast<std::size_t>(d);
+}
 
 JsonValue graph_to_json(const net::Graph& g) {
   JsonArray edges;
@@ -25,18 +87,22 @@ JsonValue graph_to_json(const net::Graph& g) {
 }
 
 net::Graph graph_from_json(const JsonValue& doc) {
-  const auto nodes = static_cast<std::size_t>(doc.number_at("nodes"));
+  const std::size_t nodes = checked_count(doc.at("nodes"), "topology.nodes");
+  if (nodes == 0) reject("topology.nodes", "graph needs at least one node");
   net::Graph g(nodes);
+  std::size_t idx = 0;
   for (const JsonValue& e : doc.at("edges").as_array()) {
+    const std::string where = "topology.edges[" + std::to_string(idx++) + "]";
     const JsonArray& t = e.as_array();
-    if (t.size() != 4) throw std::invalid_argument("io: edge tuple size");
-    const auto u = static_cast<std::size_t>(t[0].as_number());
-    const auto v = static_cast<std::size_t>(t[1].as_number());
-    const double length = t[2].as_number();
-    const double bw = t[3].as_number();
-    if (u >= nodes || v >= nodes || u == v || length < 0.0) {
-      throw std::invalid_argument("io: invalid edge");
+    if (t.size() != 4) {
+      reject(where, "edge tuple has " + std::to_string(t.size()) +
+                        " elements but must be [u, v, length, bandwidth]");
     }
+    const std::size_t u = checked_index(t[0], where + ".u", nodes, "nodes");
+    const std::size_t v = checked_index(t[1], where + ".v", nodes, "nodes");
+    const double length = checked_nonneg(t[2], where + ".length");
+    const double bw = checked_nonneg(t[3], where + ".bandwidth");
+    if (u == v) reject(where, "self-loop on node " + std::to_string(u));
     g.add_edge(u, v, length, bw);
   }
   return g;
@@ -105,29 +171,35 @@ JsonValue instance_to_json(const Instance& inst) {
 }
 
 Instance instance_from_json(const JsonValue& doc) {
-  if (static_cast<int>(doc.number_at("format_version")) != kIoFormatVersion) {
-    throw std::invalid_argument("io: unsupported format version");
+  const double version = checked_finite(doc.at("format_version"),
+                                        "format_version");
+  if (static_cast<int>(version) != kIoFormatVersion ||
+      version != std::floor(version)) {
+    reject("format_version",
+           "is " + JsonValue(version).dump() + " but this build reads version " +
+               std::to_string(kIoFormatVersion));
   }
   net::Graph topology = graph_from_json(doc.at("topology"));
   const std::size_t nodes = topology.node_count();
 
   std::vector<net::Cloudlet> cloudlets;
+  std::size_t idx = 0;
   for (const JsonValue& c : doc.at("cloudlets").as_array()) {
+    const std::string where = "cloudlets[" + std::to_string(idx++) + "]";
     net::Cloudlet cl;
-    cl.node = static_cast<net::NodeId>(c.number_at("node"));
-    cl.compute_capacity = c.number_at("compute");
-    cl.bandwidth_capacity = c.number_at("bandwidth");
-    if (cl.node >= nodes || cl.compute_capacity < 0.0 ||
-        cl.bandwidth_capacity < 0.0) {
-      throw std::invalid_argument("io: invalid cloudlet");
-    }
+    cl.node = static_cast<net::NodeId>(
+        checked_index(c.at("node"), where + ".node", nodes, "nodes"));
+    cl.compute_capacity = checked_nonneg(c.at("compute"), where + ".compute");
+    cl.bandwidth_capacity =
+        checked_nonneg(c.at("bandwidth"), where + ".bandwidth");
     cloudlets.push_back(cl);
   }
   std::vector<net::DataCenter> dcs;
+  idx = 0;
   for (const JsonValue& d : doc.at("data_centers").as_array()) {
-    const auto node = static_cast<net::NodeId>(d.as_number());
-    if (node >= nodes) throw std::invalid_argument("io: invalid data center");
-    dcs.push_back(net::DataCenter{node});
+    const std::string where = "data_centers[" + std::to_string(idx++) + "]";
+    dcs.push_back(net::DataCenter{
+        static_cast<net::NodeId>(checked_index(d, where, nodes, "nodes"))});
   }
   if (cloudlets.empty() || dcs.empty()) {
     throw std::invalid_argument("io: need at least one cloudlet and DC");
@@ -138,41 +210,61 @@ Instance instance_from_json(const JsonValue& doc) {
                 {},
                 {}};
 
+  idx = 0;
   for (const JsonValue& p : doc.at("providers").as_array()) {
+    const std::string where = "providers[" + std::to_string(idx++) + "]";
     ServiceProvider sp;
-    sp.compute_per_request = p.number_at("compute_per_request");
-    sp.bandwidth_per_request = p.number_at("bandwidth_per_request");
-    sp.requests = static_cast<std::size_t>(p.number_at("requests"));
-    sp.instantiation_cost = p.number_at("instantiation_cost");
-    sp.service_data_gb = p.number_at("service_data_gb");
-    sp.update_fraction = p.number_at("update_fraction");
-    sp.traffic_gb = p.number_at("traffic_gb");
-    sp.home_dc = static_cast<DataCenterId>(p.number_at("home_dc"));
-    sp.user_region = static_cast<CloudletId>(p.number_at("user_region"));
-    if (sp.home_dc >= inst.network.data_center_count() ||
-        sp.user_region >= inst.network.cloudlet_count() ||
-        sp.compute_per_request < 0.0 || sp.bandwidth_per_request < 0.0) {
-      throw std::invalid_argument("io: invalid provider");
-    }
+    sp.compute_per_request =
+        checked_nonneg(p.at("compute_per_request"),
+                       where + ".compute_per_request");
+    sp.bandwidth_per_request =
+        checked_nonneg(p.at("bandwidth_per_request"),
+                       where + ".bandwidth_per_request");
+    sp.requests = checked_count(p.at("requests"), where + ".requests");
+    sp.instantiation_cost =
+        checked_nonneg(p.at("instantiation_cost"),
+                       where + ".instantiation_cost");
+    sp.service_data_gb =
+        checked_nonneg(p.at("service_data_gb"), where + ".service_data_gb");
+    sp.update_fraction =
+        checked_fraction(p.at("update_fraction"), where + ".update_fraction");
+    sp.traffic_gb = checked_nonneg(p.at("traffic_gb"), where + ".traffic_gb");
+    sp.home_dc = static_cast<DataCenterId>(
+        checked_index(p.at("home_dc"), where + ".home_dc",
+                      inst.network.data_center_count(), "data centers"));
+    sp.user_region = static_cast<CloudletId>(
+        checked_index(p.at("user_region"), where + ".user_region",
+                      inst.network.cloudlet_count(), "cloudlets"));
     inst.providers.push_back(sp);
   }
 
   const JsonValue& cost = doc.at("cost");
+  idx = 0;
   for (const JsonValue& a : cost.at("alpha").as_array()) {
-    inst.cost.alpha.push_back(a.as_number());
+    inst.cost.alpha.push_back(
+        checked_nonneg(a, "cost.alpha[" + std::to_string(idx++) + "]"));
   }
+  idx = 0;
   for (const JsonValue& b : cost.at("beta").as_array()) {
-    inst.cost.beta.push_back(b.as_number());
+    inst.cost.beta.push_back(
+        checked_nonneg(b, "cost.beta[" + std::to_string(idx++) + "]"));
   }
   if (inst.cost.alpha.size() != inst.network.cloudlet_count() ||
       inst.cost.beta.size() != inst.network.cloudlet_count()) {
-    throw std::invalid_argument("io: alpha/beta size mismatch");
+    reject("cost",
+           "alpha has " + std::to_string(inst.cost.alpha.size()) +
+               " and beta " + std::to_string(inst.cost.beta.size()) +
+               " entries but the instance has " +
+               std::to_string(inst.network.cloudlet_count()) + " cloudlets");
   }
-  inst.cost.transfer_price_per_gb = cost.number_at("transfer_price_per_gb");
-  inst.cost.processing_price_per_gb =
-      cost.number_at("processing_price_per_gb");
-  inst.cost.vm_boot_cost = cost.number_at("vm_boot_cost");
-  inst.cost.remote_hop_penalty = cost.number_at("remote_hop_penalty");
+  inst.cost.transfer_price_per_gb = checked_nonneg(
+      cost.at("transfer_price_per_gb"), "cost.transfer_price_per_gb");
+  inst.cost.processing_price_per_gb = checked_nonneg(
+      cost.at("processing_price_per_gb"), "cost.processing_price_per_gb");
+  inst.cost.vm_boot_cost =
+      checked_nonneg(cost.at("vm_boot_cost"), "cost.vm_boot_cost");
+  inst.cost.remote_hop_penalty = checked_nonneg(
+      cost.at("remote_hop_penalty"), "cost.remote_hop_penalty");
   inst.cost.congestion =
       congestion_kind_from_name(cost.string_at("congestion"));
   return inst;
@@ -200,12 +292,13 @@ Assignment assignment_from_json(const Instance& inst, const JsonValue& doc) {
   Assignment a(inst);
   for (ProviderId l = 0; l < choices.size(); ++l) {
     if (choices[l].is_null()) continue;  // remote
-    const auto c = static_cast<std::size_t>(choices[l].as_number());
-    if (c >= inst.cloudlet_count()) {
-      throw std::invalid_argument("io: invalid cloudlet id in profile");
-    }
+    const std::string where = "choices[" + std::to_string(l) + "]";
+    const std::size_t c = checked_index(choices[l], where,
+                                        inst.cloudlet_count(), "cloudlets");
     if (!a.can_move(l, c)) {
-      throw std::invalid_argument("io: profile violates capacities");
+      reject(where, "placing provider " + std::to_string(l) +
+                        " on cloudlet " + std::to_string(c) +
+                        " violates its capacities");
     }
     a.move(l, c);
   }

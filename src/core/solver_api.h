@@ -1,0 +1,55 @@
+// Uniform front door to the solver family: one algorithm-by-name
+// dispatcher shared by the mecsc CLI (`mecsc solve`) and the solver
+// service (src/svc/), so the two surfaces cannot drift apart on algorithm
+// spellings, defaults, or option handling.
+//
+// A SolveSpec also defines the *cache-key contract* of the service: the
+// digest of the instance bytes ⊕ cache_key() identifies a solve uniquely,
+// because every input that influences the result is either in the instance
+// document or in the spec (all solvers here are deterministic functions of
+// those two).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/assignment.h"
+#include "core/instance.h"
+
+namespace mecsc::core {
+
+/// One solve request: which algorithm, with which knobs.
+struct SolveSpec {
+  /// One of solver_algorithm_names(): "lcf", "appro", "appro-literal",
+  /// "jo", "offload", "selfish", "optimal".
+  std::string algorithm = "lcf";
+  /// 1-ξ, the selfish-provider share (LCF only; paper default 0.3).
+  double one_minus_xi = 0.3;
+
+  /// Canonical text encoding of every result-influencing option. Two specs
+  /// with equal cache_key() (and equal instance bytes) must produce
+  /// byte-identical serialized results. Extend this string whenever a new
+  /// option is added — forgetting to would silently serve stale cache hits.
+  std::string cache_key() const;
+};
+
+/// Result of run_solver: the placement plus provenance the CLI surfaces.
+struct SolveOutcome {
+  Assignment assignment;
+  /// False only for algorithm "optimal" when the branch-and-bound node
+  /// budget was hit and the incumbent is not proven optimal.
+  bool proven_optimal = true;
+};
+
+/// The algorithm names run_solver accepts, sorted.
+const std::vector<std::string>& solver_algorithm_names();
+
+/// True when `name` is a valid SolveSpec::algorithm.
+bool solver_algorithm_known(const std::string& name);
+
+/// Dispatches to the named algorithm. Throws std::invalid_argument (with
+/// the list of valid names) when spec.algorithm is unknown. Deterministic:
+/// equal (instance, spec) pairs produce equal assignments.
+SolveOutcome run_solver(const Instance& inst, const SolveSpec& spec);
+
+}  // namespace mecsc::core

@@ -1,0 +1,112 @@
+#include "svc/client.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace mecsc::svc {
+
+using util::JsonObject;
+using util::JsonValue;
+
+Endpoint parse_endpoint(const std::string& text) {
+  Endpoint ep;
+  if (text.rfind("unix:", 0) == 0) {
+    ep.is_unix = true;
+    ep.path = text.substr(5);
+  } else if (text.rfind("tcp:", 0) == 0) {
+    const std::string rest = text.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos)
+      throw std::runtime_error("svc: tcp endpoint needs \"tcp:<host>:<port>\"");
+    ep.host = rest.substr(0, colon);
+    try {
+      ep.port = std::stoi(rest.substr(colon + 1));
+    } catch (const std::exception&) {
+      ep.port = -1;
+    }
+    if (ep.host.empty() || ep.port <= 0 || ep.port > 65535)
+      throw std::runtime_error("svc: bad tcp endpoint \"" + text + "\"");
+  } else {
+    ep.is_unix = true;  // bare filesystem path
+    ep.path = text;
+  }
+  if (ep.is_unix && ep.path.empty())
+    throw std::runtime_error("svc: empty unix socket path in \"" + text + "\"");
+  return ep;
+}
+
+SvcClient::SvcClient(ConnectionPtr conn) : conn_(std::move(conn)) {}
+
+SvcClient SvcClient::connect(const std::string& endpoint) {
+  const Endpoint ep = parse_endpoint(endpoint);
+  return SvcClient(ep.is_unix ? connect_unix(ep.path)
+                              : connect_tcp(ep.host, ep.port));
+}
+
+SvcResponse SvcClient::call(const JsonValue& request) {
+  if (!conn_->write_line(request.dump()))
+    throw std::runtime_error("svc: connection closed while sending request");
+  std::optional<std::string> line = conn_->read_line(kMaxResponseBytes);
+  if (!line)
+    throw std::runtime_error(
+        conn_->line_overflow()
+            ? "svc: response line exceeds the size limit"
+            : "svc: connection closed before a response arrived");
+
+  SvcResponse response;
+  response.raw = std::move(*line);
+  response.body = util::parse_json(response.raw);  // JsonError = server bug
+  const JsonValue& body = response.body;
+  if (!body.is_object() || !body.contains("ok") || !body.at("ok").is_bool())
+    throw std::runtime_error("svc: malformed response (no \"ok\" field): " +
+                             response.raw);
+  response.ok = body.at("ok").as_bool();
+  if (body.contains("id")) response.id = body.at("id");
+  if (!response.ok) {
+    const JsonValue& error = body.at("error");
+    response.error_code = error.string_at("code");
+    response.error_message = error.string_at("message");
+  }
+  return response;
+}
+
+SvcResponse SvcClient::solve(const JsonValue& instance,
+                             const std::string& algorithm, std::uint64_t id,
+                             double one_minus_xi, bool cache,
+                             double deadline_ms) {
+  JsonObject request;
+  request["id"] = JsonValue(id);
+  request["type"] = JsonValue("solve");
+  request["algorithm"] = JsonValue(algorithm);
+  request["one_minus_xi"] = JsonValue(one_minus_xi);
+  request["instance"] = instance;
+  request["cache"] = JsonValue(cache);
+  // A deadline is a caller-chosen budget, not a clock reading.
+  if (deadline_ms >= 0.0)
+    request["deadline_ms"] =  // determinism-lint: allow(wall-key)
+        JsonValue(deadline_ms);
+  return call(JsonValue(std::move(request)));
+}
+
+SvcResponse SvcClient::health() {
+  JsonObject request;
+  request["id"] = JsonValue(next_id_++);
+  request["type"] = JsonValue("health");
+  return call(JsonValue(std::move(request)));
+}
+
+SvcResponse SvcClient::server_stats() {
+  JsonObject request;
+  request["id"] = JsonValue(next_id_++);
+  request["type"] = JsonValue("stats");
+  return call(JsonValue(std::move(request)));
+}
+
+SvcResponse SvcClient::shutdown() {
+  JsonObject request;
+  request["id"] = JsonValue(next_id_++);
+  request["type"] = JsonValue("shutdown");
+  return call(JsonValue(std::move(request)));
+}
+
+}  // namespace mecsc::svc

@@ -1,0 +1,67 @@
+// Client side of the solver service: connects to a mecsc_serve endpoint,
+// sends one NDJSON request per call, and blocks for the matching response
+// line. One SvcClient per connection; calls are serialized by the caller
+// (mecsc_loadgen runs one client per closed-loop connection thread).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "svc/socket.h"
+#include "util/json.h"
+
+namespace mecsc::svc {
+
+/// Longest accepted response line (mirrors the server's request cap).
+inline constexpr std::size_t kMaxResponseBytes = 64u << 20;
+
+/// One decoded response line.
+struct SvcResponse {
+  util::JsonValue id;      ///< echoed request id (null for admission errors)
+  bool ok = false;
+  std::string error_code;  ///< empty when ok
+  std::string error_message;
+  util::JsonValue body;    ///< the full response document
+  std::string raw;         ///< exact bytes received (minus the newline)
+};
+
+class SvcClient {
+ public:
+  /// Connects to "unix:<path>", "tcp:<host>:<port>", or a bare filesystem
+  /// path (treated as a Unix socket). Throws std::runtime_error on failure.
+  static SvcClient connect(const std::string& endpoint);
+
+  /// Sends `request` (one line) and reads one response line. Throws
+  /// std::runtime_error when the connection drops or the response is not
+  /// valid JSON — a malformed response is a server bug, never swallowed.
+  SvcResponse call(const util::JsonValue& request);
+
+  /// Convenience wrappers over call(). `instance` is a core/io.h document.
+  SvcResponse solve(const util::JsonValue& instance,
+                    const std::string& algorithm, std::uint64_t id,
+                    double one_minus_xi = 0.3, bool cache = true,
+                    double deadline_ms = -1.0);
+  SvcResponse health();
+  SvcResponse server_stats();
+  SvcResponse shutdown();
+
+ private:
+  explicit SvcClient(ConnectionPtr conn);
+
+  ConnectionPtr conn_;
+  std::uint64_t next_id_ = 1;  ///< for the no-argument wrappers
+};
+
+/// Parses "unix:<path>" / "tcp:<host>:<port>" / bare path endpoints.
+/// Exposed for mecsc_serve's argument validation.
+struct Endpoint {
+  bool is_unix = false;
+  std::string path;  ///< unix socket path
+  std::string host;  ///< tcp host
+  int port = 0;
+};
+Endpoint parse_endpoint(const std::string& text);
+
+}  // namespace mecsc::svc

@@ -1,0 +1,79 @@
+#include "svc/result_cache.h"
+
+namespace mecsc::svc {
+
+ResultCache::ResultCache(std::size_t capacity) : lru_(capacity) {}
+
+std::optional<std::string> ResultCache::get_or_lead(const std::string& key) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    if (const std::string* resident = lru_.find(key)) {
+      ++hits_;
+      return *resident;
+    }
+    const auto it = in_flight_.find(key);
+    if (it == in_flight_.end()) {
+      // No resident entry, no leader: the caller leads. After
+      // shutdown_wakeup() leaders are no longer registered (concurrent
+      // duplicate solves during drain beat leaving a waiter blocked).
+      if (!shutdown_) in_flight_[key] = std::make_shared<InFlight>();
+      ++misses_;
+      return std::nullopt;
+    }
+    // A leader is computing this key right now: coalesce onto it.
+    const std::shared_ptr<InFlight> flight = it->second;
+    ++coalesced_;
+    flight->cv.wait(lock, [&] { return flight->done || shutdown_; });
+    if (flight->done && flight->payload) {
+      ++hits_;
+      return *flight->payload;
+    }
+    if (shutdown_ && !flight->done) {
+      ++misses_;
+      return std::nullopt;
+    }
+    // Leader abandoned (solve threw): loop — the LRU still misses and the
+    // in-flight entry is gone, so the first waiter through becomes the new
+    // leader and the rest coalesce onto it.
+  }
+}
+
+void ResultCache::publish(const std::string& key, const std::string& payload) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  lru_.put(key, payload);
+  const auto it = in_flight_.find(key);
+  if (it == in_flight_.end()) return;  // led after shutdown_wakeup()
+  it->second->done = true;
+  it->second->payload = payload;
+  it->second->cv.notify_all();
+  in_flight_.erase(it);
+}
+
+void ResultCache::abandon(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = in_flight_.find(key);
+  if (it == in_flight_.end()) return;
+  it->second->done = true;
+  it->second->cv.notify_all();
+  in_flight_.erase(it);
+}
+
+void ResultCache::shutdown_wakeup() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  shutdown_ = true;
+  for (auto& [key, flight] : in_flight_) flight->cv.notify_all();
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.coalesced = coalesced_;
+  s.evictions = lru_.evictions();
+  s.size = lru_.size();
+  s.capacity = lru_.capacity();
+  return s;
+}
+
+}  // namespace mecsc::svc

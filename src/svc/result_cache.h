@@ -1,0 +1,83 @@
+// Digest-keyed, single-flight LRU result cache for the solver service.
+//
+// Key contract: fnv1a64_hex(instance bytes) ⊕ SolveSpec::cache_key() — see
+// src/core/solver_api.h. The cached value is the fully serialized result
+// payload, so repeated identical requests return *byte-identical* JSON
+// (the served-response determinism guarantee that check_determinism.sh
+// diffs).
+//
+// Single-flight: when several requests for the same key arrive
+// concurrently, exactly one (the leader) computes; the rest block until
+// the leader publishes and then reuse its payload. The solver therefore
+// runs at most once per key while an entry is resident — the invariant
+// tests/test_svc.cpp pins down with N concurrent identical requests.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "util/lru.h"
+
+namespace mecsc::svc {
+
+class ResultCache {
+ public:
+  /// Monotonic counters; snapshot under the cache lock.
+  struct Stats {
+    std::uint64_t hits = 0;       ///< served from a resident entry
+    std::uint64_t misses = 0;     ///< caller became the computing leader
+    std::uint64_t coalesced = 0;  ///< waited on a concurrent leader
+    std::uint64_t evictions = 0;  ///< LRU displacements
+    std::size_t size = 0;         ///< resident entries right now
+    std::size_t capacity = 0;
+  };
+
+  /// capacity 0 disables residency but keeps single-flight coalescing.
+  explicit ResultCache(std::size_t capacity);
+
+  /// The single-flight entry point. Exactly one of three things happens:
+  ///  - hit:       returns the cached payload immediately;
+  ///  - coalesced: a leader for `key` is in flight — blocks until it
+  ///               publishes, then returns its payload;
+  ///  - miss:      returns nullopt and makes the caller the leader. The
+  ///               caller MUST then call publish() or abandon() exactly
+  ///               once, or waiters block until shutdown_wakeup().
+  std::optional<std::string> get_or_lead(const std::string& key);
+
+  /// Leader publishes its payload: inserted into the LRU (unless capacity
+  /// is 0) and handed to every coalesced waiter.
+  void publish(const std::string& key, const std::string& payload);
+
+  /// Leader failed (solve threw, deadline exceeded): waiters are woken and
+  /// the first of them is promoted to the new leader (its get_or_lead call
+  /// returns nullopt); nothing is cached.
+  void abandon(const std::string& key);
+
+  /// Wakes every waiter with "no payload" (they see a miss and re-lead or
+  /// bail). Used on server drain so no thread is left blocked.
+  void shutdown_wakeup();
+
+  Stats stats() const;
+
+ private:
+  struct InFlight {
+    bool done = false;
+    std::optional<std::string> payload;  ///< set by publish, not abandon
+    std::condition_variable cv;
+  };
+
+  mutable std::mutex mutex_;
+  util::LruCache<std::string, std::string> lru_;
+  std::map<std::string, std::shared_ptr<InFlight>> in_flight_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t coalesced_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace mecsc::svc

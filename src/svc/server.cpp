@@ -1,0 +1,497 @@
+#include "svc/server.h"
+
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "core/io.h"
+#include "core/poa.h"
+#include "core/solver_api.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/run_info.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace mecsc::svc {
+namespace {
+
+using util::JsonArray;
+using util::JsonObject;
+using util::JsonValue;
+
+std::string error_line(const JsonValue& id, const std::string& code,
+                       const std::string& message) {
+  JsonObject error;
+  error["code"] = JsonValue(code);
+  error["message"] = JsonValue(message);
+  JsonObject response;
+  response["id"] = id;
+  response["ok"] = JsonValue(false);
+  response["error"] = JsonValue(std::move(error));
+  return JsonValue(std::move(response)).dump();
+}
+
+/// Shared fields of every successful response: {"id":…, "ok":true,
+/// "type":…} plus wall_* timing (stripped before determinism diffs).
+JsonObject ok_envelope(const JsonValue& id, const std::string& type) {
+  JsonObject response;
+  response["id"] = id;
+  response["ok"] = JsonValue(true);
+  response["type"] = JsonValue(type);
+  return response;
+}
+
+double require_number(const JsonValue& request, const std::string& key,
+                      double fallback) {
+  if (!request.contains(key)) return fallback;
+  const JsonValue& v = request.at(key);
+  if (!v.is_number())
+    throw std::invalid_argument("field \"" + key + "\" must be a number");
+  return v.as_number();
+}
+
+bool require_bool(const JsonValue& request, const std::string& key,
+                  bool fallback) {
+  if (!request.contains(key)) return fallback;
+  const JsonValue& v = request.at(key);
+  if (!v.is_bool())
+    throw std::invalid_argument("field \"" + key + "\" must be a boolean");
+  return v.as_bool();
+}
+
+/// Deadline carried by one request. A request-supplied deadline_ms of 0 is
+/// already expired on arrival — the deterministic way to exercise the
+/// deadline path in tests.
+struct Deadline {
+  bool enabled = false;
+  double budget_ms = 0.0;
+
+  bool exceeded(const util::Timer& since_admission) const {
+    return enabled && since_admission.elapsed_ms() >= budget_ms;
+  }
+};
+
+Deadline deadline_of(const JsonValue& request, double default_deadline_ms) {
+  Deadline d;
+  if (request.contains("deadline_ms")) {
+    const double ms = require_number(request, "deadline_ms", 0.0);
+    if (ms < 0.0)
+      throw std::invalid_argument("field \"deadline_ms\" must be >= 0");
+    d.enabled = true;
+    d.budget_ms = ms;
+  } else if (default_deadline_ms > 0.0) {
+    d.enabled = true;
+    d.budget_ms = default_deadline_ms;
+  }
+  return d;
+}
+
+}  // namespace
+
+SolverServer::SolverServer(ServerOptions options)
+    : options_(std::move(options)),
+      queue_(options_.queue_capacity),
+      cache_(options_.cache_capacity) {
+  if (options_.threads == 0) options_.threads = 1;
+}
+
+SolverServer::~SolverServer() {
+  // Safety net for error paths; the normal sequence is
+  // request_shutdown() + wait() before destruction.
+  request_shutdown();
+  wait();
+}
+
+void SolverServer::start() {
+  if (!options_.unix_socket_path.empty()) {
+    listener_ = std::make_unique<Listener>(
+        Listener::listen_unix(options_.unix_socket_path));
+  } else if (options_.tcp_port >= 0) {
+    listener_ = std::make_unique<Listener>(Listener::listen_tcp(options_.tcp_port));
+  } else {
+    throw std::runtime_error(
+        "svc: ServerOptions needs unix_socket_path or tcp_port");
+  }
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    counters_.queue_capacity = options_.queue_capacity;
+  }
+  workers_.reserve(options_.threads);
+  for (std::size_t i = 0; i < options_.threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+  acceptor_thread_ = std::thread([this] { acceptor_loop(); });
+}
+
+int SolverServer::port() const { return listener_ ? listener_->port() : 0; }
+
+const std::string& SolverServer::endpoint() const {
+  static const std::string kUnbound = "(unbound)";
+  return listener_ ? listener_->endpoint() : kUnbound;
+}
+
+void SolverServer::acceptor_loop() {
+  while (true) {
+    ConnectionPtr conn = listener_->accept();
+    if (!conn) return;  // listener shut down (drain) or fatal error
+    {
+      const std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+      if (draining_.load(std::memory_order_acquire)) {
+        conn->write_line(error_line(JsonValue(nullptr), "shutting_down",
+                                    "server is draining"));
+        continue;  // connection closes when conn goes out of scope
+      }
+      conns_.push_back(conn);
+      session_threads_.emplace_back(
+          [this, conn = std::move(conn)]() mutable {
+            session_loop(std::move(conn));
+          });
+    }
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++counters_.accepted_connections;
+    }
+  }
+}
+
+void SolverServer::session_loop(ConnectionPtr conn) {
+  while (true) {
+    std::optional<std::string> line = conn->read_line(kMaxRequestBytes);
+    if (!line) {
+      if (conn->line_overflow()) {
+        conn->write_line(error_line(JsonValue(nullptr), "bad_request",
+                                    "request line exceeds the size limit"));
+        // The stream is desynchronized past an overlong line; close it.
+      }
+      return;
+    }
+    if (line->empty()) continue;  // blank keep-alive lines are harmless
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++counters_.requests_total;
+    }
+    if (draining_.load(std::memory_order_acquire)) {
+      {
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++counters_.responses_error;
+      }
+      conn->write_line(error_line(JsonValue(nullptr), "shutting_down",
+                                  "server is draining"));
+      continue;
+    }
+    Job job;
+    job.line = std::move(*line);
+    job.conn = conn;
+    if (!queue_.try_push(std::move(job))) {
+      // Admission control: a full queue answers immediately instead of
+      // stalling the socket. The id is null because the line was never
+      // parsed — closed-loop clients correlate by ordering.
+      {
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++counters_.responses_error;
+        ++counters_.overloaded;
+      }
+      conn->write_line(error_line(JsonValue(nullptr), "overloaded",
+                                  "request queue is full"));
+      obs::MetricsRegistry::global().counter_add("svc.overloaded");
+    }
+  }
+}
+
+void SolverServer::worker_loop() {
+  while (true) {
+    std::optional<Job> job = queue_.pop();
+    if (!job) return;  // closed and drained
+    if (options_.test_hook_before_request) options_.test_hook_before_request();
+    process(std::move(*job));
+  }
+}
+
+void SolverServer::process(Job job) {
+  MECSC_PROFILE_SCOPE("svc.request");
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.counter_add("svc.requests");
+  const double queue_wait_ms = job.admitted.elapsed_ms();
+
+  JsonValue id;  // null until the request parses
+  std::string response;
+  bool ok = false;
+  bool was_deadline = false;
+  try {
+    JsonValue request;
+    {
+      MECSC_PROFILE_SCOPE("svc.parse");
+      try {
+        request = util::parse_json(job.line);
+      } catch (const util::JsonError& e) {
+        throw std::runtime_error(std::string("parse_error: ") + e.what());
+      }
+    }
+    if (!request.is_object())
+      throw std::invalid_argument("request must be a JSON object");
+    if (request.contains("id")) id = request.at("id");
+    if (!request.contains("type"))
+      throw std::invalid_argument("request needs a \"type\" field");
+    const std::string& type = request.at("type").as_string();
+    const Deadline deadline =
+        deadline_of(request, options_.default_deadline_ms);
+
+    if (type == "health") {
+      JsonObject body = ok_envelope(id, type);
+      body["protocol_version"] = JsonValue(kSvcProtocolVersion);
+      body["draining"] = JsonValue(draining());
+      JsonArray algorithms;
+      for (const std::string& name : core::solver_algorithm_names())
+        algorithms.emplace_back(name);
+      body["algorithms"] = JsonValue(std::move(algorithms));
+      response = JsonValue(std::move(body)).dump();
+      ok = true;
+    } else if (type == "stats") {
+      const ServerStats s = stats();
+      JsonObject body = ok_envelope(id, type);
+      body["protocol_version"] = JsonValue(kSvcProtocolVersion);
+      JsonObject server;
+      server["accepted_connections"] = JsonValue(s.accepted_connections);
+      server["requests_total"] = JsonValue(s.requests_total);
+      server["responses_ok"] = JsonValue(s.responses_ok);
+      server["responses_error"] = JsonValue(s.responses_error);
+      server["overloaded"] = JsonValue(s.overloaded);
+      server["deadline_exceeded"] = JsonValue(s.deadline_exceeded);
+      server["solves_executed"] = JsonValue(s.solves_executed);
+      server["queue_depth"] = JsonValue(s.queue_depth);
+      server["queue_capacity"] = JsonValue(s.queue_capacity);
+      body["server"] = JsonValue(std::move(server));
+      JsonObject cache;
+      cache["hits"] = JsonValue(s.cache.hits);
+      cache["misses"] = JsonValue(s.cache.misses);
+      cache["coalesced"] = JsonValue(s.cache.coalesced);
+      cache["evictions"] = JsonValue(s.cache.evictions);
+      cache["size"] = JsonValue(s.cache.size);
+      cache["capacity"] = JsonValue(s.cache.capacity);
+      body["cache"] = JsonValue(std::move(cache));
+      response = JsonValue(std::move(body)).dump();
+      ok = true;
+    } else if (type == "shutdown") {
+      JsonObject body = ok_envelope(id, type);
+      body["draining"] = JsonValue(true);
+      response = JsonValue(std::move(body)).dump();
+      job.conn->write_line(response);
+      {
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++counters_.responses_ok;
+      }
+      // The response is on the wire before the drain starts, so a
+      // synchronous client always sees its shutdown acknowledged.
+      request_shutdown();
+      return;
+    } else if (type == "solve" || type == "poa") {
+      if (deadline.exceeded(job.admitted)) {
+        was_deadline = true;
+        throw std::runtime_error("deadline expired while queued");
+      }
+      if (!request.contains("instance") || !request.at("instance").is_object())
+        throw std::invalid_argument(
+            "request needs an \"instance\" object (core/io.h document)");
+      const std::string instance_bytes = request.at("instance").dump();
+      const bool use_cache = require_bool(request, "cache", true);
+
+      std::string task_key;
+      core::SolveSpec spec;
+      core::PoaOptions poa_options;
+      std::uint64_t poa_seed = 0;
+      if (type == "solve") {
+        if (request.contains("algorithm"))
+          spec.algorithm = request.at("algorithm").as_string();
+        spec.one_minus_xi =
+            require_number(request, "one_minus_xi", spec.one_minus_xi);
+        if (!core::solver_algorithm_known(spec.algorithm))
+          throw std::invalid_argument("unknown algorithm \"" + spec.algorithm +
+                                      "\"");
+        task_key = spec.cache_key();
+      } else {
+        poa_options.coordinated_fraction =
+            require_number(request, "coordinated_fraction", 0.0);
+        const double restarts = require_number(request, "restarts", 30.0);
+        if (restarts < 1.0 || restarts != static_cast<double>(
+                                              static_cast<std::size_t>(restarts)))
+          throw std::invalid_argument(
+              "field \"restarts\" must be a positive integer");
+        poa_options.restarts = static_cast<std::size_t>(restarts);
+        const double seed = require_number(request, "seed", 1.0);
+        if (seed < 0.0)
+          throw std::invalid_argument("field \"seed\" must be >= 0");
+        poa_seed = static_cast<std::uint64_t>(seed);
+        task_key = "poa|cf=" +
+                   JsonValue(poa_options.coordinated_fraction).dump() +
+                   "|restarts=" + JsonValue(poa_options.restarts).dump() +
+                   "|seed=" + JsonValue(poa_seed).dump();
+      }
+      // Cache-key contract (see solver_api.h): instance digest ⊕ canonical
+      // option string. The digest is over the *canonical dump* (sorted
+      // keys), so key ordering in the client's document does not fragment
+      // the cache.
+      const std::string cache_key =
+          obs::fnv1a64_hex(instance_bytes) + "|" + task_key;
+
+      std::optional<std::string> payload;
+      bool cached = false;
+      if (use_cache) {
+        payload = cache_.get_or_lead(cache_key);
+        cached = payload.has_value();
+      }
+      if (!payload) {
+        bool published = false;
+        try {
+          const core::Instance inst =
+              core::instance_from_json(util::parse_json(instance_bytes));
+          JsonObject result;
+          if (type == "solve") {
+            const core::SolveOutcome outcome = [&] {
+              MECSC_PROFILE_SCOPE("svc.solve");
+              return core::run_solver(inst, spec);
+            }();
+            MECSC_PROFILE_SCOPE("svc.serialize");
+            result = core::assignment_to_json(outcome.assignment).as_object();
+            result["algorithm"] = JsonValue(spec.algorithm);
+            result["proven_optimal"] = JsonValue(outcome.proven_optimal);
+          } else {
+            MECSC_PROFILE_SCOPE("svc.solve");
+            util::Rng rng(poa_seed);
+            const core::PoaResult r =
+                core::estimate_poa(inst, poa_options, rng);
+            result["worst_equilibrium_cost"] =
+                JsonValue(r.worst_equilibrium_cost);
+            result["best_equilibrium_cost"] =
+                JsonValue(r.best_equilibrium_cost);
+            result["optimum_cost"] = JsonValue(r.optimum_cost);
+            result["optimum_exact"] = JsonValue(r.optimum_exact);
+            result["empirical_poa"] = JsonValue(r.empirical_poa);
+            result["theoretical_bound"] = JsonValue(r.theoretical_bound);
+            result["equilibria_found"] = JsonValue(r.equilibria_found);
+          }
+          payload = JsonValue(std::move(result)).dump();
+          {
+            const std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++counters_.solves_executed;
+          }
+          metrics.counter_add("svc.solves");
+          if (use_cache) {
+            cache_.publish(cache_key, *payload);
+            published = true;
+          }
+        } catch (...) {
+          if (use_cache && !published) cache_.abandon(cache_key);
+          throw;
+        }
+      }
+      if (deadline.exceeded(job.admitted)) {
+        // The work still went into the cache above; only *this* response
+        // degrades to an error, so a cached retry is instant.
+        was_deadline = true;
+        throw std::runtime_error("deadline expired during solve");
+      }
+      JsonObject body = ok_envelope(id, type);
+      body["cached"] = JsonValue(cached);
+      body["result"] = util::parse_json(*payload);
+      body["wall_queue_ms"] = JsonValue(queue_wait_ms);
+      body["wall_service_ms"] = JsonValue(job.admitted.elapsed_ms());
+      response = JsonValue(std::move(body)).dump();
+      ok = true;
+    } else {
+      throw std::invalid_argument("unknown request type \"" + type + "\"");
+    }
+  } catch (const std::exception& e) {
+    const std::string what = e.what();
+    std::string code = "bad_request";
+    std::string message = what;
+    if (was_deadline) {
+      code = "deadline_exceeded";
+    } else if (what.rfind("parse_error: ", 0) == 0) {
+      code = "parse_error";
+      message = what.substr(13);
+    } else if (what.rfind("io: ", 0) == 0 ||
+               dynamic_cast<const std::invalid_argument*>(&e) != nullptr ||
+               dynamic_cast<const util::JsonError*>(&e) != nullptr) {
+      code = "bad_request";
+    } else {
+      code = "internal";
+    }
+    response = error_line(id, code, message);
+  }
+
+  // Counters are bumped *before* the response leaves: a client that has read
+  // its response and immediately asks for stats must see its own request
+  // reflected in them.
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    if (ok) {
+      ++counters_.responses_ok;
+    } else {
+      ++counters_.responses_error;
+      if (was_deadline) ++counters_.deadline_exceeded;
+    }
+  }
+  job.conn->write_line(response);
+  metrics.wall_duration_record("wall_svc_service_ms",
+                               job.admitted.elapsed_ms());
+  if (ok) {
+    metrics.counter_add("svc.responses_ok");
+  } else {
+    metrics.counter_add("svc.responses_error");
+  }
+}
+
+void SolverServer::request_shutdown() {
+  bool expected = false;
+  if (!draining_.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel))
+    return;  // already draining
+  if (listener_) listener_->shutdown();
+  {
+    // Wake blocked session readers so they observe the drain and exit.
+    // drain_ready_ gates wait() so it never tries to join a session that
+    // this sweep has not woken yet.
+    const std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    for (const std::weak_ptr<Connection>& weak : conns_)
+      if (ConnectionPtr conn = weak.lock()) conn->shutdown_read();
+    drain_ready_ = true;
+  }
+  cache_.shutdown_wakeup();
+  drain_cv_.notify_all();
+}
+
+void SolverServer::wait() {
+  {
+    std::unique_lock<std::mutex> lock(lifecycle_mutex_);
+    drain_cv_.wait(lock, [&] { return drain_ready_; });
+  }
+  if (acceptor_thread_.joinable()) acceptor_thread_.join();
+  {
+    // The acceptor is gone, so session_threads_ is stable now. Sessions
+    // exit on EOF/shutdown_read; every request they admitted is drained by
+    // the workers below before the pool exits.
+    const std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    for (std::thread& t : session_threads_)
+      if (t.joinable()) t.join();
+    session_threads_.clear();
+    conns_.clear();
+  }
+  queue_.close();
+  for (std::thread& t : workers_)
+    if (t.joinable()) t.join();
+  workers_.clear();
+}
+
+ServerStats SolverServer::stats() const {
+  ServerStats s;
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    s = counters_;
+  }
+  s.queue_depth = queue_.size();
+  s.queue_capacity = queue_.capacity();
+  s.cache = cache_.stats();
+  return s;
+}
+
+}  // namespace mecsc::svc

@@ -1,0 +1,151 @@
+// Long-running solver daemon core: acceptor, bounded worker pool,
+// digest-keyed single-flight result cache, per-request deadlines, and
+// graceful drain.
+//
+// Wire protocol (newline-delimited JSON, one request per line, one
+// response line per request — full reference in DESIGN.md "Serving"):
+//
+//   {"id": 7, "type": "solve", "algorithm": "lcf", "one_minus_xi": 0.3,
+//    "instance": { ...core/io.h instance document... },
+//    "deadline_ms": 5000, "cache": true}
+//   -> {"id": 7, "ok": true, "type": "solve", "cached": false,
+//       "result": { ...assignment document..., "algorithm": "lcf"},
+//       "wall_queue_ms": 0.1, "wall_service_ms": 12.9}
+//
+//   {"type": "poa" | "stats" | "health" | "shutdown", ...}
+//
+// Errors are structured, never a dropped connection:
+//   {"id": null, "ok": false,
+//    "error": {"code": "overloaded", "message": "..."}}
+// with codes: parse_error, bad_request, overloaded, deadline_exceeded,
+// shutting_down, internal.
+//
+// Threading model: the acceptor thread spawns one session thread per
+// connection; sessions read request lines and enqueue {line, connection}
+// into a bounded queue (admission control — a full queue answers
+// "overloaded" immediately instead of stalling the socket); `threads`
+// workers pop, parse, solve, and write the response under the
+// connection's write lock. Responses therefore may interleave across a
+// pipelining connection — the echoed "id" is the correlator. Graceful
+// drain (SIGTERM or a "shutdown" request): stop accepting, wake idle
+// readers, answer everything already admitted, then join every thread.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/bounded_queue.h"
+#include "svc/result_cache.h"
+#include "svc/socket.h"
+#include "util/timer.h"
+
+namespace mecsc::svc {
+
+/// Protocol version echoed by "health" and "stats"; bump on incompatible
+/// wire changes.
+inline constexpr int kSvcProtocolVersion = 1;
+
+/// Longest accepted request line (instances are a few hundred KB at
+/// paper scale; 64 MB is generous headroom, not an invitation).
+inline constexpr std::size_t kMaxRequestBytes = 64u << 20;
+
+struct ServerOptions {
+  /// Exactly one of the two endpoints: a Unix-domain socket path, or a
+  /// loopback TCP port (0 = ephemeral, see SolverServer::port()).
+  std::string unix_socket_path;
+  int tcp_port = -1;
+
+  std::size_t threads = 4;          ///< worker pool size (min 1)
+  std::size_t queue_capacity = 64;  ///< admitted-but-unserved requests
+  std::size_t cache_capacity = 128; ///< resident solve results (0 = off)
+
+  /// Applied when a request carries no deadline_ms; <= 0 means none.
+  double default_deadline_ms = 0.0;
+
+  /// Test-only hook, run by a worker after dequeue and before processing;
+  /// lets tests hold a worker deterministically (backpressure, drain).
+  std::function<void()> test_hook_before_request;
+};
+
+/// Point-in-time server counters for the "stats" response and tests.
+struct ServerStats {
+  std::uint64_t accepted_connections = 0;
+  std::uint64_t requests_total = 0;   ///< lines read (incl. rejected)
+  std::uint64_t responses_ok = 0;
+  std::uint64_t responses_error = 0;  ///< structured errors of any code
+  std::uint64_t overloaded = 0;       ///< subset of responses_error
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t solves_executed = 0;  ///< actual solver runs (cache misses)
+  std::size_t queue_depth = 0;
+  std::size_t queue_capacity = 0;
+  ResultCache::Stats cache;
+};
+
+class SolverServer {
+ public:
+  explicit SolverServer(ServerOptions options);
+  ~SolverServer();
+  SolverServer(const SolverServer&) = delete;
+  SolverServer& operator=(const SolverServer&) = delete;
+
+  /// Binds the endpoint and spawns acceptor + workers. Throws
+  /// std::runtime_error when the endpoint cannot be bound.
+  void start();
+
+  /// Begins graceful drain: stop accepting, reject new reads, answer
+  /// everything admitted. Safe from any thread (a worker handling a
+  /// "shutdown" request, a signal-watcher thread); idempotent.
+  void request_shutdown();
+
+  /// Blocks until the drain completes and every thread is joined. Call
+  /// from the owning thread exactly once after start().
+  void wait();
+
+  /// True once request_shutdown() has been called.
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  /// Bound TCP port (after start(); 0 for Unix endpoints).
+  int port() const;
+
+  /// "unix:<path>" or "tcp:127.0.0.1:<port>" (after start()).
+  const std::string& endpoint() const;
+
+  ServerStats stats() const;
+
+ private:
+  struct Job {
+    std::string line;
+    ConnectionPtr conn;
+    util::Timer admitted;  ///< queue wait + service time base
+  };
+
+  void acceptor_loop();
+  void session_loop(ConnectionPtr conn);
+  void worker_loop();
+  void process(Job job);
+
+  ServerOptions options_;
+  std::unique_ptr<Listener> listener_;
+  BoundedQueue<Job> queue_;
+  ResultCache cache_;
+
+  std::atomic<bool> draining_{false};
+  bool drain_ready_ = false;  ///< request_shutdown finished its sweep
+  std::mutex lifecycle_mutex_;          ///< guards conns_ + session_threads_
+  std::vector<std::weak_ptr<Connection>> conns_;
+  std::vector<std::thread> session_threads_;
+  std::thread acceptor_thread_;
+  std::vector<std::thread> workers_;
+  std::condition_variable drain_cv_;
+
+  mutable std::mutex stats_mutex_;
+  ServerStats counters_;
+};
+
+}  // namespace mecsc::svc

@@ -1,0 +1,97 @@
+// Thin POSIX socket layer for the solver service: a listener (Unix-domain
+// or loopback TCP), a buffered line-oriented connection, and client-side
+// connect helpers. Everything blocking; concurrency is the server's job.
+//
+// Scope is deliberately narrow — newline-delimited JSON between trusted
+// hosts (the daemon binds a filesystem socket or 127.0.0.1, never a public
+// interface). No TLS, no partial-write juggling surfaced to callers.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace mecsc::svc {
+
+/// One accepted or connected stream socket. Reads are buffered per
+/// connection; writes are atomic under an internal mutex so multiple
+/// worker threads can respond on the same connection without interleaving
+/// bytes (see Connection::write_line).
+class Connection {
+ public:
+  explicit Connection(int fd);
+  ~Connection();
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Reads up to and including the next '\n'; returns the line without the
+  /// terminator. nullopt on EOF or error. Lines longer than `max_len`
+  /// abort the read (nullopt) — the stream is then desynchronized, so the
+  /// caller must close the connection.
+  std::optional<std::string> read_line(std::size_t max_len);
+
+  /// True when the last read_line failed because the line limit was hit
+  /// (as opposed to normal EOF).
+  bool line_overflow() const { return line_overflow_; }
+
+  /// Writes `line` plus '\n' fully, under the write lock. Returns false on
+  /// error (peer gone); EPIPE is suppressed (MSG_NOSIGNAL), never a signal.
+  bool write_line(const std::string& line);
+
+  /// Shuts down the read side, waking any blocked read_line with EOF.
+  /// Safe to call from another thread while a read is in flight.
+  void shutdown_read();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  bool line_overflow_ = false;
+};
+
+using ConnectionPtr = std::shared_ptr<Connection>;
+
+/// Bound, listening server socket.
+class Listener {
+ public:
+  /// Binds a Unix-domain socket at `path` (unlinking a stale file first).
+  static Listener listen_unix(const std::string& path);
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral; see port()).
+  static Listener listen_tcp(int port);
+
+  ~Listener();
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&&) = delete;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Blocks for the next connection; nullptr once shutdown() was called
+  /// (or on a fatal accept error).
+  ConnectionPtr accept();
+
+  /// Wakes a blocked accept() and makes all future accepts return nullptr.
+  /// Safe to call from another thread; idempotent.
+  void shutdown();
+
+  /// The actually bound TCP port (ephemeral binds resolve here); 0 for
+  /// Unix-domain listeners.
+  int port() const { return port_; }
+
+  /// "unix:<path>" or "tcp:127.0.0.1:<port>", for logs.
+  const std::string& endpoint() const { return endpoint_; }
+
+ private:
+  Listener(int fd, int port, std::string endpoint, std::string unlink_path);
+
+  int fd_;
+  int port_;
+  std::string endpoint_;
+  std::string unlink_path_;  ///< Unix socket file removed on destruction
+};
+
+/// Client-side connects; throw std::runtime_error with errno context.
+ConnectionPtr connect_unix(const std::string& path);
+ConnectionPtr connect_tcp(const std::string& host, int port);
+
+}  // namespace mecsc::svc

@@ -187,7 +187,8 @@ namespace {
 
 class Parser {
  public:
-  explicit Parser(const std::string& text) : text_(text) {}
+  Parser(const std::string& text, const JsonParseLimits& limits)
+      : text_(text), limits_(limits) {}
 
   JsonValue parse_document() {
     skip_ws();
@@ -199,12 +200,31 @@ class Parser {
 
  private:
   const std::string& text_;
+  const JsonParseLimits& limits_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 
   [[noreturn]] void fail(const std::string& what) {
-    throw JsonError("json parse error at offset " + std::to_string(pos_) +
-                    ": " + what);
+    throw JsonError(
+        "json parse error at offset " + std::to_string(pos_) + ": " + what,
+        pos_);
   }
+
+  /// RAII depth guard: containers nest through parse_value() recursion, so
+  /// bounding the depth bounds the parser's own stack usage against
+  /// adversarial input like "[[[[[…".
+  struct DepthGuard {
+    Parser& p;
+    explicit DepthGuard(Parser& parser) : p(parser) {
+      if (++p.depth_ > p.limits_.max_depth) {
+        p.fail("nesting deeper than " + std::to_string(p.limits_.max_depth) +
+               " levels");
+      }
+    }
+    ~DepthGuard() { --p.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+  };
 
   void skip_ws() {
     while (pos_ < text_.size() &&
@@ -255,6 +275,7 @@ class Parser {
   }
 
   JsonValue parse_object() {
+    DepthGuard depth(*this);
     expect('{');
     JsonObject o;
     skip_ws();
@@ -279,6 +300,7 @@ class Parser {
   }
 
   JsonValue parse_array() {
+    DepthGuard depth(*this);
     expect('[');
     JsonArray a;
     skip_ws();
@@ -372,32 +394,65 @@ class Parser {
     }
   }
 
+  bool digit_at(std::size_t i) const {
+    return i < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[i])) != 0;
+  }
+
+  /// Strict RFC 8259 number grammar: [-] int [frac] [exp], where int has
+  /// no leading zero. Scanning the grammar explicitly (instead of trusting
+  /// std::stod to reject the tail) keeps locale-dependent and non-JSON
+  /// spellings — "inf", "nan", hex floats, "1.", ".5", "01" — off the
+  /// network boundary.
   JsonValue parse_number() {
     const std::size_t start = pos_;
     if (peek() == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-')) {
+    if (!digit_at(pos_)) fail("expected a value");
+    if (text_[pos_] == '0') {
       ++pos_;
+      if (digit_at(pos_)) fail("number has a leading zero");
+    } else {
+      while (digit_at(pos_)) ++pos_;
     }
-    if (pos_ == start) fail("expected a value");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!digit_at(pos_)) fail("expected digits after decimal point");
+      while (digit_at(pos_)) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!digit_at(pos_)) fail("expected digits in exponent");
+      while (digit_at(pos_)) ++pos_;
+    }
+    if (pos_ - start > limits_.max_number_length) {
+      pos_ = start;
+      fail("number longer than " +
+           std::to_string(limits_.max_number_length) + " characters");
+    }
     const std::string token = text_.substr(start, pos_ - start);
     try {
-      std::size_t used = 0;
-      const double d = std::stod(token, &used);
-      if (used != token.size()) fail("bad number '" + token + "'");
+      const double d = std::stod(token);
+      if (!std::isfinite(d)) {
+        pos_ = start;
+        fail("number outside double range '" + token + "'");
+      }
       return JsonValue(d);
     } catch (const std::logic_error&) {
-      fail("bad number '" + token + "'");
+      // invalid_argument cannot happen after the grammar scan;
+      // out_of_range means the magnitude does not fit a double.
+      pos_ = start;
+      fail("number outside double range '" + token + "'");
     }
   }
 };
 
 }  // namespace
 
-JsonValue parse_json(const std::string& text) {
-  Parser p(text);
+JsonValue parse_json(const std::string& text, const JsonParseLimits& limits) {
+  Parser p(text, limits);
   return p.parse_document();
 }
 

@@ -26,7 +26,19 @@ using JsonObject = std::map<std::string, JsonValue>;
 /// Thrown by the parser (with position info) and by typed accessors.
 class JsonError : public std::runtime_error {
  public:
-  using std::runtime_error::runtime_error;
+  /// offset() value for errors that have no byte position (accessor type
+  /// mismatches, serialization failures).
+  static constexpr std::size_t kNoOffset = static_cast<std::size_t>(-1);
+
+  explicit JsonError(const std::string& what, std::size_t offset = kNoOffset)
+      : std::runtime_error(what), offset_(offset) {}
+
+  /// Byte offset into the parsed text where the problem was detected, or
+  /// kNoOffset when the error did not come from the parser.
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_ = kNoOffset;
 };
 
 /// One JSON value: null, bool, number, string, array, or object.
@@ -83,8 +95,25 @@ class JsonValue {
       value_;
 };
 
-/// Parses a complete JSON document; throws JsonError with the byte offset
-/// of the first problem. Trailing non-whitespace is an error.
-JsonValue parse_json(const std::string& text);
+/// Hard limits applied while parsing. The defaults are far above anything
+/// the interchange format produces but small enough that adversarial input
+/// arriving over the solver-service socket (src/svc/) cannot blow the
+/// parser's recursion stack or stall it with pathological tokens.
+struct JsonParseLimits {
+  /// Maximum container nesting depth ([[ or {{ counts as 2).
+  std::size_t max_depth = 128;
+  /// Maximum characters in one number token. RFC 8259 numbers that carry
+  /// full double precision fit in ~25 characters; longer tokens are either
+  /// precision theater or an attack.
+  std::size_t max_number_length = 64;
+};
+
+/// Parses a complete JSON document; throws JsonError carrying the byte
+/// offset of the first problem (also spelled out in the message). Trailing
+/// non-whitespace is an error, as are documents exceeding `limits`.
+/// Numbers follow the strict RFC 8259 grammar: no leading zeros, no bare
+/// '.', no 'inf'/'nan', and a finite double value.
+JsonValue parse_json(const std::string& text,
+                     const JsonParseLimits& limits = {});
 
 }  // namespace mecsc::util

@@ -1,0 +1,97 @@
+// Generic least-recently-used cache with deterministic iteration-free
+// semantics: a bounded key → value map that evicts the entry touched
+// longest ago once `capacity` entries are resident.
+//
+// Shared by the solver service result cache (src/svc/result_cache.h) and
+// any future bounded memoization; keeping one audited implementation means
+// eviction-order bugs get fixed in exactly one place.
+//
+// Not thread-safe: callers that share an LruCache across threads must hold
+// their own lock around every call (svc::ResultCache does).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <utility>
+
+namespace mecsc::util {
+
+/// Bounded map with least-recently-used eviction. Key must be
+/// copy-constructible and strictly ordered (std::map; deliberately not an
+/// unordered container — see tools/lint_determinism.py).
+template <typename Key, typename Value>
+class LruCache {
+ public:
+  /// A capacity of 0 is a valid always-empty cache: put() discards
+  /// immediately (counted as an eviction) and find() always misses.
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return index_.size(); }
+  bool empty() const { return index_.empty(); }
+
+  /// Entries discarded to make room (including capacity-0 discards).
+  std::uint64_t evictions() const { return evictions_; }
+
+  /// Returns the value for `key` and marks it most-recently-used, or
+  /// nullptr on miss. The pointer stays valid until the entry is evicted
+  /// or erased.
+  Value* find(const Key& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->second;
+  }
+
+  /// Peek without refreshing recency; nullptr on miss.
+  const Value* peek(const Key& key) const {
+    const auto it = index_.find(key);
+    return it == index_.end() ? nullptr : &it->second->second;
+  }
+
+  /// Inserts or overwrites `key`, marking it most-recently-used either
+  /// way, then evicts least-recently-used entries until size() <=
+  /// capacity().
+  void put(const Key& key, Value value) {
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+    } else {
+      order_.emplace_front(key, std::move(value));
+      index_[key] = order_.begin();
+    }
+    while (index_.size() > capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  /// Removes `key`; returns whether it was present. Not counted as an
+  /// eviction (the caller asked for it).
+  bool erase(const Key& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    order_.erase(it->second);
+    index_.erase(it);
+    return true;
+  }
+
+  /// Drops every entry (eviction counter is preserved).
+  void clear() {
+    order_.clear();
+    index_.clear();
+  }
+
+ private:
+  using Entry = std::pair<Key, Value>;
+  std::size_t capacity_;
+  std::list<Entry> order_;  ///< front = most recent, back = next to evict
+  std::map<Key, typename std::list<Entry>::iterator> index_;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace mecsc::util

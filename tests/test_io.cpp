@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <limits>
 
 #include "core/baselines.h"
 #include "core/lcf.h"
@@ -97,6 +98,205 @@ TEST(InstanceIo, RejectsAlphaSizeMismatch) {
   auto doc = instance_to_json(make(7));
   doc.as_object()["cost"].as_object()["alpha"].as_array().pop_back();
   EXPECT_THROW(instance_from_json(doc), std::invalid_argument);
+}
+
+/// Runs instance_from_json on `doc` after `mutate`, expecting a
+/// std::invalid_argument whose message contains `needle` — the message must
+/// name the offending element, not just say "invalid".
+template <typename Fn>
+void expect_rejected(util::JsonValue doc, Fn&& mutate,
+                     const std::string& needle) {
+  mutate(doc);
+  try {
+    instance_from_json(doc);
+    FAIL() << "document accepted; expected rejection mentioning '" << needle
+           << "'";
+  } catch (const std::invalid_argument& err) {
+    EXPECT_NE(std::string(err.what()).find(needle), std::string::npos)
+        << "actual message: " << err.what();
+  }
+}
+
+TEST(InstanceIoValidation, RejectsNegativeCloudletCompute) {
+  expect_rejected(
+      instance_to_json(make(20)),
+      [](util::JsonValue& d) {
+        d.as_object()["cloudlets"].as_array()[0].as_object()["compute"] =
+            util::JsonValue(-5.0);
+      },
+      "cloudlets[0].compute");
+}
+
+TEST(InstanceIoValidation, RejectsNegativeCloudletBandwidth) {
+  expect_rejected(
+      instance_to_json(make(20)),
+      [](util::JsonValue& d) {
+        d.as_object()["cloudlets"].as_array()[1].as_object()["bandwidth"] =
+            util::JsonValue(-1.0);
+      },
+      "cloudlets[1].bandwidth");
+}
+
+TEST(InstanceIoValidation, RejectsCloudletNodeOutOfRange) {
+  expect_rejected(
+      instance_to_json(make(20)),
+      [](util::JsonValue& d) {
+        d.as_object()["cloudlets"].as_array()[0].as_object()["node"] =
+            util::JsonValue(1e9);
+      },
+      "cloudlets[0].node");
+}
+
+TEST(InstanceIoValidation, RejectsNegativeNodeIndexBeforeUnsignedCast) {
+  // A negative double cast straight to an unsigned index is UB; the
+  // validator must reject it *before* any cast happens.
+  expect_rejected(
+      instance_to_json(make(20)),
+      [](util::JsonValue& d) {
+        d.as_object()["data_centers"].as_array()[0] = util::JsonValue(-3);
+      },
+      "data_centers[0]");
+}
+
+TEST(InstanceIoValidation, RejectsFractionalIndex) {
+  expect_rejected(
+      instance_to_json(make(20)),
+      [](util::JsonValue& d) {
+        d.as_object()["providers"].as_array()[0].as_object()["home_dc"] =
+            util::JsonValue(0.5);
+      },
+      "providers[0].home_dc");
+}
+
+TEST(InstanceIoValidation, RejectsProviderHomeDcOutOfRange) {
+  expect_rejected(
+      instance_to_json(make(20)),
+      [](util::JsonValue& d) {
+        d.as_object()["providers"].as_array()[2].as_object()["home_dc"] =
+            util::JsonValue(999);
+      },
+      "providers[2].home_dc");
+}
+
+TEST(InstanceIoValidation, RejectsProviderUserRegionOutOfRange) {
+  expect_rejected(
+      instance_to_json(make(20)),
+      [](util::JsonValue& d) {
+        d.as_object()["providers"].as_array()[0].as_object()["user_region"] =
+            util::JsonValue(999);
+      },
+      "providers[0].user_region");
+}
+
+TEST(InstanceIoValidation, RejectsNegativeRequestCount) {
+  expect_rejected(
+      instance_to_json(make(20)),
+      [](util::JsonValue& d) {
+        d.as_object()["providers"].as_array()[1].as_object()["requests"] =
+            util::JsonValue(-10);
+      },
+      "providers[1].requests");
+}
+
+TEST(InstanceIoValidation, RejectsUpdateFractionAboveOne) {
+  expect_rejected(
+      instance_to_json(make(20)),
+      [](util::JsonValue& d) {
+        d.as_object()["providers"].as_array()[0]
+            .as_object()["update_fraction"] = util::JsonValue(1.5);
+      },
+      "providers[0].update_fraction");
+}
+
+TEST(InstanceIoValidation, RejectsNonFiniteCapacity) {
+  // JSON cannot carry inf, but a hand-built document (or a future binary
+  // path) can; the validator refuses it regardless of transport.
+  expect_rejected(
+      instance_to_json(make(20)),
+      [](util::JsonValue& d) {
+        d.as_object()["cloudlets"].as_array()[0].as_object()["compute"] =
+            util::JsonValue(std::numeric_limits<double>::quiet_NaN());
+      },
+      "cloudlets[0].compute");
+}
+
+TEST(InstanceIoValidation, RejectsSelfLoopEdge) {
+  expect_rejected(
+      instance_to_json(make(20)),
+      [](util::JsonValue& d) {
+        auto& edges =
+            d.as_object()["topology"].as_object()["edges"].as_array();
+        auto& e0 = edges[0].as_array();
+        e0[1] = e0[0];  // u == v
+      },
+      "self-loop");
+}
+
+TEST(InstanceIoValidation, RejectsEdgeEndpointOutOfRange) {
+  expect_rejected(
+      instance_to_json(make(20)),
+      [](util::JsonValue& d) {
+        d.as_object()["topology"].as_object()["edges"].as_array()[0]
+            .as_array()[0] = util::JsonValue(1e9);
+      },
+      "topology.edges[0].u");
+}
+
+TEST(InstanceIoValidation, RejectsBadEdgeTupleArity) {
+  expect_rejected(
+      instance_to_json(make(20)),
+      [](util::JsonValue& d) {
+        d.as_object()["topology"].as_object()["edges"].as_array()[0]
+            .as_array()
+            .pop_back();
+      },
+      "[u, v, length, bandwidth]");
+}
+
+TEST(InstanceIoValidation, RejectsNegativeAlpha) {
+  expect_rejected(
+      instance_to_json(make(20)),
+      [](util::JsonValue& d) {
+        d.as_object()["cost"].as_object()["alpha"].as_array()[3] =
+            util::JsonValue(-0.5);
+      },
+      "cost.alpha[3]");
+}
+
+TEST(InstanceIoValidation, RejectsNegativeTransferPrice) {
+  expect_rejected(
+      instance_to_json(make(20)),
+      [](util::JsonValue& d) {
+        d.as_object()["cost"].as_object()["transfer_price_per_gb"] =
+            util::JsonValue(-1.0);
+      },
+      "cost.transfer_price_per_gb");
+}
+
+TEST(InstanceIoValidation, RejectsUnknownCongestionKind) {
+  expect_rejected(
+      instance_to_json(make(20)),
+      [](util::JsonValue& d) {
+        d.as_object()["cost"].as_object()["congestion"] =
+            util::JsonValue("cubic");
+      },
+      "cubic");
+}
+
+TEST(InstanceIoValidation, VersionMessageNamesSupportedVersion) {
+  expect_rejected(
+      instance_to_json(make(20)),
+      [](util::JsonValue& d) {
+        d.as_object()["format_version"] = util::JsonValue(999);
+      },
+      "version");
+}
+
+TEST(AssignmentIoValidation, RejectsNegativeChoiceBeforeCast) {
+  const Instance inst = make(21);
+  auto doc = assignment_to_json(Assignment(inst));
+  doc.as_object()["choices"].as_array()[0] = util::JsonValue(-1);
+  EXPECT_THROW(assignment_from_json(inst, doc), std::invalid_argument);
 }
 
 TEST(AssignmentIo, RoundTrip) {

@@ -98,6 +98,114 @@ TEST(Json, ParseErrorsCarryOffsets) {
   }
 }
 
+// The parser sits on a network boundary (src/svc/), so every malformed
+// document must produce a JsonError with an accurate byte offset — never a
+// crash, a hang, or a silently wrong value. One row per failure mode,
+// mirroring the error-path tables of the reference C parsers.
+struct MalformedCase {
+  const char* input;
+  std::size_t offset;           ///< expected JsonError::offset()
+  const char* message_contains; ///< expected substring of what()
+};
+
+TEST(Json, MalformedInputCorpus) {
+  const MalformedCase corpus[] = {
+      // Truncation and structure.
+      {"", 0, "unexpected end of input"},
+      {"{", 1, "unexpected end of input"},
+      {"[1, 2", 5, "unexpected end of input"},
+      {"{\"a\": 1", 7, "unexpected end of input"},
+      {"{\"a\"}", 4, "expected ':'"},
+      {"{\"a\": 1,}", 8, "expected"},     // trailing comma: '"' expected next
+      {"{1: 2}", 1, "expected '\"'"},     // non-string key
+      {"[1 2]", 3, "expected"},           // missing comma
+      {"]", 0, "expected a value"},
+      {"}", 0, "expected a value"},
+      {":", 0, "expected a value"},
+      // Trailing garbage after a complete document.
+      {"1 1", 2, "trailing characters"},
+      {"{} {}", 3, "trailing characters"},
+      {"null,", 4, "trailing characters"},
+      // Bad literals. ("truth" mismatches "true" at its 4th character, so
+      // consume_literal rejects the whole token.)
+      {"truth", 0, "bad literal"},
+      {"falsy", 0, "bad literal"},
+      {"none", 0, "bad literal"},
+      // Bad strings.
+      {"\"abc", 4, "unterminated string"},
+      {"\"a\\", 3, "unterminated escape"},
+      {"\"\\x41\"", 3, "bad escape character"},
+      {"\"\\u12\"", 3, "bad \\u escape"},
+      {"\"\\uZZZZ\"", 4, "bad \\u escape"},
+      // Bad numbers (strict RFC 8259 grammar).
+      {"-", 1, "expected a value"},
+      {"+1", 0, "expected a value"},
+      {"01", 1, "leading zero"},
+      {"-01", 2, "leading zero"},
+      {"1.", 2, "expected digits after decimal point"},
+      {".5", 0, "expected a value"},
+      {"1e", 2, "expected digits in exponent"},
+      {"1e+", 3, "expected digits in exponent"},
+      {"1e1.5", 3, "trailing characters"},
+      {"inf", 0, "expected a value"},  // 'i' is not a JSON value start
+      {"1e999", 0, "outside double range"},
+      {"-1e999", 0, "outside double range"},
+  };
+  for (const MalformedCase& c : corpus) {
+    try {
+      parse_json(c.input);
+      FAIL() << "accepted malformed input: " << c.input;
+    } catch (const JsonError& err) {
+      EXPECT_EQ(err.offset(), c.offset) << "input: " << c.input
+                                        << " error: " << err.what();
+      EXPECT_NE(std::string(err.what()).find(c.message_contains),
+                std::string::npos)
+          << "input: " << c.input << " error: " << err.what();
+    }
+  }
+}
+
+TEST(Json, DepthLimitRejectsDeepNesting) {
+  JsonParseLimits limits;
+  limits.max_depth = 8;
+  const std::string ok(8, '[');
+  EXPECT_NO_THROW(parse_json(ok + std::string(8, ']'), limits));
+  const std::string deep(9, '[');
+  EXPECT_THROW(parse_json(deep + std::string(9, ']'), limits), JsonError);
+  // Mixed nesting counts every container level.
+  EXPECT_THROW(parse_json("[{\"a\":[{\"b\":[{\"c\":[[[1]]]}]}]}]", limits),
+               JsonError);
+  // Default limit stops pathological input long before the call stack does.
+  EXPECT_THROW(parse_json(std::string(100000, '[')), JsonError);
+}
+
+TEST(Json, NumberLengthLimit) {
+  JsonParseLimits limits;
+  limits.max_number_length = 8;
+  EXPECT_NO_THROW(parse_json("12345678", limits));
+  EXPECT_THROW(parse_json("123456789", limits), JsonError);
+  // The default cap still admits full double precision round trips.
+  EXPECT_NO_THROW(parse_json("-1.7976931348623157e308"));
+}
+
+TEST(Json, ErrorOffsetPointsIntoNestedDocument) {
+  try {
+    parse_json("{\"a\": [1, 2, tru]}");
+    FAIL();
+  } catch (const JsonError& err) {
+    EXPECT_EQ(err.offset(), 13u);
+  }
+}
+
+TEST(Json, AccessorErrorsHaveNoOffset) {
+  try {
+    JsonValue(1.5).as_string();
+    FAIL();
+  } catch (const JsonError& err) {
+    EXPECT_EQ(err.offset(), JsonError::kNoOffset);
+  }
+}
+
 TEST(Json, WhitespaceTolerated) {
   const JsonValue v = parse_json(" \n\t { \"a\" : [ 1 , 2 ] } \r\n");
   EXPECT_EQ(v.at("a").as_array().size(), 2u);

@@ -1,0 +1,119 @@
+#include "util/lru.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mecsc::util {
+namespace {
+
+TEST(Lru, FindMissesOnEmpty) {
+  LruCache<int, std::string> c(4);
+  EXPECT_EQ(c.find(1), nullptr);
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(Lru, PutThenFind) {
+  LruCache<int, std::string> c(4);
+  c.put(1, "one");
+  c.put(2, "two");
+  ASSERT_NE(c.find(1), nullptr);
+  EXPECT_EQ(*c.find(1), "one");
+  EXPECT_EQ(*c.find(2), "two");
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(Lru, CapacityZeroNeverStores) {
+  LruCache<int, int> c(0);
+  c.put(1, 10);
+  c.put(2, 20);
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_EQ(c.find(1), nullptr);
+  EXPECT_EQ(c.find(2), nullptr);
+  EXPECT_EQ(c.evictions(), 2u);
+}
+
+TEST(Lru, EvictsLeastRecentlyUsedInOrder) {
+  LruCache<int, int> c(3);
+  c.put(1, 10);
+  c.put(2, 20);
+  c.put(3, 30);
+  c.put(4, 40);  // evicts 1 (oldest)
+  EXPECT_EQ(c.find(1), nullptr);
+  ASSERT_NE(c.find(2), nullptr);
+  c.put(5, 50);  // evicts 3: 2 was refreshed by the find above
+  EXPECT_EQ(c.find(3), nullptr);
+  ASSERT_NE(c.find(2), nullptr);
+  ASSERT_NE(c.find(4), nullptr);
+  ASSERT_NE(c.find(5), nullptr);
+  EXPECT_EQ(c.evictions(), 2u);
+  EXPECT_EQ(c.size(), 3u);
+}
+
+TEST(Lru, FindRefreshesRecency) {
+  LruCache<int, int> c(2);
+  c.put(1, 10);
+  c.put(2, 20);
+  ASSERT_NE(c.find(1), nullptr);  // 1 becomes most recent
+  c.put(3, 30);                   // evicts 2
+  EXPECT_EQ(c.find(2), nullptr);
+  ASSERT_NE(c.find(1), nullptr);
+  ASSERT_NE(c.find(3), nullptr);
+}
+
+TEST(Lru, PutOfExistingKeyUpdatesValueAndRefreshesRecency) {
+  LruCache<int, int> c(2);
+  c.put(1, 10);
+  c.put(2, 20);
+  c.put(1, 11);  // overwrite refreshes 1
+  ASSERT_NE(c.find(1), nullptr);
+  EXPECT_EQ(*c.find(1), 11);
+  EXPECT_EQ(c.size(), 2u);
+  c.put(3, 30);  // evicts 2, not the refreshed 1
+  EXPECT_EQ(c.find(2), nullptr);
+  ASSERT_NE(c.find(1), nullptr);
+}
+
+TEST(Lru, PeekDoesNotRefreshRecency) {
+  LruCache<int, int> c(2);
+  c.put(1, 10);
+  c.put(2, 20);
+  ASSERT_NE(c.peek(1), nullptr);  // 1 stays least recent
+  c.put(3, 30);                   // evicts 1
+  EXPECT_EQ(c.find(1), nullptr);
+  ASSERT_NE(c.find(2), nullptr);
+}
+
+TEST(Lru, EraseRemovesWithoutCountingEviction) {
+  LruCache<int, int> c(2);
+  c.put(1, 10);
+  EXPECT_TRUE(c.erase(1));
+  EXPECT_FALSE(c.erase(1));
+  EXPECT_EQ(c.find(1), nullptr);
+  EXPECT_EQ(c.evictions(), 0u);
+}
+
+TEST(Lru, ClearKeepsEvictionCounter) {
+  LruCache<int, int> c(1);
+  c.put(1, 10);
+  c.put(2, 20);  // evicts 1
+  EXPECT_EQ(c.evictions(), 1u);
+  c.clear();
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_EQ(c.evictions(), 1u);
+  c.put(3, 30);
+  ASSERT_NE(c.find(3), nullptr);
+}
+
+TEST(Lru, PointerStableUntilEviction) {
+  LruCache<int, std::string> c(2);
+  c.put(1, "one");
+  std::string* p = c.find(1);
+  ASSERT_NE(p, nullptr);
+  c.put(2, "two");  // no eviction yet
+  EXPECT_EQ(*p, "one");
+}
+
+}  // namespace
+}  // namespace mecsc::util

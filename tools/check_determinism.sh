@@ -49,6 +49,57 @@ run_once() {
   # The manifest faithfully records the flags, which contain this run's
   # scratch directory; normalize the path so the a/b dirs compare equal.
   sed -i "s|$out|RUNDIR|g" "$out/lcf.manifest.json"
+
+  # Served-response determinism: responses from the solver service for
+  # identical requests must be byte-identical across runs once wall_ keys
+  # are stripped — same contract as the CLI artifacts, over a socket.
+  SERVE="$(dirname "$MECSC")/mecsc_serve"
+  LOADGEN="$(dirname "$MECSC")/mecsc_loadgen"
+  if [ -x "$SERVE" ] && [ -x "$LOADGEN" ]; then
+    # One worker: FIFO processing keeps the response *order* on a
+    # pipelined connection deterministic, not just the payloads.
+    "$SERVE" --tcp-port 0 --threads 1 --port-file "$out/port.txt" \
+        2>/dev/null &
+    serve_pid=$!
+    for _ in $(seq 1 200); do
+      [ -s "$out/port.txt" ] && break
+      sleep 0.05
+    done
+    port="$(cat "$out/port.txt")"
+    rm "$out/port.txt"  # the ephemeral port differs across runs
+
+    # Raw wire capture: pipelined solve requests (each algorithm twice, so
+    # the second hit exercises the result cache) over bash's /dev/tcp.
+    python3 - "$out" <<'EOF'
+import json, sys
+out = sys.argv[1]
+inst = json.load(open(out + "/inst.json"))
+with open(out + "/svc.requests", "w") as f:
+    rid = 0
+    for alg in ("lcf", "appro", "lcf", "appro"):
+        rid += 1
+        f.write(json.dumps({"id": rid, "type": "solve", "algorithm": alg,
+                            "instance": inst}) + "\n")
+EOF
+    exec 3<>"/dev/tcp/127.0.0.1/$port"
+    cat "$out/svc.requests" >&3
+    : > "$out/svc.responses.jsonl"
+    for _ in 1 2 3 4; do
+      IFS= read -r line <&3
+      printf '%s\n' "$line" >> "$out/svc.responses.jsonl"
+    done
+    exec 3>&- 3<&-
+    rm "$out/svc.requests"
+    python3 "$TOOLS_DIR/strip_wallclock.py" "$out/svc.responses.jsonl"
+
+    # Closed-loop load: per-combination result digests land in
+    # BENCH_svc.json; its deterministic sections must match across runs.
+    MECSC_BENCH_JSON_DIR="$out" "$LOADGEN" --connect "tcp:127.0.0.1:$port" \
+        --requests 40 --connections 4 --size 30 --providers 20 \
+        --seed "$SEED" --shutdown-after 1 2>/dev/null
+    python3 "$TOOLS_DIR/strip_wallclock.py" "$out/BENCH_svc.json"
+    wait "$serve_pid"
+  fi
 }
 
 run_once "$DIR/a"

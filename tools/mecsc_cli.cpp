@@ -26,6 +26,7 @@
 #include "core/lcf.h"
 #include "core/pricing.h"
 #include "core/social_optimum.h"
+#include "core/solver_api.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/run_info.h"
@@ -254,49 +255,30 @@ int cmd_generate(const Args& args) {
 
 int cmd_solve(const Args& args) {
   const core::Instance inst = load_instance(args);
-  const std::string algorithm = args.require("--algorithm");
-  const double one_minus_xi = args.number_or("--one-minus-xi", 0.3);
+  core::SolveSpec spec;
+  spec.algorithm = args.require("--algorithm");
+  spec.one_minus_xi = args.number_or("--one-minus-xi", 0.3);
+  if (!core::solver_algorithm_known(spec.algorithm)) {
+    usage("unknown algorithm '" + spec.algorithm + "'");
+  }
 
+  // Same dispatcher as the solver service (src/svc/), so the two surfaces
+  // cannot drift apart on algorithm behavior.
   util::Timer timer;
-  std::optional<core::Assignment> result;
-  if (algorithm == "lcf") {
-    core::LcfOptions options;
-    options.coordinated_fraction = 1.0 - one_minus_xi;
-    result = core::run_lcf(inst, options).assignment;
-  } else if (algorithm == "appro") {
-    result = core::run_appro(inst).assignment;
-  } else if (algorithm == "appro-literal") {
-    core::ApproOptions options;
-    options.congestion_aware = false;
-    result = core::run_appro(inst, options).assignment;
-  } else if (algorithm == "jo") {
-    result = core::run_jo_offload_cache(inst);
-  } else if (algorithm == "offload") {
-    result = core::run_offload_cache(inst);
-  } else if (algorithm == "selfish") {
-    result = core::best_response_dynamics(
-                 core::Assignment(inst),
-                 std::vector<bool>(inst.provider_count(), true))
-                 .assignment;
-  } else if (algorithm == "optimal") {
-    const auto opt = core::solve_social_optimum(inst);
-    if (!opt.proven_optimal) {
-      std::cerr << "warning: node budget hit; placement is the incumbent, "
-                   "not proven optimal\n";
-    }
-    result = opt.assignment;
-  } else {
-    usage("unknown algorithm '" + algorithm + "'");
+  const core::SolveOutcome outcome = core::run_solver(inst, spec);
+  if (!outcome.proven_optimal) {
+    std::cerr << "warning: node budget hit; placement is the incumbent, "
+                 "not proven optimal\n";
   }
   const double ms = timer.elapsed_ms();
   auto& metrics = obs::MetricsRegistry::global();
-  metrics.gauge_set("solve.social_cost", result->social_cost());
-  metrics.gauge_set("solve.potential", result->potential());
-  metrics.gauge_set("solve.one_minus_xi", one_minus_xi);
-  metrics.wall_duration_record("solve." + algorithm + "_ms", ms);
+  metrics.gauge_set("solve.social_cost", outcome.assignment.social_cost());
+  metrics.gauge_set("solve.potential", outcome.assignment.potential());
+  metrics.gauge_set("solve.one_minus_xi", spec.one_minus_xi);
+  metrics.wall_duration_record("solve." + spec.algorithm + "_ms", ms);
 
-  auto doc = core::assignment_to_json(*result);
-  doc.as_object()["algorithm"] = util::JsonValue(algorithm);
+  auto doc = core::assignment_to_json(outcome.assignment);
+  doc.as_object()["algorithm"] = util::JsonValue(spec.algorithm);
   doc.as_object()["wall_elapsed_ms"] = util::JsonValue(ms);
   emit(args.get_or("-o", "-"), doc.dump(2));
   return 0;

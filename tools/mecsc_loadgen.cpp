@@ -1,0 +1,361 @@
+// mecsc_loadgen — closed-loop load generator for mecsc_serve.
+//
+//   mecsc_loadgen --connect tcp:127.0.0.1:7077 --requests 1000
+//                 --connections 4 --algorithms lcf,appro,jo,offload
+//
+// Opens N connections, each driven by one thread that issues the next
+// request as soon as the previous response arrives (closed loop — offered
+// load adapts to service capacity instead of overrunning it). Requests
+// cycle deterministically over algorithm × instance combinations, so
+// repeated runs against a correct server produce the same result payloads;
+// the tool verifies that invariant itself: every response is fully parsed
+// (a malformed line is a hard failure) and every (algorithm, instance)
+// combination must yield one unique result digest across all repetitions.
+//
+// Reports a latency table on stderr and, like the bench binaries, writes
+// BENCH_svc.json (to $MECSC_BENCH_JSON_DIR when set). Deterministic record
+// fields are the per-combination result digests and request counts; all
+// timing goes under "wall_" keys. Exit status is non-zero on any protocol
+// violation, error response, or digest mismatch.
+#include <atomic>
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/instance.h"
+#include "core/io.h"
+#include "obs/run_info.h"
+#include "svc/client.h"
+#include "util/json.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace mecsc;
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr <<
+      R"(mecsc_loadgen — closed-loop load generator for the solver service
+
+usage:
+  mecsc_loadgen --connect ENDPOINT      unix:PATH | tcp:HOST:PORT
+                [--requests N]          total requests (default 1000)
+                [--connections N]       concurrent connections (default 4)
+                [--algorithms CSV]      cycle over these (default
+                                        lcf,appro,jo,offload)
+                [--instances K]         distinct generated instances
+                                        (default 2)
+                [--size N]              instance network size (default 50)
+                [--providers N]         providers per instance (default 40)
+                [--seed S]              instance generator seed (default 1)
+                [--deadline-ms MS]      per-request deadline (default none)
+                [--no-cache VAL]        VAL=1 sends "cache": false
+                [--shutdown-after VAL]  VAL=1 sends a shutdown request once
+                                        the run completes
+                [--expect-cache-hits VAL]  VAL=1 fails unless the server
+                                        reports cache hits > 0 (CI smoke)
+)";
+  std::exit(error.empty() ? 0 : 2);
+}
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string key = argv[i];
+      if (key == "--help" || key == "-h") usage();
+      if (key.rfind("--", 0) != 0) usage("unexpected argument '" + key + "'");
+      if (i + 1 >= argc) usage("flag '" + key + "' needs a value");
+      values_[key] = argv[++i];
+    }
+  }
+
+  std::optional<std::string> get(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::string get_or(const std::string& key, const std::string& dflt) const {
+    return get(key).value_or(dflt);
+  }
+
+  double number_or(const std::string& key, double dflt) const {
+    const auto v = get(key);
+    return v ? std::stod(*v) : dflt;
+  }
+
+  std::string require(const std::string& key) const {
+    const auto v = get(key);
+    if (!v) usage("missing required flag '" + key + "'");
+    return *v;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string item = csv.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// One algorithm × instance cell of the deterministic request cycle.
+struct Combo {
+  std::string algorithm;
+  std::size_t instance_index = 0;
+  std::string label;  ///< "<algorithm>/inst<k>"
+};
+
+/// Shared verification state: first digest seen per combo + error log.
+struct Verifier {
+  std::mutex mutex;
+  std::vector<std::string> combo_digest;  ///< "" until first response
+  std::vector<std::uint64_t> combo_count;
+  std::vector<std::string> failures;
+
+  explicit Verifier(std::size_t combos)
+      : combo_digest(combos), combo_count(combos) {}
+
+  void record(std::size_t combo, const std::string& digest) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    ++combo_count[combo];
+    if (combo_digest[combo].empty()) {
+      combo_digest[combo] = digest;
+    } else if (combo_digest[combo] != digest) {
+      failures.push_back("combo " + std::to_string(combo) +
+                         ": result digest " + digest +
+                         " != first seen " + combo_digest[combo]);
+    }
+  }
+
+  void fail(std::string why) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    failures.push_back(std::move(why));
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  try {
+    const std::string endpoint = args.require("--connect");
+    const std::uint64_t total_requests =
+        static_cast<std::uint64_t>(args.number_or("--requests", 1000));
+    const std::size_t connections =
+        static_cast<std::size_t>(args.number_or("--connections", 4));
+    const std::vector<std::string> algorithms =
+        split_csv(args.get_or("--algorithms", "lcf,appro,jo,offload"));
+    const std::size_t instance_count =
+        static_cast<std::size_t>(args.number_or("--instances", 2));
+    const double deadline_ms = args.number_or("--deadline-ms", -1.0);
+    const bool use_cache = args.get_or("--no-cache", "0") != "1";
+    const bool shutdown_after = args.get_or("--shutdown-after", "0") == "1";
+    const bool expect_cache_hits =
+        args.get_or("--expect-cache-hits", "0") == "1";
+    if (connections == 0) usage("--connections must be >= 1");
+    if (algorithms.empty()) usage("--algorithms must name at least one");
+    if (instance_count == 0) usage("--instances must be >= 1");
+
+    // Deterministically generated instances: same flags, same documents,
+    // same digests — the served-response determinism check leans on this.
+    std::vector<util::JsonValue> instances;
+    instances.reserve(instance_count);
+    for (std::size_t k = 0; k < instance_count; ++k) {
+      util::Rng rng(
+          static_cast<std::uint64_t>(args.number_or("--seed", 1)) + 977 * k);
+      core::InstanceParams params;
+      params.network_size =
+          static_cast<std::size_t>(args.number_or("--size", 50));
+      params.provider_count =
+          static_cast<std::size_t>(args.number_or("--providers", 40));
+      instances.push_back(
+          core::instance_to_json(core::generate_instance(params, rng)));
+    }
+
+    std::vector<Combo> combos;
+    for (const std::string& algorithm : algorithms) {
+      for (std::size_t k = 0; k < instance_count; ++k) {
+        Combo c;
+        c.algorithm = algorithm;
+        c.instance_index = k;
+        c.label = algorithm + "/inst" + std::to_string(k);
+        combos.push_back(std::move(c));
+      }
+    }
+
+    Verifier verifier(combos.size());
+    std::atomic<std::uint64_t> next_request{0};
+    std::atomic<std::uint64_t> ok_responses{0};
+    std::atomic<std::uint64_t> cached_responses{0};
+    std::vector<std::vector<double>> latencies_ms(connections);
+
+    auto worker = [&](std::size_t conn_index) {
+      try {
+        svc::SvcClient client = svc::SvcClient::connect(endpoint);
+        while (true) {
+          const std::uint64_t i = next_request.fetch_add(1);
+          if (i >= total_requests) return;
+          const std::size_t combo_index = i % combos.size();
+          const Combo& combo = combos[combo_index];
+          util::Timer latency;
+          const svc::SvcResponse response = client.solve(
+              instances[combo.instance_index], combo.algorithm,
+              /*id=*/i, /*one_minus_xi=*/0.3, use_cache, deadline_ms);
+          latencies_ms[conn_index].push_back(latency.elapsed_ms());
+          if (!response.ok) {
+            verifier.fail("request " + std::to_string(i) + " (" + combo.label +
+                          "): " + response.error_code + ": " +
+                          response.error_message);
+            continue;
+          }
+          // The solve payload must be present and byte-stable per combo.
+          if (!response.body.contains("result")) {
+            verifier.fail("request " + std::to_string(i) +
+                          ": ok response without a result");
+            continue;
+          }
+          ok_responses.fetch_add(1);
+          if (response.body.at("cached").as_bool()) cached_responses.fetch_add(1);
+          verifier.record(combo_index,
+                          obs::fnv1a64_hex(response.body.at("result").dump()));
+        }
+      } catch (const std::exception& e) {
+        verifier.fail("connection " + std::to_string(conn_index) + ": " +
+                      e.what());
+      }
+    };
+
+    util::Timer run_timer;
+    std::vector<std::thread> threads;
+    threads.reserve(connections);
+    for (std::size_t c = 0; c < connections; ++c)
+      threads.emplace_back(worker, c);
+    for (std::thread& t : threads) t.join();
+    const double run_ms = run_timer.elapsed_ms();
+
+    // One control connection for final server-side counters (and the
+    // optional shutdown).
+    struct ResultCacheNumbers {
+      double hits = 0, misses = 0, coalesced = 0, evictions = 0;
+      double solves = 0;
+    } server_numbers;
+    bool have_server_numbers = false;
+    try {
+      svc::SvcClient control = svc::SvcClient::connect(endpoint);
+      const svc::SvcResponse stats = control.server_stats();
+      if (stats.ok) {
+        const util::JsonValue& cache = stats.body.at("cache");
+        server_numbers.hits = cache.number_at("hits");
+        server_numbers.misses = cache.number_at("misses");
+        server_numbers.coalesced = cache.number_at("coalesced");
+        server_numbers.evictions = cache.number_at("evictions");
+        server_numbers.solves =
+            stats.body.at("server").number_at("solves_executed");
+        have_server_numbers = true;
+      }
+      if (shutdown_after) control.shutdown();
+    } catch (const std::exception& e) {
+      verifier.fail(std::string("control connection: ") + e.what());
+    }
+    if (expect_cache_hits &&
+        (!have_server_numbers || server_numbers.hits <= 0.0)) {
+      verifier.fail("--expect-cache-hits: server reported no cache hits");
+    }
+
+    std::vector<double> all_latencies;
+    for (const auto& per_conn : latencies_ms)
+      all_latencies.insert(all_latencies.end(), per_conn.begin(),
+                           per_conn.end());
+    const util::Summary latency = util::summarize(all_latencies);
+
+    util::Table t({"metric", "value"});
+    t.add_row({std::string("requests"),
+               static_cast<long long>(all_latencies.size())});
+    t.add_row({std::string("connections"),
+               static_cast<long long>(connections)});
+    t.add_row({std::string("ok responses"),
+               static_cast<long long>(ok_responses.load())});
+    t.add_row({std::string("cached responses"),
+               static_cast<long long>(cached_responses.load())});
+    t.add_row({std::string("throughput (req/s)"),
+               all_latencies.empty() ? 0.0
+                                     : 1e3 * static_cast<double>(
+                                                 all_latencies.size()) /
+                                           run_ms});
+    t.add_row({std::string("latency p50 (ms)"), latency.p50});
+    t.add_row({std::string("latency p95 (ms)"), latency.p95});
+    t.add_row({std::string("latency p99 (ms)"), latency.p99});
+    t.add_row({std::string("latency max (ms)"), latency.max});
+    if (have_server_numbers) {
+      t.add_row({std::string("server cache hits"), server_numbers.hits});
+      t.add_row({std::string("server cache misses"), server_numbers.misses});
+      t.add_row({std::string("server coalesced"), server_numbers.coalesced});
+      t.add_row({std::string("server solves"), server_numbers.solves});
+    }
+    std::cerr << t.to_string();
+
+    // BENCH record: digests and counts are deterministic (same flags, same
+    // correct server → same bytes); every timing lives under a wall_ key.
+    bench::BenchRecorder recorder("svc");
+    for (std::size_t c = 0; c < combos.size(); ++c) {
+      util::JsonObject row;
+      row["algorithm"] = util::JsonValue(combos[c].algorithm);
+      row["instance"] = util::JsonValue(combos[c].instance_index);
+      row["result_digest"] = util::JsonValue(verifier.combo_digest[c]);
+      recorder.add(combos[c].label, std::move(row));
+    }
+    {
+      util::JsonObject row;
+      row["requests"] = util::JsonValue(total_requests);
+      row["connections"] = util::JsonValue(connections);
+      row["failures"] = util::JsonValue(verifier.failures.size());
+      recorder.add("summary", std::move(row),
+                   {{"latency_p50", latency.p50},
+                    {"latency_p95", latency.p95},
+                    {"latency_p99", latency.p99},
+                    {"run", run_ms}});
+    }
+    recorder.write_file();
+
+    if (!verifier.failures.empty()) {
+      std::cerr << verifier.failures.size() << " failures:\n";
+      std::size_t shown = 0;
+      for (const std::string& f : verifier.failures) {
+        std::cerr << "  " << f << "\n";
+        if (++shown == 20) {
+          std::cerr << "  ... (" << verifier.failures.size() - shown
+                    << " more)\n";
+          break;
+        }
+      }
+      return 1;
+    }
+    std::cerr << "all " << ok_responses.load()
+              << " responses verified: parseable, ok, digest-stable\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
