@@ -12,11 +12,20 @@
 #   MECSC_CLANG_TIDY run clang-tidy alongside compilation when the tool is
 #                   installed; a missing binary downgrades to a warning so
 #                   local builds on minimal toolchains keep working.
+#   MECSC_THREAD_SAFETY enable Clang Thread Safety Analysis
+#                   (-Wthread-safety -Wthread-safety-beta) against the
+#                   annotated primitives in src/util/sync.h. Requires Clang
+#                   (the `tsa` preset selects clang++); on other compilers
+#                   the option downgrades to a warning because the
+#                   annotation macros expand to nothing there. Under
+#                   MECSC_WERROR every analysis finding is an error.
 
 set(MECSC_SANITIZE "" CACHE STRING
     "Sanitizers to enable: 'address;undefined' or 'thread' (empty = off)")
 option(MECSC_WERROR "Treat compiler warnings as errors" OFF)
 option(MECSC_CLANG_TIDY "Run clang-tidy during the build if available" OFF)
+option(MECSC_THREAD_SAFETY
+       "Enable Clang Thread Safety Analysis warnings (Clang only)" OFF)
 
 add_library(mecsc_build_flags INTERFACE)
 
@@ -50,6 +59,25 @@ if(MECSC_SANITIZE)
   target_compile_options(mecsc_build_flags INTERFACE ${_mecsc_san_flags})
   target_link_options(mecsc_build_flags INTERFACE ${_mecsc_san_flags})
   message(STATUS "mecsc: sanitizers enabled: ${MECSC_SANITIZE}")
+endif()
+
+if(MECSC_THREAD_SAFETY)
+  if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    target_compile_options(mecsc_build_flags INTERFACE
+                           -Wthread-safety -Wthread-safety-beta)
+    if(MECSC_WERROR)
+      # Redundant with the global -Werror above, but explicit so the gate
+      # survives a build that turns blanket -Werror off.
+      target_compile_options(mecsc_build_flags INTERFACE
+                             -Werror=thread-safety -Werror=thread-safety-beta)
+    endif()
+    message(STATUS "mecsc: Clang Thread Safety Analysis enabled")
+  else()
+    message(WARNING
+            "MECSC_THREAD_SAFETY=ON needs Clang; the sync.h annotations "
+            "compile to no-ops on ${CMAKE_CXX_COMPILER_ID}, so nothing is "
+            "checked in this build")
+  endif()
 endif()
 
 if(MECSC_CLANG_TIDY)

@@ -84,7 +84,7 @@ MetricsRegistry::Shard& MetricsRegistry::local_shard() {
 
 void MetricsRegistry::retire(Shard&& shard) {
   if (shard.empty()) return;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (shard.epoch != g_epoch.load(std::memory_order_relaxed)) return;
   retired_.push_back(std::move(shard));
 }
@@ -104,7 +104,7 @@ void MetricsRegistry::wall_duration_record(const std::string& name,
 }
 
 void MetricsRegistry::gauge_set(const std::string& name, double value) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   gauges_[name] = value;
 }
 
@@ -113,7 +113,7 @@ MetricsSnapshot MetricsRegistry::snapshot() {
   std::map<std::string, std::vector<double>> values;
   std::map<std::string, std::vector<double>> wall_ms;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     snap.gauges = gauges_;
     auto merge_shard = [&](const Shard& s) {
       for (const auto& [name, v] : s.counters) snap.counters[name] += v;
@@ -140,7 +140,7 @@ MetricsSnapshot MetricsRegistry::snapshot() {
 }
 
 void MetricsRegistry::reset() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   g_epoch.fetch_add(1, std::memory_order_acq_rel);
   retired_.clear();
   gauges_.clear();

@@ -18,11 +18,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/json.h"
+#include "util/sync.h"
 
 namespace mecsc::obs {
 
@@ -100,9 +100,11 @@ class MetricsRegistry {
   Shard& local_shard();
   void retire(Shard&& shard);
 
-  std::mutex mutex_;
-  std::vector<Shard> retired_;
-  std::map<std::string, double> gauges_;
+  /// Leaf lock: taken only to merge retired shards / touch gauges, never
+  /// while calling out of this class.
+  util::Mutex mutex_;
+  std::vector<Shard> retired_ MECSC_GUARDED_BY(mutex_);
+  std::map<std::string, double> gauges_ MECSC_GUARDED_BY(mutex_);
 };
 
 }  // namespace mecsc::obs

@@ -128,13 +128,13 @@ Profiler::Shard& Profiler::local_shard() {
 
 void Profiler::retire(Shard&& shard) {
   if (shard.empty()) return;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (shard.epoch != g_epoch.load(std::memory_order_relaxed)) return;
   retired_.push_back(std::move(shard));
 }
 
 void Profiler::enable() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   retired_.clear();
   g_start = std::chrono::steady_clock::now();
   g_next_tid.store(0, std::memory_order_relaxed);
@@ -148,7 +148,7 @@ void Profiler::disable() {
 }
 
 void Profiler::reset() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   enabled_.store(false, std::memory_order_release);
   g_epoch.fetch_add(1, std::memory_order_acq_rel);
   retired_.clear();
@@ -199,7 +199,7 @@ void Profiler::end_span() {
 ProfileReport Profiler::report() {
   ProfileReport out;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     auto merge_shard = [&](const Shard& s) {
       merge_nodes(out.roots, s.roots);
       out.events.insert(out.events.end(), s.events.begin(), s.events.end());

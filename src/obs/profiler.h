@@ -44,11 +44,11 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/json.h"
+#include "util/sync.h"
 
 namespace mecsc::obs {
 
@@ -156,8 +156,10 @@ class Profiler {
   void retire(Shard&& shard);
 
   std::atomic<bool> enabled_{false};
-  std::mutex mutex_;
-  std::vector<Shard> retired_;
+  /// Leaf lock: session transitions and shard merges only; the recording
+  /// hot path (begin_span/end_span) never takes it.
+  util::Mutex mutex_;
+  std::vector<Shard> retired_ MECSC_GUARDED_BY(mutex_);
 };
 
 /// RAII phase marker. Does nothing — not even a clock read — when no

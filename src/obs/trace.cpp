@@ -14,7 +14,7 @@ Trace& Trace::global() {
 }
 
 void Trace::open_file(const std::string& path) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   file_.open(path, std::ios::out | std::ios::trunc);
   if (!file_) {
     throw std::runtime_error("cannot open trace output '" + path + "'");
@@ -26,7 +26,7 @@ void Trace::open_file(const std::string& path) {
 }
 
 void Trace::open_stream(std::ostream* out) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   file_.close();
   out_ = out;
   seq_ = 0;
@@ -35,7 +35,7 @@ void Trace::open_stream(std::ostream* out) {
 }
 
 void Trace::close() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   enabled_.store(false, std::memory_order_release);
   if (out_ != nullptr) out_->flush();
   if (file_.is_open()) file_.close();
@@ -47,7 +47,7 @@ void Trace::emit(const TraceEvent& event) {
   // it the whole line — is deterministic.
   util::JsonObject line = event.fields_;
   line["event"] = util::JsonValue(event.name_);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (out_ == nullptr) return;
   line["seq"] = util::JsonValue(seq_++);
   *out_ << util::JsonValue(std::move(line)).dump() << "\n";

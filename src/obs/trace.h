@@ -32,11 +32,11 @@
 #include <atomic>
 #include <cstdint>
 #include <fstream>
-#include <mutex>
 #include <ostream>
 #include <string>
 
 #include "util/json.h"
+#include "util/sync.h"
 
 namespace mecsc::obs {
 
@@ -114,10 +114,12 @@ class Trace {
  private:
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> events_{0};
-  std::mutex mutex_;
-  std::ofstream file_;
-  std::ostream* out_ = nullptr;  // points at file_ or a caller's stream
-  std::uint64_t seq_ = 0;
+  /// Leaf lock serializing sink attach/detach and event writes.
+  util::Mutex mutex_;
+  std::ofstream file_ MECSC_GUARDED_BY(mutex_);
+  /// Points at file_ or a caller's stream.
+  std::ostream* out_ MECSC_GUARDED_BY(mutex_) = nullptr;
+  std::uint64_t seq_ MECSC_GUARDED_BY(mutex_) = 0;
 };
 
 /// Emits an event iff tracing is enabled. The argument (typically

@@ -8,12 +8,12 @@
 // was accepted gets an answer before the workers exit.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "util/sync.h"
 
 namespace mecsc::svc {
 
@@ -26,7 +26,7 @@ class BoundedQueue {
   /// whether the item was accepted.
   bool try_push(T item) {
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const util::MutexLock lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
     }
@@ -37,8 +37,8 @@ class BoundedQueue {
   /// Blocks until an item is available or the queue is closed *and*
   /// drained; nullopt only in the latter case.
   std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    const util::MutexLock lock(mutex_);
+    while (!closed_ && items_.empty()) cv_.wait(mutex_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -49,30 +49,30 @@ class BoundedQueue {
   /// queued remain poppable (drain). Idempotent.
   void close() {
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const util::MutexLock lock(mutex_);
       closed_ = true;
     }
     cv_.notify_all();
   }
 
   std::size_t size() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     return items_.size();
   }
 
   std::size_t capacity() const { return capacity_; }
 
   bool closed() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     return closed_;
   }
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable util::Mutex mutex_;
+  util::CondVar cv_;
+  std::deque<T> items_ MECSC_GUARDED_BY(mutex_);
+  bool closed_ MECSC_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace mecsc::svc

@@ -5,7 +5,7 @@ namespace mecsc::svc {
 ResultCache::ResultCache(std::size_t capacity) : lru_(capacity) {}
 
 std::optional<std::string> ResultCache::get_or_lead(const std::string& key) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   while (true) {
     if (const std::string* resident = lru_.find(key)) {
       ++hits_;
@@ -23,7 +23,7 @@ std::optional<std::string> ResultCache::get_or_lead(const std::string& key) {
     // A leader is computing this key right now: coalesce onto it.
     const std::shared_ptr<InFlight> flight = it->second;
     ++coalesced_;
-    flight->cv.wait(lock, [&] { return flight->done || shutdown_; });
+    while (!flight->done && !shutdown_) flight->cv.wait(mutex_);
     if (flight->done && flight->payload) {
       ++hits_;
       return *flight->payload;
@@ -39,7 +39,7 @@ std::optional<std::string> ResultCache::get_or_lead(const std::string& key) {
 }
 
 void ResultCache::publish(const std::string& key, const std::string& payload) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   lru_.put(key, payload);
   const auto it = in_flight_.find(key);
   if (it == in_flight_.end()) return;  // led after shutdown_wakeup()
@@ -50,7 +50,7 @@ void ResultCache::publish(const std::string& key, const std::string& payload) {
 }
 
 void ResultCache::abandon(const std::string& key) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   const auto it = in_flight_.find(key);
   if (it == in_flight_.end()) return;
   it->second->done = true;
@@ -59,13 +59,13 @@ void ResultCache::abandon(const std::string& key) {
 }
 
 void ResultCache::shutdown_wakeup() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   shutdown_ = true;
   for (auto& [key, flight] : in_flight_) flight->cv.notify_all();
 }
 
 ResultCache::Stats ResultCache::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   Stats s;
   s.hits = hits_;
   s.misses = misses_;

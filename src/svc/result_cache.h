@@ -13,15 +13,14 @@
 // tests/test_svc.cpp pins down with N concurrent identical requests.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 
 #include "util/lru.h"
+#include "util/sync.h"
 
 namespace mecsc::svc {
 
@@ -65,19 +64,24 @@ class ResultCache {
   Stats stats() const;
 
  private:
+  /// One in-flight computation. `done` and `payload` are guarded by the
+  /// owning cache's mutex_ (the analysis cannot express a capability held
+  /// by an enclosing object, so they stay unannotated); `cv` waits on that
+  /// same mutex_.
   struct InFlight {
     bool done = false;
     std::optional<std::string> payload;  ///< set by publish, not abandon
-    std::condition_variable cv;
+    util::CondVar cv;
   };
 
-  mutable std::mutex mutex_;
-  util::LruCache<std::string, std::string> lru_;
-  std::map<std::string, std::shared_ptr<InFlight>> in_flight_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t coalesced_ = 0;
-  bool shutdown_ = false;
+  mutable util::Mutex mutex_;
+  util::LruCache<std::string, std::string> lru_ MECSC_GUARDED_BY(mutex_);
+  std::map<std::string, std::shared_ptr<InFlight>> in_flight_
+      MECSC_GUARDED_BY(mutex_);
+  std::uint64_t hits_ MECSC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t misses_ MECSC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t coalesced_ MECSC_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ MECSC_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace mecsc::svc

@@ -114,7 +114,7 @@ void SolverServer::start() {
         "svc: ServerOptions needs unix_socket_path or tcp_port");
   }
   {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    const util::MutexLock lock(stats_mutex_);
     counters_.queue_capacity = options_.queue_capacity;
   }
   workers_.reserve(options_.threads);
@@ -135,7 +135,7 @@ void SolverServer::acceptor_loop() {
     ConnectionPtr conn = listener_->accept();
     if (!conn) return;  // listener shut down (drain) or fatal error
     {
-      const std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+      const util::MutexLock lock(lifecycle_mutex_);
       if (draining_.load(std::memory_order_acquire)) {
         conn->write_line(error_line(JsonValue(nullptr), "shutting_down",
                                     "server is draining"));
@@ -148,7 +148,7 @@ void SolverServer::acceptor_loop() {
           });
     }
     {
-      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      const util::MutexLock lock(stats_mutex_);
       ++counters_.accepted_connections;
     }
   }
@@ -167,12 +167,12 @@ void SolverServer::session_loop(ConnectionPtr conn) {
     }
     if (line->empty()) continue;  // blank keep-alive lines are harmless
     {
-      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      const util::MutexLock lock(stats_mutex_);
       ++counters_.requests_total;
     }
     if (draining_.load(std::memory_order_acquire)) {
       {
-        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        const util::MutexLock lock(stats_mutex_);
         ++counters_.responses_error;
       }
       conn->write_line(error_line(JsonValue(nullptr), "shutting_down",
@@ -187,7 +187,7 @@ void SolverServer::session_loop(ConnectionPtr conn) {
       // stalling the socket. The id is null because the line was never
       // parsed — closed-loop clients correlate by ordering.
       {
-        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        const util::MutexLock lock(stats_mutex_);
         ++counters_.responses_error;
         ++counters_.overloaded;
       }
@@ -277,7 +277,7 @@ void SolverServer::process(Job job) {
       response = JsonValue(std::move(body)).dump();
       job.conn->write_line(response);
       {
-        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        const util::MutexLock lock(stats_mutex_);
         ++counters_.responses_ok;
       }
       // The response is on the wire before the drain starts, so a
@@ -371,7 +371,7 @@ void SolverServer::process(Job job) {
           }
           payload = JsonValue(std::move(result)).dump();
           {
-            const std::lock_guard<std::mutex> lock(stats_mutex_);
+            const util::MutexLock lock(stats_mutex_);
             ++counters_.solves_executed;
           }
           metrics.counter_add("svc.solves");
@@ -423,7 +423,7 @@ void SolverServer::process(Job job) {
   // its response and immediately asks for stats must see its own request
   // reflected in them.
   {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    const util::MutexLock lock(stats_mutex_);
     if (ok) {
       ++counters_.responses_ok;
     } else {
@@ -451,7 +451,7 @@ void SolverServer::request_shutdown() {
     // Wake blocked session readers so they observe the drain and exit.
     // drain_ready_ gates wait() so it never tries to join a session that
     // this sweep has not woken yet.
-    const std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    const util::MutexLock lock(lifecycle_mutex_);
     for (const std::weak_ptr<Connection>& weak : conns_)
       if (ConnectionPtr conn = weak.lock()) conn->shutdown_read();
     drain_ready_ = true;
@@ -462,15 +462,15 @@ void SolverServer::request_shutdown() {
 
 void SolverServer::wait() {
   {
-    std::unique_lock<std::mutex> lock(lifecycle_mutex_);
-    drain_cv_.wait(lock, [&] { return drain_ready_; });
+    const util::MutexLock lock(lifecycle_mutex_);
+    while (!drain_ready_) drain_cv_.wait(lifecycle_mutex_);
   }
   if (acceptor_thread_.joinable()) acceptor_thread_.join();
   {
     // The acceptor is gone, so session_threads_ is stable now. Sessions
     // exit on EOF/shutdown_read; every request they admitted is drained by
     // the workers below before the pool exits.
-    const std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    const util::MutexLock lock(lifecycle_mutex_);
     for (std::thread& t : session_threads_)
       if (t.joinable()) t.join();
     session_threads_.clear();
@@ -485,7 +485,7 @@ void SolverServer::wait() {
 ServerStats SolverServer::stats() const {
   ServerStats s;
   {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    const util::MutexLock lock(stats_mutex_);
     s = counters_;
   }
   s.queue_depth = queue_.size();

@@ -43,6 +43,7 @@
 #include "svc/bounded_queue.h"
 #include "svc/result_cache.h"
 #include "svc/socket.h"
+#include "util/sync.h"
 #include "util/timer.h"
 
 namespace mecsc::svc {
@@ -136,16 +137,23 @@ class SolverServer {
   ResultCache cache_;
 
   std::atomic<bool> draining_{false};
-  bool drain_ready_ = false;  ///< request_shutdown finished its sweep
-  std::mutex lifecycle_mutex_;          ///< guards conns_ + session_threads_
-  std::vector<std::weak_ptr<Connection>> conns_;
-  std::vector<std::thread> session_threads_;
-  std::thread acceptor_thread_;
-  std::vector<std::thread> workers_;
-  std::condition_variable drain_cv_;
+  /// Connection/session lifecycle lock. Ordering: may be held while taking
+  /// a Connection's internal write lock (write_line on drain notices);
+  /// never held while touching queue_, cache_, or stats_mutex_.
+  util::Mutex lifecycle_mutex_;
+  bool drain_ready_ MECSC_GUARDED_BY(lifecycle_mutex_) = false;
+  std::vector<std::weak_ptr<Connection>> conns_
+      MECSC_GUARDED_BY(lifecycle_mutex_);
+  std::vector<std::thread> session_threads_
+      MECSC_GUARDED_BY(lifecycle_mutex_);
+  std::thread acceptor_thread_;   ///< start()/wait() only (owning thread)
+  std::vector<std::thread> workers_;  ///< start()/wait() only (owning thread)
+  util::CondVar drain_cv_;
 
-  mutable std::mutex stats_mutex_;
-  ServerStats counters_;
+  /// Leaf lock for the counters; never held across a call that blocks or
+  /// takes another lock.
+  mutable util::Mutex stats_mutex_;
+  ServerStats counters_ MECSC_GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace mecsc::svc

@@ -8,9 +8,10 @@
 
 #include <cerrno>
 #include <cstring>
-#include <mutex>
 #include <stdexcept>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace mecsc::svc {
 
@@ -34,7 +35,10 @@ int checked_socket(int domain) {
 
 struct Connection::Impl {
   int fd;
-  std::mutex write_mutex;
+  /// Serializes whole-line writes so worker responses never interleave
+  /// bytes on a pipelining connection. Innermost lock of the hierarchy:
+  /// SolverServer may hold lifecycle_mutex_ while writing a drain notice.
+  util::Mutex write_mutex;
   std::string read_buf;
   std::size_t read_pos = 0;  ///< consumed prefix of read_buf
 };
@@ -83,7 +87,7 @@ std::optional<std::string> Connection::read_line(std::size_t max_len) {
 }
 
 bool Connection::write_line(const std::string& line) {
-  const std::lock_guard<std::mutex> lock(impl_->write_mutex);
+  const util::MutexLock lock(impl_->write_mutex);
   std::string framed = line;
   framed += '\n';
   std::size_t off = 0;

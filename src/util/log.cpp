@@ -2,16 +2,19 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
 #include <utility>
+
+#include "util/sync.h"
 
 namespace mecsc::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
 
-std::mutex g_observer_mutex;
-LogObserver g_observer;  // guarded by g_observer_mutex
+// Read on every emitted line, replaced only when a bridge is (de)installed:
+// a reader/writer lock keeps concurrent log emitters out of each other's way.
+SharedMutex g_observer_mutex;
+LogObserver g_observer MECSC_GUARDED_BY(g_observer_mutex);
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -39,7 +42,7 @@ bool log_enabled(LogLevel level) {
 }
 
 void set_log_observer(LogObserver observer) {
-  const std::lock_guard<std::mutex> lock(g_observer_mutex);
+  const WriterMutexLock lock(g_observer_mutex);
   g_observer = std::move(observer);
 }
 
@@ -48,7 +51,7 @@ void log_line(LogLevel level, const std::string& message) {
   std::cerr << "[" << level_name(level) << "] " << message << "\n";
   LogObserver observer;
   {
-    const std::lock_guard<std::mutex> lock(g_observer_mutex);
+    const ReaderMutexLock lock(g_observer_mutex);
     observer = g_observer;
   }
   if (observer) observer(level, message);

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
+
+#include "util/sync.h"
 
 namespace mecsc::util {
 
@@ -24,8 +25,8 @@ void parallel_for(std::size_t count,
   }
 
   std::atomic<std::size_t> next{0};
-  std::exception_ptr error;
-  std::mutex error_mutex;
+  Mutex error_mutex;
+  std::exception_ptr error;  // guarded by error_mutex until the join below
 
   auto worker = [&] {
     while (true) {
@@ -34,7 +35,7 @@ void parallel_for(std::size_t count,
       try {
         fn(i);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
+        const MutexLock lock(error_mutex);
         if (!error) error = std::current_exception();
       }
     }

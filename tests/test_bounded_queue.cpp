@@ -1,0 +1,123 @@
+// BoundedQueue edge cases around close and destruction: a close() racing
+// many blocked poppers must wake every one of them exactly once, a closed
+// queue must reject producers even with spare capacity, and destroying a
+// queue that still holds items must release them (run under ASan in CI).
+// Suite name starts with "Svc" so the ctest `concurrency` label (and with
+// it the TSan job) picks these up.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "svc/bounded_queue.h"
+
+namespace {
+
+using mecsc::svc::BoundedQueue;
+
+TEST(SvcBoundedQueue, CloseWakesEveryBlockedPopper) {
+  BoundedQueue<int> queue(4);
+  constexpr std::size_t kPoppers = 8;
+
+  std::atomic<std::size_t> entered{0};
+  std::atomic<std::size_t> woke_empty{0};
+  std::vector<std::thread> poppers;
+  poppers.reserve(kPoppers);
+  for (std::size_t i = 0; i < kPoppers; ++i) {
+    poppers.emplace_back([&] {
+      entered.fetch_add(1);
+      if (!queue.pop().has_value()) woke_empty.fetch_add(1);
+    });
+  }
+
+  // Wait until every popper has at least reached pop(); most will be
+  // parked in the condition wait by the time close() fires, and close()
+  // is correct either way — the closed_ flag makes a late pop() return
+  // immediately instead of blocking forever.
+  while (entered.load() < kPoppers) std::this_thread::yield();
+  queue.close();
+  for (auto& t : poppers) t.join();
+
+  // Nothing was ever pushed, so all eight must wake via the close path.
+  EXPECT_EQ(woke_empty.load(), kPoppers);
+}
+
+TEST(SvcBoundedQueue, TryPushAfterCloseRejectedEvenWithSpareCapacity) {
+  BoundedQueue<int> queue(16);
+  ASSERT_TRUE(queue.try_push(1));
+  queue.close();
+  ASSERT_EQ(queue.size(), 1u);  // capacity 16: plenty of room, yet...
+  EXPECT_FALSE(queue.try_push(2));
+  // The item admitted before close() still drains.
+  ASSERT_TRUE(queue.pop().has_value());
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(SvcBoundedQueue, CloseIsIdempotentAcrossThreads) {
+  BoundedQueue<int> queue(2);
+  std::vector<std::thread> closers;
+  closers.reserve(4);
+  for (int i = 0; i < 4; ++i) {
+    closers.emplace_back([&] { queue.close(); });
+  }
+  for (auto& t : closers) t.join();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(SvcBoundedQueue, DestructionWithQueuedItemsReleasesThem) {
+  const auto payload = std::make_shared<int>(42);
+  ASSERT_EQ(payload.use_count(), 1);
+  {
+    BoundedQueue<std::shared_ptr<int>> queue(8);
+    ASSERT_TRUE(queue.try_push(payload));
+    ASSERT_TRUE(queue.try_push(payload));
+    ASSERT_TRUE(queue.try_push(payload));
+    ASSERT_EQ(payload.use_count(), 4);
+    // Queue dies here holding three live copies; ASan flags any leak.
+  }
+  EXPECT_EQ(payload.use_count(), 1);
+}
+
+TEST(SvcBoundedQueue, ConcurrentProducersConsumersDeliverEveryItemOnce) {
+  BoundedQueue<int> queue(3);  // tiny capacity forces real backpressure
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 250;
+
+  std::atomic<long long> popped_sum{0};
+  std::atomic<int> popped_count{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kProducers + kConsumers);
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int value = p * kPerProducer + i;
+        while (!queue.try_push(value)) std::this_thread::yield();
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (auto item = queue.pop()) {
+        popped_sum.fetch_add(*item);
+        popped_count.fetch_add(1);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  queue.close();  // producers done: wake consumers once the drain is empty
+  for (int c = 0; c < kConsumers; ++c) threads[kProducers + c].join();
+
+  const int total = kProducers * kPerProducer;
+  EXPECT_EQ(popped_count.load(), total);
+  const long long expected_sum =
+      static_cast<long long>(total) * (total - 1) / 2;
+  EXPECT_EQ(popped_sum.load(), expected_sum);
+}
+
+}  // namespace

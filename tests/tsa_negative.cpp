@@ -1,0 +1,37 @@
+// Negative fixture for the Clang Thread Safety Analysis gate. NOT part of
+// the test suite (the build glob only picks up test_*.cpp); CI compiles
+// this file with -Wthread-safety -Werror and FAILS the job if it compiles
+// cleanly — that would mean the analysis gate silently stopped checking.
+//
+// The violation: Counter::total_ is GUARDED_BY(mutex_), and unguarded_add()
+// writes it without holding the lock. Expected diagnostic:
+//   warning: writing variable 'total_' requires holding mutex 'mutex_'
+//   exclusively [-Wthread-safety-analysis]
+#include "util/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void add(int v) {
+    const mecsc::util::MutexLock lock(mutex_);
+    total_ += v;
+  }
+
+  void unguarded_add(int v) {
+    total_ += v;  // BUG (deliberate): guarded write without mutex_ held.
+  }
+
+ private:
+  mecsc::util::Mutex mutex_;
+  int total_ MECSC_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.add(1);
+  c.unguarded_add(2);
+  return 0;
+}

@@ -21,7 +21,6 @@
 #include <cstdint>
 #include <iostream>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -33,6 +32,7 @@
 #include "obs/run_info.h"
 #include "svc/client.h"
 #include "util/json.h"
+#include "util/sync.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -128,16 +128,17 @@ struct Combo {
 
 /// Shared verification state: first digest seen per combo + error log.
 struct Verifier {
-  std::mutex mutex;
-  std::vector<std::string> combo_digest;  ///< "" until first response
-  std::vector<std::uint64_t> combo_count;
-  std::vector<std::string> failures;
+  mecsc::util::Mutex mutex;
+  std::vector<std::string> combo_digest
+      MECSC_GUARDED_BY(mutex);  ///< "" until first response
+  std::vector<std::uint64_t> combo_count MECSC_GUARDED_BY(mutex);
+  std::vector<std::string> failures MECSC_GUARDED_BY(mutex);
 
   explicit Verifier(std::size_t combos)
       : combo_digest(combos), combo_count(combos) {}
 
   void record(std::size_t combo, const std::string& digest) {
-    const std::lock_guard<std::mutex> lock(mutex);
+    const mecsc::util::MutexLock lock(mutex);
     ++combo_count[combo];
     if (combo_digest[combo].empty()) {
       combo_digest[combo] = digest;
@@ -149,7 +150,7 @@ struct Verifier {
   }
 
   void fail(std::string why) {
-    const std::lock_guard<std::mutex> lock(mutex);
+    const mecsc::util::MutexLock lock(mutex);
     failures.push_back(std::move(why));
   }
 };
@@ -317,6 +318,9 @@ int main(int argc, char** argv) {
 
     // BENCH record: digests and counts are deterministic (same flags, same
     // correct server → same bytes); every timing lives under a wall_ key.
+    // The workers are joined, so this lock is uncontended — it exists so
+    // the thread-safety analysis can prove the guarded reads below.
+    const mecsc::util::MutexLock verifier_lock(verifier.mutex);
     bench::BenchRecorder recorder("svc");
     for (std::size_t c = 0; c < combos.size(); ++c) {
       util::JsonObject row;
