@@ -19,18 +19,25 @@ namespace {
 /// behavior, and a plausible-looking huge index would silently allocate.
 /// Every rejection names the offending element and the violated bound so
 /// the producer can fix the document without reading this source.
+///
+/// The helpers (and the instance decoders below) are templates over the
+/// document type — instantiated once for the DOM (util::JsonValue) and
+/// once for the arena cursor (util::JsonArena::View) — so the two parse
+/// paths share one body and cannot diverge in validation or messages.
 
 [[noreturn]] void reject(const std::string& where, const std::string& why) {
   throw std::invalid_argument("io: " + where + ": " + why);
 }
 
-double checked_finite(const JsonValue& v, const std::string& where) {
+template <class Doc>
+double checked_finite(const Doc& v, const std::string& where) {
   const double d = v.as_number();
   if (!std::isfinite(d)) reject(where, "must be finite");
   return d;
 }
 
-double checked_nonneg(const JsonValue& v, const std::string& where) {
+template <class Doc>
+double checked_nonneg(const Doc& v, const std::string& where) {
   const double d = checked_finite(v, where);
   if (d < 0.0) {
     reject(where, "is " + util::JsonValue(d).dump() + " but must be >= 0");
@@ -38,7 +45,8 @@ double checked_nonneg(const JsonValue& v, const std::string& where) {
   return d;
 }
 
-double checked_fraction(const JsonValue& v, const std::string& where) {
+template <class Doc>
+double checked_fraction(const Doc& v, const std::string& where) {
   const double d = checked_finite(v, where);
   if (d < 0.0 || d > 1.0) {
     reject(where,
@@ -48,7 +56,8 @@ double checked_fraction(const JsonValue& v, const std::string& where) {
 }
 
 /// Index in [0, bound): integral, non-negative, in range.
-std::size_t checked_index(const JsonValue& v, const std::string& where,
+template <class Doc>
+std::size_t checked_index(const Doc& v, const std::string& where,
                           std::size_t bound, const std::string& bound_name) {
   const double d = checked_finite(v, where);
   if (d < 0.0 || d != std::floor(d)) {
@@ -64,7 +73,8 @@ std::size_t checked_index(const JsonValue& v, const std::string& where,
 }
 
 /// Non-negative integral count (no upper bound).
-std::size_t checked_count(const JsonValue& v, const std::string& where) {
+template <class Doc>
+std::size_t checked_count(const Doc& v, const std::string& where) {
   const double d = checked_finite(v, where);
   if (d < 0.0 || d != std::floor(d)) {
     reject(where,
@@ -86,14 +96,15 @@ JsonValue graph_to_json(const net::Graph& g) {
                               {"edges", JsonValue(std::move(edges))}});
 }
 
-net::Graph graph_from_json(const JsonValue& doc) {
+template <class Doc>
+net::Graph graph_from_any(const Doc& doc) {
   const std::size_t nodes = checked_count(doc.at("nodes"), "topology.nodes");
   if (nodes == 0) reject("topology.nodes", "graph needs at least one node");
   net::Graph g(nodes);
   std::size_t idx = 0;
-  for (const JsonValue& e : doc.at("edges").as_array()) {
+  for (const auto& e : doc.at("edges").as_array()) {
     const std::string where = "topology.edges[" + std::to_string(idx++) + "]";
-    const JsonArray& t = e.as_array();
+    const auto& t = e.as_array();
     if (t.size() != 4) {
       reject(where, "edge tuple has " + std::to_string(t.size()) +
                         " elements but must be [u, v, length, bandwidth]");
@@ -108,13 +119,116 @@ net::Graph graph_from_json(const JsonValue& doc) {
   return g;
 }
 
-CongestionKind congestion_kind_from_name(const std::string& name) {
+CongestionKind congestion_kind_from_name(std::string_view name) {
   for (const auto kind :
        {CongestionKind::Linear, CongestionKind::Quadratic,
         CongestionKind::Exponential, CongestionKind::Harmonic}) {
     if (name == congestion_kind_name(kind)) return kind;
   }
-  throw std::invalid_argument("io: unknown congestion kind '" + name + "'");
+  throw std::invalid_argument("io: unknown congestion kind '" +
+                              std::string(name) + "'");
+}
+
+/// Shared decode body — see the template note on the checked_* helpers.
+template <class Doc>
+Instance instance_from_any(const Doc& doc) {
+  const double version = checked_finite(doc.at("format_version"),
+                                        "format_version");
+  if (static_cast<int>(version) != kIoFormatVersion ||
+      version != std::floor(version)) {
+    reject("format_version",
+           "is " + JsonValue(version).dump() + " but this build reads version " +
+               std::to_string(kIoFormatVersion));
+  }
+  net::Graph topology = graph_from_any(doc.at("topology"));
+  const std::size_t nodes = topology.node_count();
+
+  std::vector<net::Cloudlet> cloudlets;
+  std::size_t idx = 0;
+  for (const auto& c : doc.at("cloudlets").as_array()) {
+    const std::string where = "cloudlets[" + std::to_string(idx++) + "]";
+    net::Cloudlet cl;
+    cl.node = static_cast<net::NodeId>(
+        checked_index(c.at("node"), where + ".node", nodes, "nodes"));
+    cl.compute_capacity = checked_nonneg(c.at("compute"), where + ".compute");
+    cl.bandwidth_capacity =
+        checked_nonneg(c.at("bandwidth"), where + ".bandwidth");
+    cloudlets.push_back(cl);
+  }
+  std::vector<net::DataCenter> dcs;
+  idx = 0;
+  for (const auto& d : doc.at("data_centers").as_array()) {
+    const std::string where = "data_centers[" + std::to_string(idx++) + "]";
+    dcs.push_back(net::DataCenter{
+        static_cast<net::NodeId>(checked_index(d, where, nodes, "nodes"))});
+  }
+  if (cloudlets.empty() || dcs.empty()) {
+    throw std::invalid_argument("io: need at least one cloudlet and DC");
+  }
+
+  Instance inst{net::MecNetwork(std::move(topology), std::move(cloudlets),
+                                std::move(dcs)),
+                {},
+                {}};
+
+  idx = 0;
+  for (const auto& p : doc.at("providers").as_array()) {
+    const std::string where = "providers[" + std::to_string(idx++) + "]";
+    ServiceProvider sp;
+    sp.compute_per_request =
+        checked_nonneg(p.at("compute_per_request"),
+                       where + ".compute_per_request");
+    sp.bandwidth_per_request =
+        checked_nonneg(p.at("bandwidth_per_request"),
+                       where + ".bandwidth_per_request");
+    sp.requests = checked_count(p.at("requests"), where + ".requests");
+    sp.instantiation_cost =
+        checked_nonneg(p.at("instantiation_cost"),
+                       where + ".instantiation_cost");
+    sp.service_data_gb =
+        checked_nonneg(p.at("service_data_gb"), where + ".service_data_gb");
+    sp.update_fraction =
+        checked_fraction(p.at("update_fraction"), where + ".update_fraction");
+    sp.traffic_gb = checked_nonneg(p.at("traffic_gb"), where + ".traffic_gb");
+    sp.home_dc = static_cast<DataCenterId>(
+        checked_index(p.at("home_dc"), where + ".home_dc",
+                      inst.network.data_center_count(), "data centers"));
+    sp.user_region = static_cast<CloudletId>(
+        checked_index(p.at("user_region"), where + ".user_region",
+                      inst.network.cloudlet_count(), "cloudlets"));
+    inst.providers.push_back(sp);
+  }
+
+  const auto& cost = doc.at("cost");
+  idx = 0;
+  for (const auto& a : cost.at("alpha").as_array()) {
+    inst.cost.alpha.push_back(
+        checked_nonneg(a, "cost.alpha[" + std::to_string(idx++) + "]"));
+  }
+  idx = 0;
+  for (const auto& b : cost.at("beta").as_array()) {
+    inst.cost.beta.push_back(
+        checked_nonneg(b, "cost.beta[" + std::to_string(idx++) + "]"));
+  }
+  if (inst.cost.alpha.size() != inst.network.cloudlet_count() ||
+      inst.cost.beta.size() != inst.network.cloudlet_count()) {
+    reject("cost",
+           "alpha has " + std::to_string(inst.cost.alpha.size()) +
+               " and beta " + std::to_string(inst.cost.beta.size()) +
+               " entries but the instance has " +
+               std::to_string(inst.network.cloudlet_count()) + " cloudlets");
+  }
+  inst.cost.transfer_price_per_gb = checked_nonneg(
+      cost.at("transfer_price_per_gb"), "cost.transfer_price_per_gb");
+  inst.cost.processing_price_per_gb = checked_nonneg(
+      cost.at("processing_price_per_gb"), "cost.processing_price_per_gb");
+  inst.cost.vm_boot_cost =
+      checked_nonneg(cost.at("vm_boot_cost"), "cost.vm_boot_cost");
+  inst.cost.remote_hop_penalty = checked_nonneg(
+      cost.at("remote_hop_penalty"), "cost.remote_hop_penalty");
+  inst.cost.congestion =
+      congestion_kind_from_name(cost.string_at("congestion"));
+  return inst;
 }
 
 }  // namespace
@@ -171,103 +285,16 @@ JsonValue instance_to_json(const Instance& inst) {
 }
 
 Instance instance_from_json(const JsonValue& doc) {
-  const double version = checked_finite(doc.at("format_version"),
-                                        "format_version");
-  if (static_cast<int>(version) != kIoFormatVersion ||
-      version != std::floor(version)) {
-    reject("format_version",
-           "is " + JsonValue(version).dump() + " but this build reads version " +
-               std::to_string(kIoFormatVersion));
-  }
-  net::Graph topology = graph_from_json(doc.at("topology"));
-  const std::size_t nodes = topology.node_count();
+  return instance_from_any(doc);
+}
 
-  std::vector<net::Cloudlet> cloudlets;
-  std::size_t idx = 0;
-  for (const JsonValue& c : doc.at("cloudlets").as_array()) {
-    const std::string where = "cloudlets[" + std::to_string(idx++) + "]";
-    net::Cloudlet cl;
-    cl.node = static_cast<net::NodeId>(
-        checked_index(c.at("node"), where + ".node", nodes, "nodes"));
-    cl.compute_capacity = checked_nonneg(c.at("compute"), where + ".compute");
-    cl.bandwidth_capacity =
-        checked_nonneg(c.at("bandwidth"), where + ".bandwidth");
-    cloudlets.push_back(cl);
-  }
-  std::vector<net::DataCenter> dcs;
-  idx = 0;
-  for (const JsonValue& d : doc.at("data_centers").as_array()) {
-    const std::string where = "data_centers[" + std::to_string(idx++) + "]";
-    dcs.push_back(net::DataCenter{
-        static_cast<net::NodeId>(checked_index(d, where, nodes, "nodes"))});
-  }
-  if (cloudlets.empty() || dcs.empty()) {
-    throw std::invalid_argument("io: need at least one cloudlet and DC");
-  }
+Instance instance_from_arena(const util::JsonArena::View& doc) {
+  return instance_from_any(doc);
+}
 
-  Instance inst{net::MecNetwork(std::move(topology), std::move(cloudlets),
-                                std::move(dcs)),
-                {},
-                {}};
-
-  idx = 0;
-  for (const JsonValue& p : doc.at("providers").as_array()) {
-    const std::string where = "providers[" + std::to_string(idx++) + "]";
-    ServiceProvider sp;
-    sp.compute_per_request =
-        checked_nonneg(p.at("compute_per_request"),
-                       where + ".compute_per_request");
-    sp.bandwidth_per_request =
-        checked_nonneg(p.at("bandwidth_per_request"),
-                       where + ".bandwidth_per_request");
-    sp.requests = checked_count(p.at("requests"), where + ".requests");
-    sp.instantiation_cost =
-        checked_nonneg(p.at("instantiation_cost"),
-                       where + ".instantiation_cost");
-    sp.service_data_gb =
-        checked_nonneg(p.at("service_data_gb"), where + ".service_data_gb");
-    sp.update_fraction =
-        checked_fraction(p.at("update_fraction"), where + ".update_fraction");
-    sp.traffic_gb = checked_nonneg(p.at("traffic_gb"), where + ".traffic_gb");
-    sp.home_dc = static_cast<DataCenterId>(
-        checked_index(p.at("home_dc"), where + ".home_dc",
-                      inst.network.data_center_count(), "data centers"));
-    sp.user_region = static_cast<CloudletId>(
-        checked_index(p.at("user_region"), where + ".user_region",
-                      inst.network.cloudlet_count(), "cloudlets"));
-    inst.providers.push_back(sp);
-  }
-
-  const JsonValue& cost = doc.at("cost");
-  idx = 0;
-  for (const JsonValue& a : cost.at("alpha").as_array()) {
-    inst.cost.alpha.push_back(
-        checked_nonneg(a, "cost.alpha[" + std::to_string(idx++) + "]"));
-  }
-  idx = 0;
-  for (const JsonValue& b : cost.at("beta").as_array()) {
-    inst.cost.beta.push_back(
-        checked_nonneg(b, "cost.beta[" + std::to_string(idx++) + "]"));
-  }
-  if (inst.cost.alpha.size() != inst.network.cloudlet_count() ||
-      inst.cost.beta.size() != inst.network.cloudlet_count()) {
-    reject("cost",
-           "alpha has " + std::to_string(inst.cost.alpha.size()) +
-               " and beta " + std::to_string(inst.cost.beta.size()) +
-               " entries but the instance has " +
-               std::to_string(inst.network.cloudlet_count()) + " cloudlets");
-  }
-  inst.cost.transfer_price_per_gb = checked_nonneg(
-      cost.at("transfer_price_per_gb"), "cost.transfer_price_per_gb");
-  inst.cost.processing_price_per_gb = checked_nonneg(
-      cost.at("processing_price_per_gb"), "cost.processing_price_per_gb");
-  inst.cost.vm_boot_cost =
-      checked_nonneg(cost.at("vm_boot_cost"), "cost.vm_boot_cost");
-  inst.cost.remote_hop_penalty = checked_nonneg(
-      cost.at("remote_hop_penalty"), "cost.remote_hop_penalty");
-  inst.cost.congestion =
-      congestion_kind_from_name(cost.string_at("congestion"));
-  return inst;
+Instance instance_from_json_text(std::string_view text) {
+  const util::JsonArena arena = util::parse_json_arena(text);
+  return instance_from_any(arena.root());
 }
 
 JsonValue assignment_to_json(const Assignment& a) {

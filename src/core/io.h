@@ -9,10 +9,12 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "core/assignment.h"
 #include "core/instance.h"
 #include "util/json.h"
+#include "util/json_arena.h"
 
 namespace mecsc::core {
 
@@ -27,6 +29,17 @@ util::JsonValue instance_to_json(const Instance& inst);
 /// std::invalid_argument on semantically invalid ones (bad ids, negative
 /// capacities, unknown congestion kind, version mismatch).
 Instance instance_from_json(const util::JsonValue& doc);
+
+/// Arena-path equivalent of instance_from_json. Both decoders are one
+/// template instantiated for the two document types, so validation rules
+/// and error messages are identical by construction.
+Instance instance_from_arena(const util::JsonArena::View& doc);
+
+/// Bytes → Instance through the arena hot path: no DOM is materialized.
+/// Throws util::JsonError on malformed JSON (same offsets/messages as
+/// parse_json) and std::invalid_argument on semantically invalid documents
+/// (same messages as instance_from_json).
+Instance instance_from_json_text(std::string_view text);
 
 /// Serializes a strategy profile together with its cost summary.
 util::JsonValue assignment_to_json(const Assignment& a);

@@ -11,7 +11,9 @@
 #include "obs/profiler.h"
 #include "obs/run_info.h"
 #include "util/json.h"
+#include "util/json_arena.h"
 #include "util/rng.h"
+#include "util/timer.h"
 
 namespace mecsc::svc {
 namespace {
@@ -42,23 +44,97 @@ JsonObject ok_envelope(const JsonValue& id, const std::string& type) {
   return response;
 }
 
-double require_number(const JsonValue& request, const std::string& key,
+/// Optional typed fields with defaults, shared by both parse paths (one
+/// template over the document type, so the error strings cannot drift).
+template <class Doc>
+double require_number(const Doc& request, const std::string& key,
                       double fallback) {
   if (!request.contains(key)) return fallback;
-  const JsonValue& v = request.at(key);
+  const auto& v = request.at(key);
   if (!v.is_number())
     throw std::invalid_argument("field \"" + key + "\" must be a number");
   return v.as_number();
 }
 
-bool require_bool(const JsonValue& request, const std::string& key,
-                  bool fallback) {
+template <class Doc>
+bool require_bool(const Doc& request, const std::string& key, bool fallback) {
   if (!request.contains(key)) return fallback;
-  const JsonValue& v = request.at(key);
+  const auto& v = request.at(key);
   if (!v.is_bool())
     throw std::invalid_argument("field \"" + key + "\" must be a boolean");
   return v.as_bool();
 }
+
+/// One parsed request line through either parse path. Protocol handling in
+/// process() is written once against this adapter; only these leaf
+/// accessors dispatch on the mode. Arena mode is the hot path — the line
+/// lands in two contiguous buffers, strings decode in situ, and the
+/// instance subtree decodes straight to core::Instance with no DOM. DOM
+/// mode is the reference implementation the parity gate compares against
+/// (tests/test_svc_parser_parity.cpp, mecsc_serve --parser dom).
+class RequestDoc {
+ public:
+  RequestDoc() = default;
+
+  static RequestDoc parse(const std::string& line, bool use_arena) {
+    RequestDoc doc;
+    if (use_arena) {
+      doc.arena_ = util::parse_json_arena(line);
+    } else {
+      doc.dom_ = util::parse_json(line);
+    }
+    return doc;
+  }
+
+  bool is_object() const {
+    return arena() ? arena_.root().is_object() : dom_.is_object();
+  }
+  bool contains(const std::string& key) const {
+    return arena() ? arena_.root().contains(key) : dom_.contains(key);
+  }
+  /// Request id as a DOM value for the response envelope (ids are tiny).
+  JsonValue id() const {
+    return arena() ? arena_.root().at("id").to_json_value() : dom_.at("id");
+  }
+  std::string type() const {
+    return arena() ? std::string(arena_.root().at("type").as_string())
+                   : dom_.at("type").as_string();
+  }
+  double number_field(const std::string& key, double fallback) const {
+    return arena() ? require_number(arena_.root(), key, fallback)
+                   : require_number(dom_, key, fallback);
+  }
+  bool bool_field(const std::string& key, bool fallback) const {
+    return arena() ? require_bool(arena_.root(), key, fallback)
+                   : require_bool(dom_, key, fallback);
+  }
+  /// Only call when contains("instance").
+  bool instance_is_object() const {
+    return arena() ? arena_.root().at("instance").is_object()
+                   : dom_.at("instance").is_object();
+  }
+  /// Canonical dump of the "instance" subtree — the cache-digest input.
+  /// Byte-identical across modes (the parity contract in json_arena.h),
+  /// so a cache populated under one parser serves hits under the other.
+  std::string instance_canonical() const {
+    return arena() ? arena_.root().at("instance").dump()
+                   : dom_.at("instance").dump();
+  }
+  core::Instance decode_instance() const {
+    return arena() ? core::instance_from_arena(arena_.root().at("instance"))
+                   : core::instance_from_json(dom_.at("instance"));
+  }
+  core::SolveSpec solve_spec() const {
+    return arena() ? core::solve_spec_from_arena(arena_.root())
+                   : core::solve_spec_from_json(dom_);
+  }
+
+ private:
+  bool arena() const { return !arena_.empty(); }
+
+  JsonValue dom_;
+  util::JsonArena arena_;
+};
 
 /// Deadline carried by one request. A request-supplied deadline_ms of 0 is
 /// already expired on arrival — the deterministic way to exercise the
@@ -72,10 +148,10 @@ struct Deadline {
   }
 };
 
-Deadline deadline_of(const JsonValue& request, double default_deadline_ms) {
+Deadline deadline_of(const RequestDoc& request, double default_deadline_ms) {
   Deadline d;
   if (request.contains("deadline_ms")) {
-    const double ms = require_number(request, "deadline_ms", 0.0);
+    const double ms = request.number_field("deadline_ms", 0.0);
     if (ms < 0.0)
       throw std::invalid_argument("field \"deadline_ms\" must be >= 0");
     d.enabled = true;
@@ -218,21 +294,26 @@ void SolverServer::process(Job job) {
   bool ok = false;
   bool was_deadline = false;
   try {
-    JsonValue request;
+    RequestDoc request;
     {
       MECSC_PROFILE_SCOPE("svc.parse");
+      const util::Timer parse_timer;
       try {
-        request = util::parse_json(job.line);
+        request = RequestDoc::parse(job.line, options_.use_arena_parser);
       } catch (const util::JsonError& e) {
         throw std::runtime_error(std::string("parse_error: ") + e.what());
       }
+      metrics.wall_duration_record("wall_svc_parse_ms",
+                                   parse_timer.elapsed_ms());
+      metrics.counter_add("svc.parse_bytes",
+                          static_cast<std::int64_t>(job.line.size()));
     }
     if (!request.is_object())
       throw std::invalid_argument("request must be a JSON object");
-    if (request.contains("id")) id = request.at("id");
+    if (request.contains("id")) id = request.id();
     if (!request.contains("type"))
       throw std::invalid_argument("request needs a \"type\" field");
-    const std::string& type = request.at("type").as_string();
+    const std::string type = request.type();
     const Deadline deadline =
         deadline_of(request, options_.default_deadline_ms);
 
@@ -289,35 +370,29 @@ void SolverServer::process(Job job) {
         was_deadline = true;
         throw std::runtime_error("deadline expired while queued");
       }
-      if (!request.contains("instance") || !request.at("instance").is_object())
+      if (!request.contains("instance") || !request.instance_is_object())
         throw std::invalid_argument(
             "request needs an \"instance\" object (core/io.h document)");
-      const std::string instance_bytes = request.at("instance").dump();
-      const bool use_cache = require_bool(request, "cache", true);
+      const std::string instance_bytes = request.instance_canonical();
+      const bool use_cache = request.bool_field("cache", true);
 
       std::string task_key;
       core::SolveSpec spec;
       core::PoaOptions poa_options;
       std::uint64_t poa_seed = 0;
       if (type == "solve") {
-        if (request.contains("algorithm"))
-          spec.algorithm = request.at("algorithm").as_string();
-        spec.one_minus_xi =
-            require_number(request, "one_minus_xi", spec.one_minus_xi);
-        if (!core::solver_algorithm_known(spec.algorithm))
-          throw std::invalid_argument("unknown algorithm \"" + spec.algorithm +
-                                      "\"");
+        spec = request.solve_spec();
         task_key = spec.cache_key();
       } else {
         poa_options.coordinated_fraction =
-            require_number(request, "coordinated_fraction", 0.0);
-        const double restarts = require_number(request, "restarts", 30.0);
+            request.number_field("coordinated_fraction", 0.0);
+        const double restarts = request.number_field("restarts", 30.0);
         if (restarts < 1.0 || restarts != static_cast<double>(
                                               static_cast<std::size_t>(restarts)))
           throw std::invalid_argument(
               "field \"restarts\" must be a positive integer");
         poa_options.restarts = static_cast<std::size_t>(restarts);
-        const double seed = require_number(request, "seed", 1.0);
+        const double seed = request.number_field("seed", 1.0);
         if (seed < 0.0)
           throw std::invalid_argument("field \"seed\" must be >= 0");
         poa_seed = static_cast<std::uint64_t>(seed);
@@ -342,8 +417,17 @@ void SolverServer::process(Job job) {
       if (!payload) {
         bool published = false;
         try {
-          const core::Instance inst =
-              core::instance_from_json(util::parse_json(instance_bytes));
+          const core::Instance inst = [&] {
+            // Arena mode decodes the request subtree straight to an
+            // Instance; DOM mode decodes the already-parsed subtree. No
+            // re-parse of instance_bytes on either path.
+            MECSC_PROFILE_SCOPE("svc.decode_instance");
+            const util::Timer decode_timer;
+            core::Instance decoded = request.decode_instance();
+            metrics.wall_duration_record("wall_svc_decode_instance_ms",
+                                         decode_timer.elapsed_ms());
+            return decoded;
+          }();
           JsonObject result;
           if (type == "solve") {
             const core::SolveOutcome outcome = [&] {
@@ -390,12 +474,23 @@ void SolverServer::process(Job job) {
         was_deadline = true;
         throw std::runtime_error("deadline expired during solve");
       }
+      // Result payloads are deterministic bytes (the cache stores them),
+      // so this counter is too; the envelope is not counted because its
+      // wall_* values vary in digit length run to run.
+      metrics.counter_add("svc.serialize_bytes",
+                          static_cast<std::int64_t>(payload->size()));
       JsonObject body = ok_envelope(id, type);
       body["cached"] = JsonValue(cached);
       body["result"] = util::parse_json(*payload);
       body["wall_queue_ms"] = JsonValue(queue_wait_ms);
       body["wall_service_ms"] = JsonValue(job.admitted.elapsed_ms());
-      response = JsonValue(std::move(body)).dump();
+      {
+        MECSC_PROFILE_SCOPE("svc.serialize_response");
+        const util::Timer serialize_timer;
+        response = JsonValue(std::move(body)).dump();
+        metrics.wall_duration_record("wall_svc_serialize_ms",
+                                     serialize_timer.elapsed_ms());
+      }
       ok = true;
     } else {
       throw std::invalid_argument("unknown request type \"" + type + "\"");

@@ -69,6 +69,14 @@ struct ServerOptions {
   /// Applied when a request carries no deadline_ms; <= 0 means none.
   double default_deadline_ms = 0.0;
 
+  /// Request parse path: true (default) decodes through the arena parser
+  /// (util/json_arena.h, the zero-DOM hot path); false uses the DOM
+  /// reference parser. Responses are byte-identical either way — the
+  /// parity contract in json_arena.h — so the switch exists for
+  /// differential testing and as an operational escape hatch
+  /// (mecsc_serve --parser dom).
+  bool use_arena_parser = true;
+
   /// Test-only hook, run by a worker after dequeue and before processing;
   /// lets tests hold a worker deterministically (backpressure, drain).
   std::function<void()> test_hook_before_request;

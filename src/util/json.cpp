@@ -3,7 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
-#include <sstream>
+#include <utility>
 
 namespace mecsc::util {
 
@@ -64,108 +64,109 @@ bool JsonValue::contains(const std::string& key) const {
 // Serialization
 // ---------------------------------------------------------------------------
 
-namespace {
-
-void escape_to(std::ostringstream& os, const std::string& s) {
-  os << '"';
+void json_append_escaped(std::string& out, std::string_view s) {
+  out += '"';
   for (const char ch : s) {
     switch (ch) {
       case '"':
-        os << "\\\"";
+        out += "\\\"";
         break;
       case '\\':
-        os << "\\\\";
+        out += "\\\\";
         break;
       case '\n':
-        os << "\\n";
+        out += "\\n";
         break;
       case '\r':
-        os << "\\r";
+        out += "\\r";
         break;
       case '\t':
-        os << "\\t";
+        out += "\\t";
         break;
       case '\b':
-        os << "\\b";
+        out += "\\b";
         break;
       case '\f':
-        os << "\\f";
+        out += "\\f";
         break;
       default:
         if (static_cast<unsigned char>(ch) < 0x20) {
           char buf[8];
           std::snprintf(buf, sizeof buf, "\\u%04x", ch);
-          os << buf;
+          out += buf;
         } else {
-          os << ch;
+          out += ch;
         }
     }
   }
-  os << '"';
+  out += '"';
 }
 
-void number_to(std::ostringstream& os, double d) {
+void json_append_number(std::string& out, double d) {
   if (!std::isfinite(d)) throw JsonError("json: non-finite number");
+  char buf[32];
   // Integers are emitted without a fractional part for readability.
   if (d == std::floor(d) && std::abs(d) < 1e15) {
-    os << static_cast<long long>(d);
-    return;
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(d));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", d);
   }
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.17g", d);
-  os << buf;
+  out += buf;
 }
 
+namespace {
+
 struct Dumper {
-  std::ostringstream os;
+  std::string os;
   int indent;
 
   void newline(int depth) {
     if (indent <= 0) return;
-    os << '\n' << std::string(static_cast<std::size_t>(indent * depth), ' ');
+    os += '\n';
+    os.append(static_cast<std::size_t>(indent * depth), ' ');
   }
 
   void dump(const JsonValue& v, int depth) {
     if (v.is_null()) {
-      os << "null";
+      os += "null";
     } else if (v.is_bool()) {
-      os << (v.as_bool() ? "true" : "false");
+      os += v.as_bool() ? "true" : "false";
     } else if (v.is_number()) {
-      number_to(os, v.as_number());
+      json_append_number(os, v.as_number());
     } else if (v.is_string()) {
-      escape_to(os, v.as_string());
+      json_append_escaped(os, v.as_string());
     } else if (v.is_array()) {
       const JsonArray& a = v.as_array();
       if (a.empty()) {
-        os << "[]";
+        os += "[]";
         return;
       }
-      os << '[';
+      os += '[';
       for (std::size_t i = 0; i < a.size(); ++i) {
-        if (i > 0) os << (indent > 0 ? "," : ",");
+        if (i > 0) os += ',';
         newline(depth + 1);
         dump(a[i], depth + 1);
       }
       newline(depth);
-      os << ']';
+      os += ']';
     } else {
       const JsonObject& o = v.as_object();
       if (o.empty()) {
-        os << "{}";
+        os += "{}";
         return;
       }
-      os << '{';
+      os += '{';
       bool first = true;
       for (const auto& [key, val] : o) {
-        if (!first) os << ',';
+        if (!first) os += ',';
         first = false;
         newline(depth + 1);
-        escape_to(os, key);
-        os << (indent > 0 ? ": " : ":");
+        json_append_escaped(os, key);
+        os += indent > 0 ? ": " : ":";
         dump(val, depth + 1);
       }
       newline(depth);
-      os << '}';
+      os += '}';
     }
   }
 };
@@ -176,7 +177,7 @@ std::string JsonValue::dump(int indent) const {
   Dumper d;
   d.indent = indent;
   d.dump(*this, 0);
-  return d.os.str();
+  return std::move(d.os);
 }
 
 // ---------------------------------------------------------------------------

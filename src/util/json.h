@@ -12,6 +12,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
@@ -115,5 +116,16 @@ struct JsonParseLimits {
 /// '.', no 'inf'/'nan', and a finite double value.
 JsonValue parse_json(const std::string& text,
                      const JsonParseLimits& limits = {});
+
+/// Canonical string escaping shared by every JSON serializer in the tree
+/// (JsonValue::dump and the arena dump in util/json_arena.h must emit
+/// byte-identical output — the service's digest-keyed cache depends on
+/// it). Appends the quoted, escaped spelling of `s` to `out`.
+void json_append_escaped(std::string& out, std::string_view s);
+
+/// Canonical number formatting for the same contract: integral values
+/// below 1e15 print without a fractional part, everything else as %.17g
+/// (round-trips doubles exactly). Throws JsonError on non-finite input.
+void json_append_number(std::string& out, double d);
 
 }  // namespace mecsc::util

@@ -1,0 +1,246 @@
+// Arena-backed, in-situ JSON parse path — the serving hot path's parser.
+//
+// parse_json (util/json.h) builds a generic DOM: one heap allocation per
+// node (std::map members, std::string copies). That is the right reference
+// semantics for files and tests, but the solver service decodes a request
+// per line at the highest frequency of any code in the system, and the DOM
+// allocations dominate the decode profile. This header is the second parse
+// path: the whole document lands in two contiguous buffers —
+//
+//   scratch_  one mutable copy of the input bytes; string tokens are
+//             escape-decoded *in place* (decoded text is never longer than
+//             its raw spelling), so string values are views into this
+//             buffer and never allocate;
+//   nodes_    a flat array of fixed-size nodes in document order, sized
+//             up front from a structural pre-scan so it never reallocates
+//             mid-parse. Containers link their children cjson-style: the
+//             parent holds the first-child index, each child the index of
+//             its next sibling (indices, not pointers, so the arena can
+//             move wholesale).
+//
+// Parsing is iterative (an explicit open-container stack), so adversarial
+// nesting cannot exhaust the call stack; JsonParseLimits::max_depth is
+// still enforced for *parity*, not safety.
+//
+// Parity contract with the DOM path (tested by the shared corpora in
+// tests/test_json.cpp and the differential suite in
+// tests/test_json_arena.cpp; documented in DESIGN.md):
+//   - identical accept/reject decisions on every input;
+//   - identical JsonError messages and byte offsets, including the strict
+//     RFC 8259 number grammar, the depth limit, and the number-length cap;
+//   - canonical re-serialization (dump()) is byte-identical with the
+//     JsonValue dump of the same document: members sorted by key, last
+//     duplicate wins, same escape and number formatting. The service's
+//     digest-keyed result cache relies on this — both parse paths must
+//     produce the same cache key for the same instance bytes.
+//
+// Lifetime/ownership rules: a JsonArena owns its buffers; View cursors and
+// the string_views they return borrow from it and are invalidated by
+// destroying or moving the arena. Keep the arena alive for as long as any
+// cursor or decoded string_view is in flight (in the service: the scope of
+// one request).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.h"
+
+namespace mecsc::util {
+
+/// One parsed value. Fixed-size POD; strings are (offset, length) spans of
+/// the arena's scratch buffer, containers are (first child, count) with
+/// sibling links threading the flat node array.
+struct JsonArenaNode {
+  enum class Type : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Type type = Type::Null;
+  bool boolean = false;
+  /// Object-member name (span of scratch_); key_off == kNoKey for array
+  /// elements and the root.
+  std::uint32_t key_off = kNoKey;
+  std::uint32_t key_len = 0;
+  /// Index of the next sibling; 0 means none (node 0 is the root, which
+  /// can never be anyone's sibling).
+  std::uint32_t next = 0;
+  union {
+    double number;
+    struct {
+      std::uint32_t off;
+      std::uint32_t len;
+    } str;
+    struct {
+      std::uint32_t first;  ///< first child index (valid when count > 0)
+      std::uint32_t count;  ///< direct children
+    } cont;
+  };
+
+  static constexpr std::uint32_t kNoKey = 0xFFFFFFFFu;
+
+  JsonArenaNode() : number(0.0) {}
+};
+
+/// A parsed document: two contiguous buffers plus cursor accessors.
+class JsonArena {
+ public:
+  class View;
+
+  JsonArena() = default;
+  JsonArena(JsonArena&&) = default;
+  JsonArena& operator=(JsonArena&&) = default;
+  JsonArena(const JsonArena&) = delete;
+  JsonArena& operator=(const JsonArena&) = delete;
+
+  /// True until parse_json_arena has populated this arena.
+  bool empty() const { return nodes_.empty(); }
+
+  /// Cursor onto the document root. Throws JsonError on an empty arena.
+  View root() const;
+
+  /// Total parsed values (root included) — the arena analogue of a DOM
+  /// node count, used by bench_json to sanity-check coverage.
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// Bytes of the in-situ scratch buffer (== input size).
+  std::size_t scratch_bytes() const { return scratch_.size(); }
+
+  /// Canonical serialization of the whole document: members sorted by key
+  /// (last duplicate wins), identical bytes to JsonValue::dump() of the
+  /// same input. `indent` > 0 pretty-prints exactly like the DOM dumper.
+  std::string dump(int indent = 0) const;
+
+ private:
+  friend class View;
+  friend JsonArena parse_json_arena(std::string_view text,
+                                    const JsonParseLimits& limits);
+
+  std::string scratch_;              ///< input copy, strings decoded in situ
+  std::vector<JsonArenaNode> nodes_; ///< document-order value array
+};
+
+/// Lightweight cursor over one arena value: {arena pointer, node index}.
+/// Copyable; borrows the arena (see lifetime rules above). Accessors throw
+/// JsonError with the same messages as the JsonValue accessors, so decoding
+/// code templated over both document types reports identical errors.
+class JsonArena::View {
+ public:
+  View() = default;
+
+  bool is_null() const { return node().type == JsonArenaNode::Type::Null; }
+  bool is_bool() const { return node().type == JsonArenaNode::Type::Bool; }
+  bool is_number() const { return node().type == JsonArenaNode::Type::Number; }
+  bool is_string() const { return node().type == JsonArenaNode::Type::String; }
+  bool is_array() const { return node().type == JsonArenaNode::Type::Array; }
+  bool is_object() const { return node().type == JsonArenaNode::Type::Object; }
+
+  bool as_bool() const;
+  double as_number() const;
+  /// View into the arena scratch buffer — zero-copy, arena-lifetime.
+  std::string_view as_string() const;
+
+  /// Forward range over a container's children (Views; objects expose the
+  /// member name via View::key()). Satisfies the same range-for shape as
+  /// JsonArray/JsonObject so decoders can be templated over both.
+  class ChildRange;
+  ChildRange as_array() const;   ///< throws unless is_array()
+  ChildRange as_object() const;  ///< throws unless is_object()
+
+  /// Direct children of a container (0 for scalars).
+  std::size_t size() const;
+
+  /// Object member lookup. Duplicate keys resolve to the *last* occurrence
+  /// — the same value std::map assignment keeps on the DOM path. Throws
+  /// JsonError "json: missing key 'k'" when absent or not an object.
+  View at(std::string_view key) const;
+  bool contains(std::string_view key) const;
+  double number_at(std::string_view key) const { return at(key).as_number(); }
+  std::string_view string_at(std::string_view key) const {
+    return at(key).as_string();
+  }
+
+  /// Member name when this view was reached as an object member.
+  std::string_view key() const;
+
+  /// Canonical serialization of this subtree (same bytes as the DOM dump
+  /// of the equivalent JsonValue — the service digests instance subtrees
+  /// through this).
+  std::string dump(int indent = 0) const;
+
+  /// Materializes this subtree as a DOM value (small subtrees only — the
+  /// service converts request ids for response envelopes, never payloads).
+  JsonValue to_json_value() const;
+
+ private:
+  friend class JsonArena;
+
+  View(const JsonArena* arena, std::uint32_t index)
+      : arena_(arena), index_(index) {}
+
+  const JsonArenaNode& node() const { return arena_->nodes_[index_]; }
+
+  const JsonArena* arena_ = nullptr;
+  std::uint32_t index_ = 0;
+};
+
+/// Forward iteration over direct children via the sibling links.
+class JsonArena::View::ChildRange {
+ public:
+  class iterator {
+   public:
+    using value_type = View;
+    using difference_type = std::ptrdiff_t;
+
+    iterator() = default;
+    iterator(const JsonArena* arena, std::uint32_t index)
+        : view_(arena, index) {}
+
+    View operator*() const { return view_; }
+    const View* operator->() const { return &view_; }
+    iterator& operator++() {
+      view_.index_ = view_.node().next;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator old = *this;
+      ++*this;
+      return old;
+    }
+    bool operator==(const iterator& o) const {
+      return view_.index_ == o.view_.index_ && view_.arena_ == o.view_.arena_;
+    }
+    bool operator!=(const iterator& o) const { return !(*this == o); }
+
+   private:
+    View view_;
+  };
+
+  ChildRange(const JsonArena* arena, std::uint32_t first, std::uint32_t count)
+      : arena_(arena), first_(first), count_(count) {}
+
+  iterator begin() const {
+    return count_ == 0 ? end() : iterator(arena_, first_);
+  }
+  iterator end() const { return iterator(arena_, 0); }
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// O(i) sibling walk — for small fixed-arity tuples (edge quadruples),
+  /// not for scanning long arrays; iterate those.
+  View operator[](std::size_t i) const;
+
+ private:
+  const JsonArena* arena_;
+  std::uint32_t first_;
+  std::uint32_t count_;
+};
+
+/// Parses a complete JSON document into an arena. Accept/reject decisions,
+/// JsonError messages, and byte offsets are identical to parse_json under
+/// the same `limits` (the parity contract above).
+JsonArena parse_json_arena(std::string_view text,
+                           const JsonParseLimits& limits = {});
+
+}  // namespace mecsc::util

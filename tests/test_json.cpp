@@ -2,8 +2,60 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <string>
+
+#include "util/json_arena.h"
+
 namespace mecsc::util {
 namespace {
+
+// ---------------------------------------------------------------------------
+// Two-path parameterization: every accept/reject corpus below runs against
+// both the DOM parser (util/json.h, the reference) and the arena parser
+// (util/json_arena.h, the serving hot path). The parity contract — identical
+// accept/reject decisions, identical error offsets and messages, identical
+// number bits — is what lets the service switch paths per request
+// (ServerOptions::use_arena_parser) without splitting its digest-keyed cache.
+// ---------------------------------------------------------------------------
+
+enum class ParsePath { kDom, kArena };
+
+const char* path_name(ParsePath p) {
+  return p == ParsePath::kDom ? "dom" : "arena";
+}
+
+/// Parses through the selected path and returns the canonical dump (the
+/// byte-level observable the cache digest is built from).
+std::string dump_via(ParsePath path, const std::string& text,
+                     const JsonParseLimits& limits = {}) {
+  if (path == ParsePath::kDom) return parse_json(text, limits).dump();
+  return parse_json_arena(text, limits).dump();
+}
+
+/// Parses a one-element array document and returns the number inside, so
+/// scalar number semantics can be compared across paths bit-for-bit.
+double number_via(ParsePath path, const std::string& token) {
+  const std::string doc = "[" + token + "]";
+  if (path == ParsePath::kDom) {
+    return parse_json(doc).as_array().at(0).as_number();
+  }
+  return parse_json_arena(doc).root().as_array()[0].as_number();
+}
+
+std::uint64_t bits_of(double d) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &d, sizeof u);
+  return u;
+}
+
+class JsonParsePaths : public ::testing::TestWithParam<ParsePath> {};
+
+INSTANTIATE_TEST_SUITE_P(BothPaths, JsonParsePaths,
+                         ::testing::Values(ParsePath::kDom, ParsePath::kArena),
+                         [](const auto& info) {
+                           return std::string(path_name(info.param));
+                         });
 
 TEST(Json, ScalarRoundTrips) {
   EXPECT_EQ(parse_json("null"), JsonValue(nullptr));
@@ -98,18 +150,19 @@ TEST(Json, ParseErrorsCarryOffsets) {
   }
 }
 
-// The parser sits on a network boundary (src/svc/), so every malformed
+// The parsers sit on a network boundary (src/svc/), so every malformed
 // document must produce a JsonError with an accurate byte offset — never a
 // crash, a hang, or a silently wrong value. One row per failure mode,
-// mirroring the error-path tables of the reference C parsers.
+// mirroring the error-path tables of the reference C parsers. The corpus is
+// shared by both parse paths (see malformed_corpus users below).
 struct MalformedCase {
   const char* input;
   std::size_t offset;           ///< expected JsonError::offset()
   const char* message_contains; ///< expected substring of what()
 };
 
-TEST(Json, MalformedInputCorpus) {
-  const MalformedCase corpus[] = {
+const MalformedCase* malformed_corpus(std::size_t& count) {
+  static const MalformedCase corpus[] = {
       // Truncation and structure.
       {"", 0, "unexpected end of input"},
       {"{", 1, "unexpected end of input"},
@@ -150,10 +203,22 @@ TEST(Json, MalformedInputCorpus) {
       {"inf", 0, "expected a value"},  // 'i' is not a JSON value start
       {"1e999", 0, "outside double range"},
       {"-1e999", 0, "outside double range"},
+      // Underflow: glibc reports subnormal results as out_of_range, so
+      // both paths must reject tokens that land below the normal range.
+      {"1e-310", 0, "outside double range"},
+      {"4.9e-324", 0, "outside double range"},
   };
-  for (const MalformedCase& c : corpus) {
+  count = sizeof(corpus) / sizeof(corpus[0]);
+  return corpus;
+}
+
+TEST_P(JsonParsePaths, MalformedInputCorpus) {
+  std::size_t count = 0;
+  const MalformedCase* corpus = malformed_corpus(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const MalformedCase& c = corpus[i];
     try {
-      parse_json(c.input);
+      dump_via(GetParam(), c.input);
       FAIL() << "accepted malformed input: " << c.input;
     } catch (const JsonError& err) {
       EXPECT_EQ(err.offset(), c.offset) << "input: " << c.input
@@ -165,27 +230,146 @@ TEST(Json, MalformedInputCorpus) {
   }
 }
 
-TEST(Json, DepthLimitRejectsDeepNesting) {
+// Beyond matching the per-row expectations, the two paths must agree with
+// each other verbatim: same exception text, same offset, on every row. This
+// is the cross-path half of the parity gate — a new failure mode added to
+// one parser but not the other fails here even if both "reasonably" reject.
+TEST(JsonParity, MalformedCorpusIdenticalErrorsAcrossPaths) {
+  std::size_t count = 0;
+  const MalformedCase* corpus = malformed_corpus(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const char* input = corpus[i].input;
+    std::string dom_err, arena_err;
+    std::size_t dom_off = 0, arena_off = 1;
+    try {
+      parse_json(input);
+    } catch (const JsonError& e) {
+      dom_err = e.what();
+      dom_off = e.offset();
+    }
+    try {
+      parse_json_arena(input);
+    } catch (const JsonError& e) {
+      arena_err = e.what();
+      arena_off = e.offset();
+    }
+    EXPECT_EQ(dom_err, arena_err) << "input: " << input;
+    EXPECT_EQ(dom_off, arena_off) << "input: " << input;
+  }
+}
+
+// RFC 8259 strict-number corpus: tokens the grammar accepts, with the
+// exact double each must produce. The expected literals are compiled by
+// the same correctly-rounding conversion strtod guarantees, so EXPECT on
+// the raw bit pattern is the right strength — the canonical %.17g dump
+// (and through it the service cache key) depends on every bit.
+struct NumberCase {
+  const char* token;
+  double value;
+};
+
+TEST_P(JsonParsePaths, StrictNumberCorpus) {
+  const NumberCase corpus[] = {
+      {"0", 0.0},
+      {"-0", -0.0},
+      {"42", 42.0},
+      {"-7", -7.0},
+      {"3.5", 3.5},
+      {"-3.5", -3.5},
+      {"0.1", 0.1},
+      {"0.3", 0.3},
+      {"1e3", 1000.0},
+      {"1E3", 1000.0},
+      {"1e+3", 1000.0},
+      {"1e-3", 1e-3},
+      {"2.5e-1", 0.25},
+      {"123.456", 123.456},
+      {"0.000001", 0.000001},
+      // Decimal-binary rounding edges.
+      {"9007199254740992", 9007199254740992.0},   // 2^53
+      {"9007199254740993", 9007199254740993.0},   // ties to even: 2^53
+      {"4.5", 4.5},                                // exact tie pattern
+      {"1.0000000000000002", 1.0000000000000002},  // 1 + 2^-52
+      {"5.9604644775390625e-08", 5.9604644775390625e-08},  // 2^-24, exact
+      {"18446744073709551615", 18446744073709551615.0},    // 2^64 - 1
+      {"18446744073709551616", 18446744073709551616.0},    // > uint64
+      // Range extremes that are still representable.
+      {"1.7976931348623157e308", 1.7976931348623157e308},  // DBL_MAX
+      {"2.2250738585072014e-308", 2.2250738585072014e-308},  // DBL_MIN
+      {"1e22", 1e22},
+      {"1e-22", 1e-22},
+      {"7450580596923828125e-27", 7450580596923828125e-27},  // 5^27 mantissa
+      // More significant digits than a uint64 mantissa can hold.
+      {"1.00000000000000011102230246251565404236316680908203125", 1.0},
+      {"123456789012345678901234567890", 123456789012345678901234567890.0},
+  };
+  for (const NumberCase& c : corpus) {
+    const double got = number_via(GetParam(), c.token);
+    EXPECT_EQ(bits_of(got), bits_of(c.value))
+        << "token " << c.token << " parsed to " << got << " via "
+        << path_name(GetParam());
+  }
+}
+
+TEST_P(JsonParsePaths, DepthLimitRejectsDeepNesting) {
   JsonParseLimits limits;
   limits.max_depth = 8;
   const std::string ok(8, '[');
-  EXPECT_NO_THROW(parse_json(ok + std::string(8, ']'), limits));
+  EXPECT_NO_THROW(dump_via(GetParam(), ok + std::string(8, ']'), limits));
   const std::string deep(9, '[');
-  EXPECT_THROW(parse_json(deep + std::string(9, ']'), limits), JsonError);
-  // Mixed nesting counts every container level.
-  EXPECT_THROW(parse_json("[{\"a\":[{\"b\":[{\"c\":[[[1]]]}]}]}]", limits),
+  EXPECT_THROW(dump_via(GetParam(), deep + std::string(9, ']'), limits),
                JsonError);
-  // Default limit stops pathological input long before the call stack does.
-  EXPECT_THROW(parse_json(std::string(100000, '[')), JsonError);
+  // Mixed nesting counts every container level.
+  EXPECT_THROW(
+      dump_via(GetParam(), "[{\"a\":[{\"b\":[{\"c\":[[[1]]]}]}]}]", limits),
+      JsonError);
+  // Default limit stops pathological input long before the call stack does
+  // on the recursive path (the arena path has no recursion to exhaust).
+  EXPECT_THROW(dump_via(GetParam(), std::string(100000, '[')), JsonError);
 }
 
-TEST(Json, NumberLengthLimit) {
+// Satellite fix: the over-deep error must carry the *same byte offset* on
+// both paths — the offset of the bracket that first exceeds the limit —
+// even though one parser counts recursion depth and the other an explicit
+// stack. A silent off-by-one here would break error-message parity on the
+// wire.
+TEST(JsonParity, DepthErrorOffsetIdenticalAcrossPaths) {
+  JsonParseLimits limits;
+  limits.max_depth = 4;
+  // The fifth opener is at byte 6 ("[ [ {\"k\":[ [" layouts vary per doc).
+  const std::string docs[] = {
+      "[[[[[1]]]]]",
+      "[[[[{\"k\":1}]]]]x",  // depth 5 via an object opener
+      "{\"a\":[[[[1]]]]}",
+  };
+  for (const std::string& doc : docs) {
+    std::string dom_err, arena_err;
+    std::size_t dom_off = 0, arena_off = 1;
+    try {
+      parse_json(doc, limits);
+    } catch (const JsonError& e) {
+      dom_err = e.what();
+      dom_off = e.offset();
+    }
+    try {
+      parse_json_arena(doc, limits);
+    } catch (const JsonError& e) {
+      arena_err = e.what();
+      arena_off = e.offset();
+    }
+    EXPECT_EQ(dom_err, arena_err) << "doc: " << doc;
+    EXPECT_EQ(dom_off, arena_off) << "doc: " << doc;
+    EXPECT_FALSE(dom_err.empty()) << "doc: " << doc;
+  }
+}
+
+TEST_P(JsonParsePaths, NumberLengthLimit) {
   JsonParseLimits limits;
   limits.max_number_length = 8;
-  EXPECT_NO_THROW(parse_json("12345678", limits));
-  EXPECT_THROW(parse_json("123456789", limits), JsonError);
+  EXPECT_NO_THROW(dump_via(GetParam(), "12345678", limits));
+  EXPECT_THROW(dump_via(GetParam(), "123456789", limits), JsonError);
   // The default cap still admits full double precision round trips.
-  EXPECT_NO_THROW(parse_json("-1.7976931348623157e308"));
+  EXPECT_NO_THROW(dump_via(GetParam(), "-1.7976931348623157e308"));
 }
 
 TEST(Json, ErrorOffsetPointsIntoNestedDocument) {

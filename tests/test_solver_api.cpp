@@ -1,0 +1,117 @@
+// SolveSpec decoding: the three front doors (DOM, arena view, raw bytes)
+// must accept and reject identically — they are one template underneath,
+// and the service's bad_request error text is part of the wire contract.
+#include "core/solver_api.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "util/json.h"
+
+namespace mecsc::core {
+namespace {
+
+SolveSpec decode(const std::string& doc) {
+  return decode_solve_spec(doc.data(), doc.size());
+}
+
+TEST(SolverApi, DecodeSolveSpecDefaults) {
+  const SolveSpec spec = decode("{}");
+  EXPECT_EQ(spec.algorithm, "lcf");
+  EXPECT_DOUBLE_EQ(spec.one_minus_xi, 0.3);
+}
+
+TEST(SolverApi, DecodeSolveSpecFields) {
+  const SolveSpec spec =
+      decode(R"({"algorithm": "lcf", "one_minus_xi": 0.45, "extra": 1})");
+  EXPECT_EQ(spec.algorithm, "lcf");
+  EXPECT_DOUBLE_EQ(spec.one_minus_xi, 0.45);
+  for (const std::string& name : solver_algorithm_names()) {
+    EXPECT_EQ(decode(R"({"algorithm": ")" + name + R"("})").algorithm, name);
+  }
+}
+
+TEST(SolverApi, DecodeSolveSpecRejectsUnknownAlgorithm) {
+  try {
+    decode(R"({"algorithm": "gradient-descent"})");
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "unknown algorithm \"gradient-descent\"");
+  }
+}
+
+TEST(SolverApi, DecodeSolveSpecRejectsNonNumberXi) {
+  try {
+    decode(R"({"one_minus_xi": "0.3"})");
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "field \"one_minus_xi\" must be a number");
+  }
+}
+
+TEST(SolverApi, DecodeSolveSpecRejectsMalformedJson) {
+  EXPECT_THROW(decode("{\"algorithm\": "), util::JsonError);
+  EXPECT_THROW(decode(""), util::JsonError);
+}
+
+// All three overloads are instantiations of one template, but the wrapper
+// plumbing (arena root, DOM at()) could still drift — pin the parity.
+TEST(SolverApi, ThreeFrontDoorsAgree) {
+  const std::string docs[] = {
+      "{}",
+      R"({"algorithm": "appro"})",
+      R"({"algorithm": "lcf", "one_minus_xi": 0.7})",
+      R"({"one_minus_xi": 1})",
+  };
+  for (const std::string& doc : docs) {
+    const SolveSpec from_dom = solve_spec_from_json(util::parse_json(doc));
+    const util::JsonArena arena = util::parse_json_arena(doc);
+    const SolveSpec from_arena = solve_spec_from_arena(arena.root());
+    const SolveSpec from_bytes = decode(doc);
+    EXPECT_EQ(from_dom.algorithm, from_arena.algorithm) << doc;
+    EXPECT_EQ(from_dom.algorithm, from_bytes.algorithm) << doc;
+    EXPECT_DOUBLE_EQ(from_dom.one_minus_xi, from_arena.one_minus_xi) << doc;
+    EXPECT_DOUBLE_EQ(from_dom.one_minus_xi, from_bytes.one_minus_xi) << doc;
+    EXPECT_EQ(from_dom.cache_key(), from_bytes.cache_key()) << doc;
+  }
+  // Error parity on the reject side.
+  const std::string bad[] = {
+      R"({"algorithm": "nope"})",
+      R"({"one_minus_xi": null})",
+  };
+  for (const std::string& doc : bad) {
+    std::string dom_err, bytes_err;
+    try {
+      solve_spec_from_json(util::parse_json(doc));
+    } catch (const std::invalid_argument& e) {
+      dom_err = e.what();
+    }
+    try {
+      decode(doc);
+    } catch (const std::invalid_argument& e) {
+      bytes_err = e.what();
+    }
+    EXPECT_FALSE(dom_err.empty()) << doc;
+    EXPECT_EQ(dom_err, bytes_err) << doc;
+  }
+}
+
+TEST(SolverApi, CacheKeySeparatesLcfXi) {
+  SolveSpec a, b;
+  a.algorithm = b.algorithm = "lcf";
+  a.one_minus_xi = 0.3;
+  b.one_minus_xi = 0.30000000000000004;  // adjacent double
+  EXPECT_NE(a.cache_key(), b.cache_key());
+  b.one_minus_xi = 0.3;
+  EXPECT_EQ(a.cache_key(), b.cache_key());
+  // Non-LCF algorithms ignore xi in the key (it does not affect results).
+  a.algorithm = b.algorithm = "appro";
+  a.one_minus_xi = 0.1;
+  b.one_minus_xi = 0.9;
+  EXPECT_EQ(a.cache_key(), b.cache_key());
+}
+
+}  // namespace
+}  // namespace mecsc::core

@@ -100,6 +100,15 @@ EOF
     python3 "$TOOLS_DIR/strip_wallclock.py" "$out/BENCH_svc.json"
     wait "$serve_pid"
   fi
+
+  # Parse-path determinism: bench_json's record carries the canonical-dump
+  # digest and node counts for the DOM/arena parity corpus; everything
+  # outside wall_ keys must be bit-identical across runs.
+  BENCH_JSON="$(dirname "$MECSC")/../bench/bench_json"
+  if [ -x "$BENCH_JSON" ]; then
+    MECSC_BENCH_SMOKE=1 MECSC_BENCH_JSON_DIR="$out" "$BENCH_JSON" >/dev/null
+    python3 "$TOOLS_DIR/strip_wallclock.py" "$out/BENCH_json.json"
+  fi
 }
 
 run_once "$DIR/a"

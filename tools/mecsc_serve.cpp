@@ -48,6 +48,10 @@ usage:
               [--queue-capacity N]   admitted-request queue (default 64)
               [--cache-capacity N]   resident solve results (default 128)
               [--default-deadline-ms MS]  applied when requests carry none
+              [--parser arena|dom]   request parse path (default arena —
+                                     the zero-DOM hot path; dom is the
+                                     reference parser, byte-identical
+                                     responses)
               [--port-file FILE]     write the bound TCP port (ephemeral
                                      binds resolve before the file appears)
               [--log-level LEVEL] [--metrics-out FILE] [--profile-out FILE]
@@ -147,6 +151,15 @@ int main(int argc, char** argv) {
     options.cache_capacity =
         static_cast<std::size_t>(args.number_or("--cache-capacity", 128));
     options.default_deadline_ms = args.number_or("--default-deadline-ms", 0.0);
+    if (const auto parser = args.get("--parser")) {
+      if (*parser == "arena") {
+        options.use_arena_parser = true;
+      } else if (*parser == "dom") {
+        options.use_arena_parser = false;
+      } else {
+        usage("--parser must be 'arena' or 'dom'");
+      }
+    }
     if (options.threads == 0) usage("--threads must be >= 1");
     if (options.queue_capacity == 0) usage("--queue-capacity must be >= 1");
 
