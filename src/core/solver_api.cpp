@@ -8,6 +8,7 @@
 #include "core/lcf.h"
 #include "core/social_optimum.h"
 #include "util/json.h"
+#include "util/timer.h"
 
 namespace mecsc::core {
 
@@ -73,7 +74,9 @@ std::string SolveSpec::cache_key() const {
   return key;
 }
 
-SolveOutcome run_solver(const Instance& inst, const SolveSpec& spec) {
+namespace {
+
+SolveOutcome dispatch_solver(const Instance& inst, const SolveSpec& spec) {
   if (spec.algorithm == "lcf") {
     LcfOptions options;
     options.coordinated_fraction = 1.0 - spec.one_minus_xi;
@@ -110,6 +113,15 @@ SolveOutcome run_solver(const Instance& inst, const SolveSpec& spec) {
   }
   throw std::invalid_argument("unknown algorithm '" + spec.algorithm +
                               "' (valid: " + valid + ")");
+}
+
+}  // namespace
+
+SolveOutcome run_solver(const Instance& inst, const SolveSpec& spec) {
+  const util::Timer timer;
+  SolveOutcome outcome = dispatch_solver(inst, spec);
+  outcome.wall_solve_ms = timer.elapsed_ms();
+  return outcome;
 }
 
 }  // namespace mecsc::core

@@ -42,6 +42,12 @@ struct SolveOutcome {
   /// False only for algorithm "optimal" when the branch-and-bound node
   /// budget was hit and the incumbent is not proven optimal.
   bool proven_optimal = true;
+  /// Wall-clock duration of the solver dispatch itself (excluding parse /
+  /// decode around it), measured inside run_solver so every caller — CLI,
+  /// service, benches — reports the same phase boundary. Callers must
+  /// serialize it under a "wall_"-prefixed key; it never influences the
+  /// assignment.
+  double wall_solve_ms = 0.0;
 };
 
 /// The algorithm names run_solver accepts, sorted.

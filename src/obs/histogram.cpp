@@ -1,0 +1,129 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mecsc::obs {
+
+namespace {
+
+constexpr double kMinTracked = 0.0009765625;  // 2^-10
+
+double pow2(int e) { return std::ldexp(1.0, e); }
+
+}  // namespace
+
+LogLinearHistogram::LogLinearHistogram() : buckets_(bucket_count(), 0) {}
+
+std::size_t LogLinearHistogram::bucket_index(double value) const {
+  if (!(value >= kMinTracked)) return 0;  // underflow (and NaN) bucket
+  if (value >= pow2(kMaxExponent)) return buckets_.size() - 1;
+  int exponent = 0;
+  const double mantissa = std::frexp(value, &exponent);  // in [0.5, 1)
+  const int octave = exponent - 1;                       // value in [2^o, 2^{o+1})
+  // Position within the octave, scaled to [0, kSubBuckets).
+  const double within = (mantissa - 0.5) * 2.0;  // in [0, 1)
+  std::size_t sub = static_cast<std::size_t>(
+      within * static_cast<double>(kSubBuckets));
+  if (sub >= kSubBuckets) sub = kSubBuckets - 1;
+  return 1 +
+         static_cast<std::size_t>(octave - kMinExponent) * kSubBuckets + sub;
+}
+
+void LogLinearHistogram::bucket_bounds(std::size_t index, double* lower,
+                                       double* upper) const {
+  if (index == 0) {
+    *lower = 0.0;
+    *upper = kMinTracked;
+    return;
+  }
+  if (index == buckets_.size() - 1) {
+    *lower = pow2(kMaxExponent);
+    *upper = pow2(kMaxExponent);  // open-ended; exports print "+Inf"
+    return;
+  }
+  const std::size_t j = index - 1;
+  const int octave = kMinExponent + static_cast<int>(j / kSubBuckets);
+  const double sub = static_cast<double>(j % kSubBuckets);
+  const double base = pow2(octave);
+  const double step = base / static_cast<double>(kSubBuckets);
+  *lower = base + sub * step;
+  *upper = base + (sub + 1.0) * step;
+}
+
+void LogLinearHistogram::record(double value) {
+  ++buckets_[bucket_index(value)];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void LogLinearHistogram::merge(const LogLinearHistogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    buckets_[i] += other.buckets_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void LogLinearHistogram::clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+double LogLinearHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Continuous rank in [0, count-1], same convention as
+  // util::percentile_sorted's linear interpolation.
+  const double rank = q * static_cast<double>(count_ - 1);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    const double first = static_cast<double>(cumulative);
+    cumulative += buckets_[i];
+    if (rank >= static_cast<double>(cumulative)) continue;
+    double lower = 0.0;
+    double upper = 0.0;
+    bucket_bounds(i, &lower, &upper);
+    // Interpolate by the rank's position inside this bucket's count.
+    const double position =
+        (rank - first + 0.5) / static_cast<double>(buckets_[i]);
+    const double value = lower + position * (upper - lower);
+    // The exact extremes are tracked, so never report outside them (the
+    // overflow bucket in particular has no meaningful upper edge).
+    return std::clamp(value, min_, max_);
+  }
+  return max_;
+}
+
+std::vector<LogLinearHistogram::Bucket> LogLinearHistogram::nonzero_buckets()
+    const {
+  std::vector<Bucket> out;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    Bucket b;
+    bucket_bounds(i, &b.lower, &b.upper);
+    b.count = buckets_[i];
+    out.push_back(b);
+  }
+  return out;
+}
+
+}  // namespace mecsc::obs

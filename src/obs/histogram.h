@@ -1,0 +1,97 @@
+// Log-linear latency histogram (HDR-histogram style): quantiles without
+// storing samples.
+//
+// Values are bucketed by powers of two, each octave split into
+// kSubBuckets linear sub-buckets, so the relative width of every regular
+// bucket is 1/kSubBuckets (6.25%) — the worst-case quantile error. Bucket
+// *counts* are plain integers, which makes two properties exact rather
+// than approximate:
+//
+//   - merging shards is integer addition, so the merged histogram is a
+//     pure function of the recorded value multiset, independent of which
+//     thread (or shard) recorded what — the same determinism argument as
+//     obs/metrics.h, but in O(buckets) memory instead of O(samples);
+//   - identical value streams produce identical bucket vectors, so a
+//     serialized histogram diffs clean across same-seed runs *when the
+//     values themselves are deterministic*. Latency values are wall-clock,
+//     so the service serializes these under "wall_" keys.
+//
+// The range [2^kMinExponent, 2^kMaxExponent) ms spans ~1 µs to ~4.7 h;
+// values below land in a dedicated underflow bucket, values at or above
+// in an overflow bucket (min()/max()/sum() stay exact regardless).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mecsc::obs {
+
+class LogLinearHistogram {
+ public:
+  /// Linear sub-buckets per power-of-two octave; bounds the relative
+  /// quantile error at 1/kSubBuckets.
+  static constexpr std::size_t kSubBuckets = 16;
+  /// Smallest tracked value is 2^kMinExponent (milliseconds: ~0.98 µs).
+  static constexpr int kMinExponent = -10;
+  /// Largest tracked value is 2^kMaxExponent (milliseconds: ~4.7 hours).
+  static constexpr int kMaxExponent = 24;
+
+  LogLinearHistogram();
+
+  /// Records one observation. Negative values count as underflow.
+  void record(double value);
+
+  /// Adds another histogram's counts into this one. Deterministic: the
+  /// result depends only on the union multiset, not the merge order.
+  void merge(const LogLinearHistogram& other);
+
+  /// Drops every recorded value.
+  void clear();
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  /// Exact smallest / largest recorded value; 0 when empty.
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  /// Estimated q-quantile, q in [0, 1]: walks the cumulative bucket
+  /// counts to the bucket containing rank q*(count-1) and interpolates
+  /// linearly inside it. Within 1/kSubBuckets relative error of the exact
+  /// sorted-sample quantile for in-range values; clamped to min()/max()
+  /// at the extremes. Returns 0 when empty.
+  double quantile(double q) const;
+
+  /// One nonempty bucket, for exports (Prometheus `le` edges, bar
+  /// charts). `upper` is the bucket's exclusive upper value edge.
+  struct Bucket {
+    double lower = 0.0;
+    double upper = 0.0;
+    std::uint64_t count = 0;
+  };
+
+  /// The nonempty buckets in ascending value order.
+  std::vector<Bucket> nonzero_buckets() const;
+
+  /// Total bucket count (underflow + octaves * sub-buckets + overflow).
+  static constexpr std::size_t bucket_count() {
+    return 2 + static_cast<std::size_t>(kMaxExponent - kMinExponent) *
+                   kSubBuckets;
+  }
+
+ private:
+  std::size_t bucket_index(double value) const;
+  /// [lower, upper) value range of bucket `index`.
+  void bucket_bounds(std::size_t index, double* lower, double* upper) const;
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace mecsc::obs

@@ -1,0 +1,119 @@
+#include "svc/admin.h"
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+
+namespace mecsc::svc {
+
+namespace {
+
+/// Request lines are "GET /path HTTP/1.x"; anything longer than this is
+/// not a scraper talking to us.
+constexpr std::size_t kMaxHttpLine = 8192;
+
+std::string http_response(int status, const std::string& reason,
+                          const std::string& content_type,
+                          const std::string& body) {
+  std::string out = "HTTP/1.0 " + std::to_string(status) + " " + reason +
+                    "\r\n"
+                    "Content-Type: " +
+                    content_type +
+                    "\r\n"
+                    "Content-Length: " +
+                    std::to_string(body.size()) +
+                    "\r\n"
+                    "Connection: close\r\n"
+                    "\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+AdminServer::AdminServer(Options options)
+    : options_(std::move(options)),
+      listener_(Listener::listen_tcp(options_.tcp_port)) {
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+AdminServer::~AdminServer() { stop(); }
+
+void AdminServer::stop() {
+  listener_.shutdown();
+  if (thread_.joinable()) thread_.join();
+}
+
+void AdminServer::serve_loop() {
+  while (true) {
+    ConnectionPtr conn = listener_.accept();
+    if (!conn) return;  // stop() or fatal accept error
+    handle(conn);
+    // conn closes when the last reference drops; Connection: close told
+    // the client not to reuse it.
+  }
+}
+
+void AdminServer::handle(const ConnectionPtr& conn) {
+  std::optional<std::string> request_line = conn->read_line(kMaxHttpLine);
+  if (!request_line) return;
+  // Drain the header block so the peer's send completes cleanly; contents
+  // are irrelevant to a read-only GET.
+  while (true) {
+    std::optional<std::string> header = conn->read_line(kMaxHttpLine);
+    if (!header) break;
+    if (!header->empty() && header->back() == '\r') header->pop_back();
+    if (header->empty()) break;
+  }
+  if (!request_line->empty() && request_line->back() == '\r')
+    request_line->pop_back();
+
+  const std::size_t method_end = request_line->find(' ');
+  if (method_end == std::string::npos) {
+    conn->write_all(http_response(400, "Bad Request", "text/plain",
+                                  "malformed request line\n"));
+    return;
+  }
+  const std::string method = request_line->substr(0, method_end);
+  std::string path = request_line->substr(method_end + 1);
+  const std::size_t path_end = path.find(' ');
+  if (path_end != std::string::npos) path = path.substr(0, path_end);
+
+  if (method != "GET") {
+    conn->write_all(http_response(405, "Method Not Allowed", "text/plain",
+                                  "only GET is served here\n"));
+    return;
+  }
+
+  std::function<std::string()>* handler = nullptr;
+  std::string content_type;
+  if (path == "/metrics") {
+    handler = &options_.metrics_handler;
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+  } else if (path == "/stats") {
+    handler = &options_.stats_handler;
+    content_type = "application/json";
+  } else {
+    conn->write_all(http_response(
+        404, "Not Found", "text/plain",
+        "unknown path " + path + " (try /metrics or /stats)\n"));
+    return;
+  }
+  if (!*handler) {
+    conn->write_all(http_response(500, "Internal Server Error", "text/plain",
+                                  "no handler configured\n"));
+    return;
+  }
+  std::string body;
+  try {
+    body = (*handler)();
+  } catch (const std::exception& e) {
+    conn->write_all(http_response(500, "Internal Server Error", "text/plain",
+                                  std::string("handler failed: ") + e.what() +
+                                      "\n"));
+    return;
+  }
+  conn->write_all(http_response(200, "OK", content_type, body));
+}
+
+}  // namespace mecsc::svc

@@ -1,0 +1,59 @@
+// Read-only admin HTTP endpoint for the solver service: GET /metrics
+// (Prometheus text exposition) and GET /stats (the telemetry JSON
+// document), served on a second loopback TCP listener so scrapers never
+// compete with solver traffic for the NDJSON socket or the worker pool.
+//
+// Security posture: binds 127.0.0.1 only (svc/socket's Listener never
+// binds a public interface), speaks a deliberately tiny slice of
+// HTTP/1.0 — GET, two fixed paths, Connection: close — and exposes no
+// mutating operation whatsoever; shutdown/cache control stay on the
+// authenticated-by-locality NDJSON protocol. Requests are size-capped and
+// served sequentially by one thread: an admin scraper that misbehaves can
+// only slow other scrapers, never the service.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "svc/socket.h"
+
+namespace mecsc::svc {
+
+/// One-thread HTTP server over svc/socket. Handlers are called per
+/// request (fresh snapshot each scrape) and must be thread-safe against
+/// the service's own threads.
+class AdminServer {
+ public:
+  struct Options {
+    int tcp_port = 0;  ///< loopback port; 0 = ephemeral, see port()
+    /// Body for GET /metrics (Content-Type text/plain; version=0.0.4).
+    std::function<std::string()> metrics_handler;
+    /// Body for GET /stats (Content-Type application/json).
+    std::function<std::string()> stats_handler;
+  };
+
+  /// Binds and serves immediately. Throws std::runtime_error when the
+  /// port cannot be bound.
+  explicit AdminServer(Options options);
+  ~AdminServer();
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// The actually bound port (ephemeral binds resolve here).
+  int port() const { return listener_.port(); }
+
+  /// Stops accepting and joins the serving thread; idempotent from the
+  /// owning thread. Also run by the destructor.
+  void stop();
+
+ private:
+  void serve_loop();
+  void handle(const ConnectionPtr& conn);
+
+  Options options_;
+  Listener listener_;
+  std::thread thread_;  ///< owning thread only (constructor / stop)
+};
+
+}  // namespace mecsc::svc

@@ -62,10 +62,15 @@ SvcResponse SvcClient::call(const JsonValue& request) {
                              response.raw);
   response.ok = body.at("ok").as_bool();
   if (body.contains("id")) response.id = body.at("id");
+  if (body.contains("request_id") && body.at("request_id").is_string())
+    response.request_id = body.at("request_id").as_string();
   if (!response.ok) {
     const JsonValue& error = body.at("error");
     response.error_code = error.string_at("code");
     response.error_message = error.string_at("message");
+    if (error.contains("wall_retry_after_ms") &&
+        error.at("wall_retry_after_ms").is_number())
+      response.retry_after_ms = error.at("wall_retry_after_ms").as_number();
   }
   return response;
 }
@@ -73,7 +78,8 @@ SvcResponse SvcClient::call(const JsonValue& request) {
 SvcResponse SvcClient::solve(const JsonValue& instance,
                              const std::string& algorithm, std::uint64_t id,
                              double one_minus_xi, bool cache,
-                             double deadline_ms) {
+                             double deadline_ms,
+                             const std::string& request_id) {
   JsonObject request;
   request["id"] = JsonValue(id);
   request["type"] = JsonValue("solve");
@@ -81,6 +87,7 @@ SvcResponse SvcClient::solve(const JsonValue& instance,
   request["one_minus_xi"] = JsonValue(one_minus_xi);
   request["instance"] = instance;
   request["cache"] = JsonValue(cache);
+  if (!request_id.empty()) request["request_id"] = JsonValue(request_id);
   // A deadline is a caller-chosen budget, not a clock reading.
   if (deadline_ms >= 0.0)
     request["deadline_ms"] =  // determinism-lint: allow(wall-key)
@@ -99,6 +106,13 @@ SvcResponse SvcClient::server_stats() {
   JsonObject request;
   request["id"] = JsonValue(next_id_++);
   request["type"] = JsonValue("stats");
+  return call(JsonValue(std::move(request)));
+}
+
+SvcResponse SvcClient::metrics() {
+  JsonObject request;
+  request["id"] = JsonValue(next_id_++);
+  request["type"] = JsonValue("metrics");
   return call(JsonValue(std::move(request)));
 }
 

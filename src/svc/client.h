@@ -23,6 +23,13 @@ struct SvcResponse {
   bool ok = false;
   std::string error_code;  ///< empty when ok
   std::string error_message;
+  /// Echoed wide-event request_id: the client-supplied value, or the
+  /// server-generated "s-<n>" when none was sent. Empty only when talking
+  /// to a pre-telemetry server.
+  std::string request_id;
+  /// Server backoff hint on "overloaded" errors (the error object's
+  /// wall_retry_after_ms); < 0 when the response carried none.
+  double retry_after_ms = -1.0;
   util::JsonValue body;    ///< the full response document
   std::string raw;         ///< exact bytes received (minus the newline)
 };
@@ -39,12 +46,18 @@ class SvcClient {
   SvcResponse call(const util::JsonValue& request);
 
   /// Convenience wrappers over call(). `instance` is a core/io.h document.
+  /// A non-empty `request_id` rides along in the request and must come
+  /// back verbatim in SvcResponse::request_id (wide-event correlation).
   SvcResponse solve(const util::JsonValue& instance,
                     const std::string& algorithm, std::uint64_t id,
                     double one_minus_xi = 0.3, bool cache = true,
-                    double deadline_ms = -1.0);
+                    double deadline_ms = -1.0,
+                    const std::string& request_id = std::string());
   SvcResponse health();
   SvcResponse server_stats();
+  /// The "metrics" request: full telemetry snapshot (RED + histograms +
+  /// gauges) under body["telemetry"].
+  SvcResponse metrics();
   SvcResponse shutdown();
 
  private:

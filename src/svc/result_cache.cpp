@@ -4,7 +4,9 @@ namespace mecsc::svc {
 
 ResultCache::ResultCache(std::size_t capacity) : lru_(capacity) {}
 
-std::optional<std::string> ResultCache::get_or_lead(const std::string& key) {
+std::optional<std::string> ResultCache::get_or_lead(const std::string& key,
+                                                    bool* coalesced) {
+  if (coalesced) *coalesced = false;
   const util::MutexLock lock(mutex_);
   while (true) {
     if (const std::string* resident = lru_.find(key)) {
@@ -23,6 +25,7 @@ std::optional<std::string> ResultCache::get_or_lead(const std::string& key) {
     // A leader is computing this key right now: coalesce onto it.
     const std::shared_ptr<InFlight> flight = it->second;
     ++coalesced_;
+    if (coalesced) *coalesced = true;
     while (!flight->done && !shutdown_) flight->cv.wait(mutex_);
     if (flight->done && flight->payload) {
       ++hits_;

@@ -46,7 +46,11 @@ class ResultCache {
   ///  - miss:      returns nullopt and makes the caller the leader. The
   ///               caller MUST then call publish() or abandon() exactly
   ///               once, or waiters block until shutdown_wakeup().
-  std::optional<std::string> get_or_lead(const std::string& key);
+  /// When `coalesced` is non-null it is set to true only in the coalesced
+  /// case — a payload obtained by waiting on a concurrent leader rather
+  /// than from a resident entry (telemetry distinguishes the two).
+  std::optional<std::string> get_or_lead(const std::string& key,
+                                         bool* coalesced = nullptr);
 
   /// Leader publishes its payload: inserted into the LRU (unless capacity
   /// is 0) and handed to every coalesced waiter.

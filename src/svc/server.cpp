@@ -23,24 +23,48 @@ using util::JsonObject;
 using util::JsonValue;
 
 std::string error_line(const JsonValue& id, const std::string& code,
-                       const std::string& message) {
+                       const std::string& message,
+                       const std::string& request_id = std::string(),
+                       double retry_after_ms = -1.0) {
   JsonObject error;
   error["code"] = JsonValue(code);
   error["message"] = JsonValue(message);
+  if (retry_after_ms >= 0.0)
+    error["wall_retry_after_ms"] = JsonValue(retry_after_ms);
   JsonObject response;
   response["id"] = id;
   response["ok"] = JsonValue(false);
+  if (!request_id.empty()) response["request_id"] = JsonValue(request_id);
   response["error"] = JsonValue(std::move(error));
   return JsonValue(std::move(response)).dump();
 }
 
+/// Decrements an in-flight gauge on scope exit, whichever way the scope
+/// unwinds.
+class GaugeGuard {
+ public:
+  explicit GaugeGuard(std::atomic<std::size_t>& gauge) : gauge_(gauge) {
+    gauge_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ~GaugeGuard() { gauge_.fetch_sub(1, std::memory_order_relaxed); }
+  GaugeGuard(const GaugeGuard&) = delete;
+  GaugeGuard& operator=(const GaugeGuard&) = delete;
+
+ private:
+  std::atomic<std::size_t>& gauge_;
+};
+
 /// Shared fields of every successful response: {"id":…, "ok":true,
-/// "type":…} plus wall_* timing (stripped before determinism diffs).
-JsonObject ok_envelope(const JsonValue& id, const std::string& type) {
+/// "type":…, "request_id":…} plus wall_* timing (stripped before
+/// determinism diffs). The request_id echoes the client's value, or the
+/// server-generated one when the client sent none.
+JsonObject ok_envelope(const JsonValue& id, const std::string& type,
+                       const std::string& request_id) {
   JsonObject response;
   response["id"] = id;
   response["ok"] = JsonValue(true);
   response["type"] = JsonValue(type);
+  response["request_id"] = JsonValue(request_id);
   return response;
 }
 
@@ -63,6 +87,14 @@ bool require_bool(const Doc& request, const std::string& key, bool fallback) {
   if (!v.is_bool())
     throw std::invalid_argument("field \"" + key + "\" must be a boolean");
   return v.as_bool();
+}
+
+template <class Doc>
+std::string require_string(const Doc& request, const std::string& key) {
+  const auto& v = request.at(key);
+  if (!v.is_string())
+    throw std::invalid_argument("field \"" + key + "\" must be a string");
+  return std::string(v.as_string());
 }
 
 /// One parsed request line through either parse path. Protocol handling in
@@ -107,6 +139,11 @@ class RequestDoc {
   bool bool_field(const std::string& key, bool fallback) const {
     return arena() ? require_bool(arena_.root(), key, fallback)
                    : require_bool(dom_, key, fallback);
+  }
+  /// Only call when contains(key); the field must be a string.
+  std::string string_field(const std::string& key) const {
+    return arena() ? require_string(arena_.root(), key)
+                   : require_string(dom_, key);
   }
   /// Only call when contains("instance").
   bool instance_is_object() const {
@@ -165,10 +202,21 @@ Deadline deadline_of(const RequestDoc& request, double default_deadline_ms) {
 
 }  // namespace
 
+namespace {
+
+obs::ServiceTelemetry::Options telemetry_options(const ServerOptions& o) {
+  obs::ServiceTelemetry::Options t;
+  if (o.telemetry_window_ms > 0.0) t.window_ms = o.telemetry_window_ms;
+  return t;
+}
+
+}  // namespace
+
 SolverServer::SolverServer(ServerOptions options)
     : options_(std::move(options)),
       queue_(options_.queue_capacity),
-      cache_(options_.cache_capacity) {
+      cache_(options_.cache_capacity),
+      telemetry_(telemetry_options(options_)) {
   if (options_.threads == 0) options_.threads = 1;
 }
 
@@ -193,6 +241,23 @@ void SolverServer::start() {
     const util::MutexLock lock(stats_mutex_);
     counters_.queue_capacity = options_.queue_capacity;
   }
+  if (!options_.request_log_path.empty()) {
+    obs::RequestLog::Options log_options;
+    log_options.path = options_.request_log_path;
+    log_options.slow_request_ms = options_.slow_request_ms;
+    request_log_ = std::make_unique<obs::RequestLog>(log_options);
+  }
+  if (options_.admin_port >= 0) {
+    AdminServer::Options admin_options;
+    admin_options.tcp_port = options_.admin_port;
+    admin_options.metrics_handler = [this] { return metrics_prometheus(); };
+    // Trailing newline: /stats is consumed by line-oriented tooling
+    // (curl | jq, the tests' line reader) as well as browsers.
+    admin_options.stats_handler = [this] {
+      return metrics_json().dump() + "\n";
+    };
+    admin_ = std::make_unique<AdminServer>(admin_options);
+  }
   workers_.reserve(options_.threads);
   for (std::size_t i = 0; i < options_.threads; ++i)
     workers_.emplace_back([this] { worker_loop(); });
@@ -200,6 +265,8 @@ void SolverServer::start() {
 }
 
 int SolverServer::port() const { return listener_ ? listener_->port() : 0; }
+
+int SolverServer::admin_port() const { return admin_ ? admin_->port() : -1; }
 
 const std::string& SolverServer::endpoint() const {
   static const std::string kUnbound = "(unbound)";
@@ -231,6 +298,7 @@ void SolverServer::acceptor_loop() {
 }
 
 void SolverServer::session_loop(ConnectionPtr conn) {
+  const GaugeGuard in_flight(connections_in_flight_);
   while (true) {
     std::optional<std::string> line = conn->read_line(kMaxRequestBytes);
     if (!line) {
@@ -251,25 +319,49 @@ void SolverServer::session_loop(ConnectionPtr conn) {
         const util::MutexLock lock(stats_mutex_);
         ++counters_.responses_error;
       }
-      conn->write_line(error_line(JsonValue(nullptr), "shutting_down",
-                                  "server is draining"));
+      const std::string rid = next_request_id();
+      const std::string response = error_line(
+          JsonValue(nullptr), "shutting_down", "server is draining", rid);
+      conn->write_line(response);
+      obs::RequestEvent event;
+      event.request_id = rid;
+      event.outcome = "shutting_down";
+      event.ok = false;
+      event.bytes_in = line->size();
+      event.bytes_out = response.size() + 1;
+      record_event(std::move(event));
       continue;
     }
     Job job;
     job.line = std::move(*line);
     job.conn = conn;
+    const std::size_t line_bytes = job.line.size();
     if (!queue_.try_push(std::move(job))) {
       // Admission control: a full queue answers immediately instead of
       // stalling the socket. The id is null because the line was never
-      // parsed — closed-loop clients correlate by ordering.
+      // parsed — closed-loop clients correlate by ordering — but the
+      // rejection still carries a server request_id and a backoff hint
+      // derived from the windowed service rate.
       {
         const util::MutexLock lock(stats_mutex_);
         ++counters_.responses_error;
         ++counters_.overloaded;
       }
-      conn->write_line(error_line(JsonValue(nullptr), "overloaded",
-                                  "request queue is full"));
+      const std::string rid = next_request_id();
+      const double retry_after_ms =
+          telemetry_.retry_after_ms_hint(queue_.size(), options_.threads);
+      const std::string response =
+          error_line(JsonValue(nullptr), "overloaded",
+                     "request queue is full", rid, retry_after_ms);
+      conn->write_line(response);
       obs::MetricsRegistry::global().counter_add("svc.overloaded");
+      obs::RequestEvent event;
+      event.request_id = rid;
+      event.outcome = "overloaded";
+      event.ok = false;
+      event.bytes_in = line_bytes;
+      event.bytes_out = response.size() + 1;
+      record_event(std::move(event));
     }
   }
 }
@@ -279,8 +371,15 @@ void SolverServer::worker_loop() {
     std::optional<Job> job = queue_.pop();
     if (!job) return;  // closed and drained
     if (options_.test_hook_before_request) options_.test_hook_before_request();
+    const GaugeGuard busy(workers_busy_);
     process(std::move(*job));
   }
+}
+
+std::string SolverServer::next_request_id() {
+  return "s-" + std::to_string(
+                    request_id_seq_.fetch_add(1, std::memory_order_relaxed) +
+                    1);
 }
 
 void SolverServer::process(Job job) {
@@ -289,7 +388,12 @@ void SolverServer::process(Job job) {
   metrics.counter_add("svc.requests");
   const double queue_wait_ms = job.admitted.elapsed_ms();
 
+  obs::RequestEvent event;
+  event.bytes_in = job.line.size();
+  event.queue_ms = queue_wait_ms;
+
   JsonValue id;  // null until the request parses
+  std::string request_id;  // resolved after parse (generated if absent)
   std::string response;
   bool ok = false;
   bool was_deadline = false;
@@ -303,22 +407,26 @@ void SolverServer::process(Job job) {
       } catch (const util::JsonError& e) {
         throw std::runtime_error(std::string("parse_error: ") + e.what());
       }
-      metrics.wall_duration_record("wall_svc_parse_ms",
-                                   parse_timer.elapsed_ms());
+      event.parse_ms = parse_timer.elapsed_ms();
+      metrics.wall_duration_record("wall_svc_parse_ms", event.parse_ms);
       metrics.counter_add("svc.parse_bytes",
                           static_cast<std::int64_t>(job.line.size()));
     }
     if (!request.is_object())
       throw std::invalid_argument("request must be a JSON object");
     if (request.contains("id")) id = request.id();
+    if (request.contains("request_id"))
+      request_id = request.string_field("request_id");
+    if (request_id.empty()) request_id = next_request_id();
     if (!request.contains("type"))
       throw std::invalid_argument("request needs a \"type\" field");
     const std::string type = request.type();
+    event.type = type;
     const Deadline deadline =
         deadline_of(request, options_.default_deadline_ms);
 
     if (type == "health") {
-      JsonObject body = ok_envelope(id, type);
+      JsonObject body = ok_envelope(id, type, request_id);
       body["protocol_version"] = JsonValue(kSvcProtocolVersion);
       body["draining"] = JsonValue(draining());
       JsonArray algorithms;
@@ -329,7 +437,7 @@ void SolverServer::process(Job job) {
       ok = true;
     } else if (type == "stats") {
       const ServerStats s = stats();
-      JsonObject body = ok_envelope(id, type);
+      JsonObject body = ok_envelope(id, type, request_id);
       body["protocol_version"] = JsonValue(kSvcProtocolVersion);
       JsonObject server;
       server["accepted_connections"] = JsonValue(s.accepted_connections);
@@ -352,8 +460,16 @@ void SolverServer::process(Job job) {
       body["cache"] = JsonValue(std::move(cache));
       response = JsonValue(std::move(body)).dump();
       ok = true;
+    } else if (type == "metrics") {
+      // Full telemetry snapshot over the NDJSON protocol — same document
+      // the admin /stats endpoint serves, for clients (mecsc_top, loadgen
+      // --scrape-interval-ms) already speaking the protocol.
+      JsonObject body = ok_envelope(id, type, request_id);
+      body["telemetry"] = metrics_json();
+      response = JsonValue(std::move(body)).dump();
+      ok = true;
     } else if (type == "shutdown") {
-      JsonObject body = ok_envelope(id, type);
+      JsonObject body = ok_envelope(id, type, request_id);
       body["draining"] = JsonValue(true);
       response = JsonValue(std::move(body)).dump();
       job.conn->write_line(response);
@@ -361,6 +477,10 @@ void SolverServer::process(Job job) {
         const util::MutexLock lock(stats_mutex_);
         ++counters_.responses_ok;
       }
+      event.request_id = request_id;
+      event.bytes_out = response.size() + 1;
+      event.total_ms = job.admitted.elapsed_ms();
+      record_event(std::move(event));
       // The response is on the wire before the drain starts, so a
       // synchronous client always sees its shutdown acknowledged.
       request_shutdown();
@@ -383,6 +503,7 @@ void SolverServer::process(Job job) {
       if (type == "solve") {
         spec = request.solve_spec();
         task_key = spec.cache_key();
+        event.algorithm = spec.algorithm;
       } else {
         poa_options.coordinated_fraction =
             request.number_field("coordinated_fraction", 0.0);
@@ -405,14 +526,18 @@ void SolverServer::process(Job job) {
       // option string. The digest is over the *canonical dump* (sorted
       // keys), so key ordering in the client's document does not fragment
       // the cache.
-      const std::string cache_key =
-          obs::fnv1a64_hex(instance_bytes) + "|" + task_key;
+      const std::string digest = obs::fnv1a64_hex(instance_bytes);
+      const std::string cache_key = digest + "|" + task_key;
+      event.instance_digest = digest;
 
       std::optional<std::string> payload;
       bool cached = false;
       if (use_cache) {
-        payload = cache_.get_or_lead(cache_key);
+        bool coalesced = false;
+        payload = cache_.get_or_lead(cache_key, &coalesced);
         cached = payload.has_value();
+        event.cache_outcome = cached ? (coalesced ? "coalesced" : "hit")
+                                     : "miss";
       }
       if (!payload) {
         bool published = false;
@@ -424,8 +549,9 @@ void SolverServer::process(Job job) {
             MECSC_PROFILE_SCOPE("svc.decode_instance");
             const util::Timer decode_timer;
             core::Instance decoded = request.decode_instance();
+            event.decode_ms = decode_timer.elapsed_ms();
             metrics.wall_duration_record("wall_svc_decode_instance_ms",
-                                         decode_timer.elapsed_ms());
+                                         event.decode_ms);
             return decoded;
           }();
           JsonObject result;
@@ -434,12 +560,14 @@ void SolverServer::process(Job job) {
               MECSC_PROFILE_SCOPE("svc.solve");
               return core::run_solver(inst, spec);
             }();
+            event.solve_ms = outcome.wall_solve_ms;
             MECSC_PROFILE_SCOPE("svc.serialize");
             result = core::assignment_to_json(outcome.assignment).as_object();
             result["algorithm"] = JsonValue(spec.algorithm);
             result["proven_optimal"] = JsonValue(outcome.proven_optimal);
           } else {
             MECSC_PROFILE_SCOPE("svc.solve");
+            const util::Timer poa_timer;
             util::Rng rng(poa_seed);
             const core::PoaResult r =
                 core::estimate_poa(inst, poa_options, rng);
@@ -452,6 +580,7 @@ void SolverServer::process(Job job) {
             result["empirical_poa"] = JsonValue(r.empirical_poa);
             result["theoretical_bound"] = JsonValue(r.theoretical_bound);
             result["equilibria_found"] = JsonValue(r.equilibria_found);
+            event.solve_ms = poa_timer.elapsed_ms();
           }
           payload = JsonValue(std::move(result)).dump();
           {
@@ -479,7 +608,7 @@ void SolverServer::process(Job job) {
       // wall_* values vary in digit length run to run.
       metrics.counter_add("svc.serialize_bytes",
                           static_cast<std::int64_t>(payload->size()));
-      JsonObject body = ok_envelope(id, type);
+      JsonObject body = ok_envelope(id, type, request_id);
       body["cached"] = JsonValue(cached);
       body["result"] = util::parse_json(*payload);
       body["wall_queue_ms"] = JsonValue(queue_wait_ms);
@@ -488,8 +617,9 @@ void SolverServer::process(Job job) {
         MECSC_PROFILE_SCOPE("svc.serialize_response");
         const util::Timer serialize_timer;
         response = JsonValue(std::move(body)).dump();
+        event.serialize_ms = serialize_timer.elapsed_ms();
         metrics.wall_duration_record("wall_svc_serialize_ms",
-                                     serialize_timer.elapsed_ms());
+                                     event.serialize_ms);
       }
       ok = true;
     } else {
@@ -511,7 +641,9 @@ void SolverServer::process(Job job) {
     } else {
       code = "internal";
     }
-    response = error_line(id, code, message);
+    if (request_id.empty()) request_id = next_request_id();
+    event.outcome = code;
+    response = error_line(id, code, message, request_id);
   }
 
   // Counters are bumped *before* the response leaves: a client that has read
@@ -534,6 +666,11 @@ void SolverServer::process(Job job) {
   } else {
     metrics.counter_add("svc.responses_error");
   }
+  event.request_id = request_id;
+  event.ok = ok;
+  event.bytes_out = response.size() + 1;  // +1: the '\n' framing byte
+  event.total_ms = job.admitted.elapsed_ms();
+  record_event(std::move(event));
 }
 
 void SolverServer::request_shutdown() {
@@ -575,6 +712,11 @@ void SolverServer::wait() {
   for (std::thread& t : workers_)
     if (t.joinable()) t.join();
   workers_.clear();
+  // Telemetry surfaces go last: the admin endpoint stays scrapeable while
+  // the drain is in progress, and every worker-recorded wide event is in
+  // the log before it is flushed and closed.
+  if (admin_) admin_->stop();
+  if (request_log_) request_log_->close();
 }
 
 ServerStats SolverServer::stats() const {
@@ -587,6 +729,42 @@ ServerStats SolverServer::stats() const {
   s.queue_capacity = queue_.capacity();
   s.cache = cache_.stats();
   return s;
+}
+
+void SolverServer::record_event(obs::RequestEvent event) {
+  telemetry_.record(event);
+  if (request_log_) request_log_->write(event);
+}
+
+obs::ServiceGauges SolverServer::gauges() const {
+  obs::ServiceGauges g;
+  g.queue_depth = queue_.size();
+  g.queue_capacity = queue_.capacity();
+  g.workers = options_.threads;
+  g.workers_busy = workers_busy_.load(std::memory_order_relaxed);
+  g.connections_in_flight =
+      connections_in_flight_.load(std::memory_order_relaxed);
+  {
+    const util::MutexLock lock(stats_mutex_);
+    g.accepted_connections = counters_.accepted_connections;
+  }
+  const ResultCache::Stats c = cache_.stats();
+  g.cache_size = c.size;
+  g.cache_capacity = c.capacity;
+  g.cache_hits = c.hits;
+  g.cache_misses = c.misses;
+  g.cache_coalesced = c.coalesced;
+  g.cache_evictions = c.evictions;
+  if (request_log_) g.request_log_dropped = request_log_->dropped();
+  return g;
+}
+
+util::JsonValue SolverServer::metrics_json() {
+  return obs::telemetry_to_json(telemetry_.snapshot(), gauges());
+}
+
+std::string SolverServer::metrics_prometheus() {
+  return obs::telemetry_to_prometheus(telemetry_.snapshot(), gauges());
 }
 
 }  // namespace mecsc::svc

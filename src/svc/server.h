@@ -40,9 +40,12 @@
 #include <thread>
 #include <vector>
 
+#include "obs/telemetry.h"
+#include "svc/admin.h"
 #include "svc/bounded_queue.h"
 #include "svc/result_cache.h"
 #include "svc/socket.h"
+#include "util/json.h"
 #include "util/sync.h"
 #include "util/timer.h"
 
@@ -76,6 +79,22 @@ struct ServerOptions {
   /// differential testing and as an operational escape hatch
   /// (mecsc_serve --parser dom).
   bool use_arena_parser = true;
+
+  /// Wide-event request log: one JSON-lines record per request (schema in
+  /// obs/telemetry.h RequestEvent). Empty disables logging.
+  std::string request_log_path;
+
+  /// Requests with total latency >= this mirror their wide event to
+  /// stderr as they complete; < 0 disables the mirror.
+  double slow_request_ms = -1.0;
+
+  /// Read-only admin HTTP endpoint (loopback): GET /metrics (Prometheus
+  /// text) and GET /stats (telemetry JSON). -1 disables; 0 binds an
+  /// ephemeral port resolved by admin_port().
+  int admin_port = -1;
+
+  /// Sliding RED window span for telemetry rates (ms).
+  double telemetry_window_ms = 60000.0;
 
   /// Test-only hook, run by a worker after dequeue and before processing;
   /// lets tests hold a worker deterministically (backpressure, drain).
@@ -122,10 +141,20 @@ class SolverServer {
   /// Bound TCP port (after start(); 0 for Unix endpoints).
   int port() const;
 
+  /// Bound admin HTTP port (after start(); -1 when the endpoint is off).
+  int admin_port() const;
+
   /// "unix:<path>" or "tcp:127.0.0.1:<port>" (after start()).
   const std::string& endpoint() const;
 
   ServerStats stats() const;
+
+  /// Telemetry snapshot + live gauges rendered as the "metrics" response
+  /// body / admin /stats document (obs::telemetry_to_json shape).
+  util::JsonValue metrics_json();
+
+  /// The same data as Prometheus text exposition (admin /metrics body).
+  std::string metrics_prometheus();
 
  private:
   struct Job {
@@ -138,11 +167,25 @@ class SolverServer {
   void session_loop(ConnectionPtr conn);
   void worker_loop();
   void process(Job job);
+  /// Records one finished request into telemetry and the request log.
+  void record_event(obs::RequestEvent event);
+  obs::ServiceGauges gauges() const;
+  /// Next server-generated request_id ("s-<n>").
+  std::string next_request_id();
 
   ServerOptions options_;
   std::unique_ptr<Listener> listener_;
   BoundedQueue<Job> queue_;
   ResultCache cache_;
+  obs::ServiceTelemetry telemetry_;
+  std::unique_ptr<obs::RequestLog> request_log_;  ///< null when disabled
+  std::unique_ptr<AdminServer> admin_;            ///< null when disabled
+
+  /// Server-generated request_id sequence ("s-<n>") for requests whose
+  /// clients did not supply one.
+  std::atomic<std::uint64_t> request_id_seq_{0};
+  std::atomic<std::size_t> workers_busy_{0};
+  std::atomic<std::size_t> connections_in_flight_{0};
 
   std::atomic<bool> draining_{false};
   /// Connection/session lifecycle lock. Ordering: may be held while taking

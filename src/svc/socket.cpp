@@ -87,13 +87,17 @@ std::optional<std::string> Connection::read_line(std::size_t max_len) {
 }
 
 bool Connection::write_line(const std::string& line) {
-  const util::MutexLock lock(impl_->write_mutex);
   std::string framed = line;
   framed += '\n';
+  return write_all(framed);
+}
+
+bool Connection::write_all(const std::string& bytes) {
+  const util::MutexLock lock(impl_->write_mutex);
   std::size_t off = 0;
-  while (off < framed.size()) {
-    const ssize_t n = ::send(impl_->fd, framed.data() + off,
-                             framed.size() - off, MSG_NOSIGNAL);
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(impl_->fd, bytes.data() + off,
+                             bytes.size() - off, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;

@@ -39,6 +39,11 @@ class Connection {
   /// error (peer gone); EPIPE is suppressed (MSG_NOSIGNAL), never a signal.
   bool write_line(const std::string& line);
 
+  /// Writes `bytes` fully and verbatim (no framing), under the same write
+  /// lock as write_line. Used by the admin HTTP endpoint, whose responses
+  /// are not newline-delimited. Same error semantics as write_line.
+  bool write_all(const std::string& bytes);
+
   /// Shuts down the read side, waking any blocked read_line with EOF.
   /// Safe to call from another thread while a read is in flight.
   void shutdown_read();

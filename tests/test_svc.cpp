@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <fstream>
 #include <future>
 #include <string>
 #include <thread>
@@ -451,6 +452,249 @@ TEST(SvcServer, ShutdownDrainsInFlightRequests) {
   }
   // Connection now reports EOF: the server is fully gone.
   EXPECT_EQ(conn->read_line(1 << 20), std::nullopt);
+}
+
+// --- Telemetry plane --------------------------------------------------------
+
+TEST(SvcServer, MetricsRequestReturnsTelemetrySnapshot) {
+  // One FIFO worker: the event for a response the client has seen is
+  // recorded before the worker pops the next (metrics) job, so the counts
+  // below are exact, not racing the post-write record.
+  svc::ServerOptions options = ServerFixture::make_default();
+  options.threads = 1;
+  ServerFixture f(std::move(options));
+  svc::SvcClient client = f.client();
+  const JsonValue instance = small_instance();
+  ASSERT_TRUE(client.solve(instance, "lcf", 1).ok);
+  ASSERT_TRUE(client.solve(instance, "lcf", 2).ok);  // cache hit
+
+  const svc::SvcResponse r = client.metrics();
+  ASSERT_TRUE(r.ok) << r.raw;
+  ASSERT_TRUE(r.body.contains("telemetry"));
+  const JsonValue& telemetry = r.body.at("telemetry");
+  const JsonValue& solve = telemetry.at("red").at("solve");
+  EXPECT_EQ(solve.number_at("requests"), 2.0);
+  EXPECT_EQ(solve.number_at("errors"), 0.0);
+  EXPECT_EQ(solve.at("wall_latency_ms").number_at("count"), 2.0);
+  EXPECT_EQ(telemetry.at("cache").number_at("hits"), 1.0);
+  EXPECT_EQ(telemetry.at("cache").number_at("misses"), 1.0);
+  EXPECT_EQ(telemetry.at("gauges").number_at("workers"), 1.0);
+  EXPECT_TRUE(telemetry.at("wall_gauges").contains("queue_depth"));
+}
+
+TEST(SvcServer, RequestIdIsEchoedOrGenerated) {
+  ServerFixture f;
+  svc::SvcClient client = f.client();
+  const JsonValue instance = small_instance();
+  // Client-supplied id comes back verbatim on the ok envelope.
+  const svc::SvcResponse echoed =
+      client.solve(instance, "lcf", 1, 0.3, true, -1.0, "my-req-7");
+  ASSERT_TRUE(echoed.ok);
+  EXPECT_EQ(echoed.request_id, "my-req-7");
+  // No id supplied: the server mints "s-<n>".
+  const svc::SvcResponse minted = client.solve(instance, "lcf", 2);
+  ASSERT_TRUE(minted.ok);
+  EXPECT_EQ(minted.request_id.rfind("s-", 0), 0u) << minted.request_id;
+  // Errors echo it too (the parse succeeded, so the id is known).
+  const svc::SvcResponse err = client.solve(
+      instance, "lcf", 3, 0.3, true, /*deadline_ms=*/0.0, "my-req-8");
+  ASSERT_FALSE(err.ok);
+  EXPECT_EQ(err.request_id, "my-req-8");
+}
+
+TEST(SvcServer, RequestLogRecordsWideEvents) {
+  const std::string path = testing::TempDir() + "mecsc_svc_reqlog.jsonl";
+  svc::ServerOptions options = ServerFixture::make_default();
+  options.request_log_path = path;
+  svc::SolverServer server(std::move(options));
+  server.start();
+  {
+    svc::SvcClient client = svc::SvcClient::connect(
+        "tcp:127.0.0.1:" + std::to_string(server.port()));
+    const svc::SvcResponse r =
+        client.solve(small_instance(), "lcf", 1, 0.3, true, -1.0, "wide-1");
+    ASSERT_TRUE(r.ok);
+  }
+  server.request_shutdown();
+  server.wait();  // close() drains the log before wait() returns
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  bool found = false;
+  while (std::getline(in, line)) {
+    const JsonValue doc = util::parse_json(line);
+    EXPECT_EQ(doc.string_at("event"), "request");
+    if (doc.string_at("request_id") != "wide-1") continue;
+    found = true;
+    EXPECT_EQ(doc.string_at("type"), "solve");
+    EXPECT_EQ(doc.string_at("algorithm"), "lcf");
+    EXPECT_EQ(doc.string_at("cache"), "miss");
+    EXPECT_FALSE(doc.string_at("digest").empty());
+    EXPECT_TRUE(doc.contains("wall_solve_ms"));
+    EXPECT_TRUE(doc.contains("wall_total_ms"));
+    EXPECT_GE(doc.number_at("wall_total_ms"),
+              doc.number_at("wall_solve_ms"));
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SvcServer, OverloadRejectionCarriesRetryAfterHint) {
+  std::promise<void> hook_entered;
+  std::promise<void> release_hook;
+  std::shared_future<void> release = release_hook.get_future().share();
+  std::atomic<int> hook_calls{0};
+
+  svc::ServerOptions options;
+  options.tcp_port = 0;
+  options.threads = 1;
+  options.queue_capacity = 1;
+  options.test_hook_before_request = [&] {
+    if (hook_calls.fetch_add(1) == 0) {
+      hook_entered.set_value();
+      release.wait();
+    }
+  };
+  ServerFixture f(std::move(options));
+  svc::ConnectionPtr conn = f.raw_connection();
+
+  ASSERT_TRUE(conn->write_line("{\"id\": 1, \"type\": \"health\"}"));
+  hook_entered.get_future().wait();
+  ASSERT_TRUE(conn->write_line("{\"id\": 2, \"type\": \"health\"}"));
+  while (f.server.stats().queue_depth == 0) std::this_thread::yield();
+  ASSERT_TRUE(conn->write_line("{\"id\": 3, \"type\": \"health\"}"));
+
+  const auto rejection = conn->read_line(1 << 20);
+  ASSERT_TRUE(rejection.has_value());
+  const JsonValue r = util::parse_json(*rejection);
+  EXPECT_EQ(r.at("error").string_at("code"), "overloaded");
+  // The hint is present, positive, and inside the documented clamp.
+  ASSERT_TRUE(r.at("error").contains("wall_retry_after_ms"));
+  const double hint = r.at("error").number_at("wall_retry_after_ms");
+  EXPECT_GE(hint, 1.0);
+  EXPECT_LE(hint, 10000.0);
+  // Rejected-before-parse lines still get a server-minted request_id.
+  EXPECT_EQ(r.string_at("request_id").rfind("s-", 0), 0u);
+
+  release_hook.set_value();
+  for (int i = 0; i < 2; ++i) {
+    const auto line = conn->read_line(1 << 20);
+    ASSERT_TRUE(line.has_value());
+  }
+}
+
+/// Minimal HTTP/1.0 GET against the admin listener; returns the full
+/// response (status line + headers + body).
+std::string admin_get(int port, const std::string& request_line) {
+  svc::ConnectionPtr conn = svc::connect_tcp("127.0.0.1", port);
+  EXPECT_TRUE(conn->write_all(request_line + "\r\n\r\n"));
+  std::string response;
+  // The admin server answers one request and closes: read to EOF.
+  while (const auto line = conn->read_line(1 << 20)) {
+    response += *line;
+    response += "\n";
+  }
+  return response;
+}
+
+TEST(SvcServer, AdminEndpointServesPrometheusAndJson) {
+  svc::ServerOptions options = ServerFixture::make_default();
+  options.threads = 1;
+  options.admin_port = 0;  // ephemeral
+  ServerFixture f(std::move(options));
+  ASSERT_GE(f.server.admin_port(), 0);
+  svc::SvcClient client = f.client();
+  ASSERT_TRUE(client.solve(small_instance(), "lcf", 1).ok);
+  // FIFO barrier: once this metrics round trip returns, the solve's event
+  // is recorded and the admin snapshots below see it.
+  ASSERT_TRUE(client.metrics().ok);
+
+  const std::string metrics =
+      admin_get(f.server.admin_port(), "GET /metrics HTTP/1.0");
+  EXPECT_EQ(metrics.rfind("HTTP/1.0 200 OK", 0), 0u) << metrics;
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("mecsc_requests_total{type=\"solve\"} 1"),
+            std::string::npos);
+
+  const std::string stats =
+      admin_get(f.server.admin_port(), "GET /stats HTTP/1.0");
+  EXPECT_EQ(stats.rfind("HTTP/1.0 200 OK", 0), 0u);
+  const std::size_t body_start = stats.find("\n{");
+  ASSERT_NE(body_start, std::string::npos) << stats;
+  const JsonValue doc = util::parse_json(stats.substr(body_start + 1));
+  EXPECT_EQ(doc.at("red").at("solve").number_at("requests"), 1.0);
+
+  EXPECT_EQ(admin_get(f.server.admin_port(), "GET /nope HTTP/1.0")
+                .rfind("HTTP/1.0 404", 0),
+            0u);
+  EXPECT_EQ(admin_get(f.server.admin_port(), "POST /metrics HTTP/1.0")
+                .rfind("HTTP/1.0 405", 0),
+            0u);
+}
+
+// Scrape-under-load: solves, NDJSON metrics requests, and admin HTTP
+// scrapes all running concurrently. TSan (ctest -L concurrency) proves the
+// sharded record path, the snapshot merge, and the admin thread share no
+// unsynchronized state; the final snapshot must account for every solve.
+TEST(SvcServer, ConcurrentScrapesUnderLoadStayConsistent) {
+  svc::ServerOptions options = ServerFixture::make_default();
+  options.threads = 4;
+  options.admin_port = 0;
+  ServerFixture f(std::move(options));
+  const JsonValue instance = small_instance();
+  constexpr std::size_t kSolvers = 4;
+  constexpr int kPerSolver = 10;
+
+  std::atomic<bool> done{false};
+  std::thread ndjson_scraper([&] {
+    svc::SvcClient client = f.client();
+    while (!done.load()) {
+      const svc::SvcResponse r = client.metrics();
+      ASSERT_TRUE(r.ok);
+      ASSERT_TRUE(r.body.contains("telemetry"));
+    }
+  });
+  std::thread http_scraper([&] {
+    while (!done.load()) {
+      const std::string text =
+          admin_get(f.server.admin_port(), "GET /metrics HTTP/1.0");
+      ASSERT_EQ(text.rfind("HTTP/1.0 200 OK", 0), 0u);
+    }
+  });
+  std::vector<std::thread> solvers;
+  for (std::size_t c = 0; c < kSolvers; ++c) {
+    solvers.emplace_back([&, c] {
+      svc::SvcClient client = f.client();
+      for (int i = 0; i < kPerSolver; ++i) {
+        const svc::SvcResponse r =
+            client.solve(instance, "lcf", c * 1000 + i, 0.3,
+                         /*cache=*/(i % 2 == 0));
+        ASSERT_TRUE(r.ok) << r.raw;
+      }
+    });
+  }
+  for (std::thread& t : solvers) t.join();
+  done.store(true);
+  ndjson_scraper.join();
+  http_scraper.join();
+
+  // Events are recorded just after each response hits the wire, so the
+  // last few may still be landing: poll until the totals converge.
+  svc::SvcClient client = f.client();
+  constexpr double kExpected =
+      static_cast<double>(kSolvers) * static_cast<double>(kPerSolver);
+  double requests = 0.0;
+  double errors = -1.0;
+  for (int spin = 0; spin < 100000 && requests < kExpected; ++spin) {
+    const svc::SvcResponse r = client.metrics();
+    ASSERT_TRUE(r.ok);
+    const JsonValue& solve = r.body.at("telemetry").at("red").at("solve");
+    requests = solve.number_at("requests");
+    errors = solve.number_at("errors");
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(requests, kExpected);
+  EXPECT_EQ(errors, 0.0);
 }
 
 // A shutdown *request* acknowledges on the wire before draining.

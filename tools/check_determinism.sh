@@ -99,6 +99,53 @@ EOF
         --seed "$SEED" --shutdown-after 1 2>/dev/null
     python3 "$TOOLS_DIR/strip_wallclock.py" "$out/BENCH_svc.json"
     wait "$serve_pid"
+
+    # Telemetry determinism: a dedicated single-worker server with the
+    # wide-event request log on. One pipelined connection sends solves
+    # (cold, cached, second algorithm), a metrics snapshot, and a
+    # shutdown; with one FIFO worker the event order, the server-minted
+    # request_ids ("s-<n>"), the cache outcomes, and every non-wall_
+    # field of both the responses and the request log are exact functions
+    # of the request stream — so they must diff clean across runs.
+    "$SERVE" --tcp-port 0 --threads 1 --port-file "$out/tport.txt" \
+        --request-log "$out/svc.requestlog.jsonl" 2>/dev/null &
+    tserve_pid=$!
+    for _ in $(seq 1 200); do
+      [ -s "$out/tport.txt" ] && break
+      sleep 0.05
+    done
+    tport="$(cat "$out/tport.txt")"
+    rm "$out/tport.txt"
+    python3 - "$out" <<'EOF'
+import json, sys
+out = sys.argv[1]
+inst = json.load(open(out + "/inst.json"))
+requests = [
+    {"id": 1, "type": "solve", "algorithm": "lcf", "instance": inst,
+     "request_id": "det-1"},                             # miss, echoed id
+    {"id": 2, "type": "solve", "algorithm": "lcf", "instance": inst},
+                                                         # hit, minted id
+    {"id": 3, "type": "solve", "algorithm": "appro", "instance": inst,
+     "request_id": "det-3"},                             # second type
+    {"id": 4, "type": "metrics"},                        # snapshot of all 3
+    {"id": 5, "type": "shutdown"},
+]
+with open(out + "/svc.trequests", "w") as f:
+    for request in requests:
+        f.write(json.dumps(request) + "\n")
+EOF
+    exec 3<>"/dev/tcp/127.0.0.1/$tport"
+    cat "$out/svc.trequests" >&3
+    : > "$out/svc.telemetry.responses.jsonl"
+    for _ in 1 2 3 4 5; do
+      IFS= read -r line <&3
+      printf '%s\n' "$line" >> "$out/svc.telemetry.responses.jsonl"
+    done
+    exec 3>&- 3<&-
+    rm "$out/svc.trequests"
+    wait "$tserve_pid"  # drain closes (and flushes) the request log
+    python3 "$TOOLS_DIR/strip_wallclock.py" \
+        "$out/svc.telemetry.responses.jsonl" "$out/svc.requestlog.jsonl"
   fi
 
   # Parse-path determinism: bench_json's record carries the canonical-dump

@@ -280,6 +280,11 @@ int cmd_solve(const Args& args) {
   auto doc = core::assignment_to_json(outcome.assignment);
   doc.as_object()["algorithm"] = util::JsonValue(spec.algorithm);
   doc.as_object()["wall_elapsed_ms"] = util::JsonValue(ms);
+  // Solver-internal time as measured by run_solver itself — the same
+  // number the service reports as the wide-event solve phase, so CLI and
+  // served runs are directly comparable. wall_elapsed_ms above adds the
+  // dispatch overhead around it.
+  doc.as_object()["wall_solve_ms"] = util::JsonValue(outcome.wall_solve_ms);
   emit(args.get_or("-o", "-"), doc.dump(2));
   return 0;
 }

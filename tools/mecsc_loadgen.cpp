@@ -17,7 +17,9 @@
 // fields are the per-combination result digests and request counts; all
 // timing goes under "wall_" keys. Exit status is non-zero on any protocol
 // violation, error response, or digest mismatch.
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <iostream>
 #include <map>
@@ -67,6 +69,17 @@ usage:
                                         the run completes
                 [--expect-cache-hits VAL]  VAL=1 fails unless the server
                                         reports cache hits > 0 (CI smoke)
+                [--scrape-interval-ms MS]  poll the server's "metrics"
+                                        request every MS during the run and
+                                        record queue-depth / hit-ratio time
+                                        series into BENCH_svc.json (wall_)
+                [--max-retries N]       retries per request on "overloaded",
+                                        honoring the server's
+                                        wall_retry_after_ms backoff hint
+                                        (default 50)
+
+Every request carries a request_id ("lg-<conn>-<n>"); the tool verifies the
+server echoes it verbatim on every ok response.
 )";
   std::exit(error.empty() ? 0 : 2);
 }
@@ -178,6 +191,10 @@ int main(int argc, char** argv) {
     const bool shutdown_after = args.get_or("--shutdown-after", "0") == "1";
     const bool expect_cache_hits =
         args.get_or("--expect-cache-hits", "0") == "1";
+    const double scrape_interval_ms =
+        args.number_or("--scrape-interval-ms", -1.0);
+    const std::uint64_t max_retries =
+        static_cast<std::uint64_t>(args.number_or("--max-retries", 50));
     if (connections == 0) usage("--connections must be >= 1");
     if (algorithms.empty()) usage("--algorithms must name at least one");
     if (instance_count == 0) usage("--instances must be >= 1");
@@ -222,6 +239,7 @@ int main(int argc, char** argv) {
     std::atomic<std::uint64_t> ok_responses{0};
     std::atomic<std::uint64_t> cached_responses{0};
     std::atomic<std::uint64_t> decoded_bytes{0};
+    std::atomic<std::uint64_t> overload_retries{0};
     std::vector<std::vector<double>> latencies_ms(connections);
 
     auto worker = [&](std::size_t conn_index) {
@@ -232,15 +250,45 @@ int main(int argc, char** argv) {
           if (i >= total_requests) return;
           const std::size_t combo_index = i % combos.size();
           const Combo& combo = combos[combo_index];
+          // Wide-event correlation id: unique per attempt sequence, echoed
+          // by the server on every parsed response (verified below).
+          const std::string request_id =
+              "lg-" + std::to_string(conn_index) + "-" + std::to_string(i);
           util::Timer latency;
-          const svc::SvcResponse response = client.solve(
+          svc::SvcResponse response = client.solve(
               instances[combo.instance_index], combo.algorithm,
-              /*id=*/i, /*one_minus_xi=*/0.3, use_cache, deadline_ms);
+              /*id=*/i, /*one_minus_xi=*/0.3, use_cache, deadline_ms,
+              request_id);
+          // "overloaded" is back-pressure, not a failure: honor the
+          // server's wall_retry_after_ms hint (bounded, with a floor so a
+          // missing hint from an old server still backs off) and retry.
+          std::uint64_t attempts = 0;
+          while (!response.ok && response.error_code == "overloaded" &&
+                 attempts < max_retries) {
+            ++attempts;
+            overload_retries.fetch_add(1);
+            const double backoff_ms =
+                response.retry_after_ms > 0.0
+                    ? std::min(response.retry_after_ms, 1000.0)
+                    : 10.0;
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(backoff_ms));
+            response = client.solve(
+                instances[combo.instance_index], combo.algorithm,
+                /*id=*/i, /*one_minus_xi=*/0.3, use_cache, deadline_ms,
+                request_id);
+          }
           latencies_ms[conn_index].push_back(latency.elapsed_ms());
           if (!response.ok) {
             verifier.fail("request " + std::to_string(i) + " (" + combo.label +
                           "): " + response.error_code + ": " +
                           response.error_message);
+            continue;
+          }
+          if (response.request_id != request_id) {
+            verifier.fail("request " + std::to_string(i) +
+                          ": request_id echo mismatch: sent " + request_id +
+                          ", got \"" + response.request_id + "\"");
             continue;
           }
           // The solve payload must be present and byte-stable per combo.
@@ -262,11 +310,44 @@ int main(int argc, char** argv) {
     };
 
     util::Timer run_timer;
+    // Optional telemetry scraper: one extra connection polling the
+    // "metrics" request while the workers run, building a queue-depth /
+    // hit-ratio time series. Pure observer — any scrape failure is
+    // swallowed, never a run failure. The samples vector is touched only
+    // by the scraper thread and read after its join.
+    std::atomic<bool> scraping{scrape_interval_ms > 0.0};
+    util::JsonArray scrape_samples;
+    std::thread scraper;
+    if (scraping.load()) {
+      scraper = std::thread([&] {
+        try {
+          svc::SvcClient scrape_client = svc::SvcClient::connect(endpoint);
+          while (scraping.load()) {
+            const svc::SvcResponse m = scrape_client.metrics();
+            if (m.ok && m.body.contains("telemetry")) {
+              const util::JsonValue& gauges =
+                  m.body.at("telemetry").at("wall_gauges");
+              util::JsonObject sample;
+              sample["wall_t_ms"] = util::JsonValue(run_timer.elapsed_ms());
+              sample["wall_queue_depth"] = gauges.at("queue_depth");
+              sample["wall_hit_ratio"] = gauges.at("cache_hit_ratio");
+              scrape_samples.push_back(util::JsonValue(std::move(sample)));
+            }
+            std::this_thread::sleep_for(std::chrono::duration<double,
+                std::milli>(scrape_interval_ms));
+          }
+        } catch (const std::exception&) {
+          // Lost scraper connection: the run proceeds without the series.
+        }
+      });
+    }
     std::vector<std::thread> threads;
     threads.reserve(connections);
     for (std::size_t c = 0; c < connections; ++c)
       threads.emplace_back(worker, c);
     for (std::thread& t : threads) t.join();
+    scraping.store(false);
+    if (scraper.joinable()) scraper.join();
     const double run_ms = run_timer.elapsed_ms();
 
     // One control connection for final server-side counters (and the
@@ -329,6 +410,11 @@ int main(int argc, char** argv) {
                static_cast<long long>(ok_responses.load())});
     t.add_row({std::string("cached responses"),
                static_cast<long long>(cached_responses.load())});
+    t.add_row({std::string("overload retries"),
+               static_cast<long long>(overload_retries.load())});
+    if (scrape_interval_ms > 0.0)
+      t.add_row({std::string("telemetry scrapes"),
+                 static_cast<long long>(scrape_samples.size())});
     t.add_row({std::string("throughput (req/s)"),
                all_latencies.empty() ? 0.0
                                      : 1e3 * static_cast<double>(
@@ -370,11 +456,23 @@ int main(int argc, char** argv) {
       row["payload_bytes_per_request"] =
           util::JsonValue(payload_bytes_per_request);
       row["wall_decoded_mb_per_s"] = util::JsonValue(decoded_mb_per_s);
+      // Whether (and how often) the server sheds load is timing-dependent,
+      // so the retry count is wall-clock metadata.
+      row["wall_overload_retries"] = util::JsonValue(overload_retries.load());
       recorder.add("summary", std::move(row),
                    {{"latency_p50", latency.p50},
                     {"latency_p95", latency.p95},
                     {"latency_p99", latency.p99},
                     {"run", run_ms}});
+    }
+    if (scrape_interval_ms > 0.0) {
+      // The whole series (count and contents) depends on wall-clock
+      // pacing; everything lives under wall_ keys so BENCH_svc.json stays
+      // diffable across runs.
+      util::JsonObject row;
+      row["wall_sample_count"] = util::JsonValue(scrape_samples.size());
+      row["wall_samples"] = util::JsonValue(scrape_samples);
+      recorder.add("scrape", std::move(row));
     }
     recorder.write_file();
 

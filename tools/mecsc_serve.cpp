@@ -54,6 +54,16 @@ usage:
                                      responses)
               [--port-file FILE]     write the bound TCP port (ephemeral
                                      binds resolve before the file appears)
+              [--request-log FILE]   wide-event JSON-lines log: one record
+                                     per request (request_id, phase times,
+                                     cache outcome; obs/telemetry.h)
+              [--slow-request-ms MS] mirror requests slower than MS to
+                                     stderr as they complete
+              [--admin-port PORT]    read-only loopback HTTP endpoint:
+                                     GET /metrics (Prometheus text) and
+                                     GET /stats (JSON); 0 = ephemeral
+              [--admin-port-file FILE]  write the bound admin port
+              [--telemetry-window-ms MS]  sliding RED window (default 60000)
               [--log-level LEVEL] [--metrics-out FILE] [--profile-out FILE]
               [--manifest-out FILE]
 
@@ -162,13 +172,33 @@ int main(int argc, char** argv) {
     }
     if (options.threads == 0) usage("--threads must be >= 1");
     if (options.queue_capacity == 0) usage("--queue-capacity must be >= 1");
+    options.request_log_path = args.get("--request-log").value_or("");
+    options.slow_request_ms = args.number_or("--slow-request-ms", -1.0);
+    if (const auto admin = args.get("--admin-port")) {
+      options.admin_port = static_cast<int>(std::stod(*admin));
+      if (options.admin_port < 0 || options.admin_port > 65535)
+        usage("--admin-port must be in [0, 65535]");
+    }
+    options.telemetry_window_ms =
+        args.number_or("--telemetry-window-ms", 60000.0);
+    if (options.telemetry_window_ms <= 0.0)
+      usage("--telemetry-window-ms must be > 0");
+    if (args.get("--admin-port-file") && options.admin_port < 0)
+      usage("--admin-port-file needs --admin-port");
 
     svc::SolverServer server(std::move(options));
     server.start();
     std::cerr << "listening on " << server.endpoint() << "\n";
+    if (server.admin_port() >= 0)
+      std::cerr << "admin endpoint on tcp:127.0.0.1:" << server.admin_port()
+                << " (/metrics, /stats)\n";
     if (const auto port_file = args.get("--port-file")) {
       core::write_text_file(*port_file,
                             std::to_string(server.port()) + "\n");
+    }
+    if (const auto admin_port_file = args.get("--admin-port-file")) {
+      core::write_text_file(*admin_port_file,
+                            std::to_string(server.admin_port()) + "\n");
     }
 
     if (pipe(g_signal_pipe) != 0) {

@@ -1,0 +1,233 @@
+// mecsc_top — live terminal dashboard for a running mecsc_serve.
+//
+//   mecsc_top --connect tcp:127.0.0.1:7077 --interval-ms 1000
+//
+// Polls the service's "metrics" request (the same snapshot the admin
+// /stats endpoint serves) and redraws a top(1)-style view: service gauges,
+// cache counters, and a per-request-type RED table with log-linear
+// latency quantiles and a bucket sparkline. Read-only — the tool sends
+// nothing but "metrics" requests on one connection.
+//
+// For scripting/CI, --iterations N exits after N polls and --no-clear 1
+// appends frames instead of redrawing in place.
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <chrono>
+
+#include "svc/client.h"
+#include "util/json.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace mecsc;
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr <<
+      R"(mecsc_top — live telemetry dashboard for the solver service
+
+usage:
+  mecsc_top --connect ENDPOINT       unix:PATH | tcp:HOST:PORT
+            [--interval-ms MS]       poll period (default 1000)
+            [--iterations N]         exit after N frames (default 0 =
+                                     run until the connection drops or
+                                     the process is interrupted)
+            [--no-clear VAL]         VAL=1 appends frames instead of
+                                     clearing the screen (for logs/CI)
+
+Renders worker/queue/cache gauges plus a per-request-type RED table
+(rate, errors, latency quantiles from the server's log-linear histograms)
+with a per-type latency sparkline. Read-only: only "metrics" requests are
+sent.
+)";
+  std::exit(error.empty() ? 0 : 2);
+}
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string key = argv[i];
+      if (key == "--help" || key == "-h") usage();
+      if (key.rfind("--", 0) != 0) usage("unexpected argument '" + key + "'");
+      if (i + 1 >= argc) usage("flag '" + key + "' needs a value");
+      values_[key] = argv[++i];
+    }
+  }
+
+  std::optional<std::string> get(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::string get_or(const std::string& key, const std::string& dflt) const {
+    return get(key).value_or(dflt);
+  }
+
+  double number_or(const std::string& key, double dflt) const {
+    const auto v = get(key);
+    return v ? std::stod(*v) : dflt;
+  }
+
+  std::string require(const std::string& key) const {
+    const auto v = get(key);
+    if (!v) usage("missing required flag '" + key + "'");
+    return *v;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+double number_or_zero(const util::JsonValue& obj, const std::string& key) {
+  if (!obj.is_object() || !obj.contains(key)) return 0.0;
+  const util::JsonValue& v = obj.at(key);
+  return v.is_number() ? v.as_number() : 0.0;
+}
+
+/// Renders the histogram's nonzero buckets as a fixed-width sparkline:
+/// each cell is one bucket, height proportional to its share of the
+/// largest bucket. Buckets arrive as [lower_ms, upper_ms, count] triples.
+std::string sparkline(const util::JsonValue& buckets, std::size_t width) {
+  static const char* kBlocks[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  if (!buckets.is_array() || buckets.as_array().empty())
+    return std::string(width, '-');
+  const util::JsonArray& cells = buckets.as_array();
+  // Down-sample (or pad) the bucket list onto `width` columns.
+  std::vector<double> columns(width, 0.0);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (!cells[i].is_array() || cells[i].as_array().size() != 3) continue;
+    const double count = cells[i].as_array()[2].as_number();
+    const std::size_t column =
+        cells.size() <= width ? i : i * width / cells.size();
+    if (column < width) columns[column] += count;
+  }
+  double peak = 0.0;
+  for (const double c : columns) peak = std::max(peak, c);
+  std::string out;
+  for (const double c : columns) {
+    if (peak <= 0.0 || c <= 0.0) {
+      out += " ";
+      continue;
+    }
+    const std::size_t level = std::min<std::size_t>(
+        7, static_cast<std::size_t>(c / peak * 7.999));
+    out += kBlocks[level];
+  }
+  return out;
+}
+
+/// One dashboard frame rendered from a "metrics" response body.
+std::string render_frame(const std::string& endpoint,
+                         const util::JsonValue& telemetry) {
+  const util::JsonValue& gauges = telemetry.at("gauges");
+  const util::JsonValue& live = telemetry.at("wall_gauges");
+  const util::JsonValue& cache = telemetry.at("cache");
+
+  std::string out;
+  out += "mecsc_top — " + endpoint + "   uptime " +
+         util::format_double(number_or_zero(live, "uptime_ms") / 1000.0, 1) +
+         "s\n";
+  out += "workers " +
+         util::format_double(number_or_zero(live, "workers_busy"), 0) + "/" +
+         util::format_double(number_or_zero(gauges, "workers"), 0) +
+         " busy   queue " +
+         util::format_double(number_or_zero(live, "queue_depth"), 0) + "/" +
+         util::format_double(number_or_zero(gauges, "queue_capacity"), 0) +
+         "   connections " +
+         util::format_double(number_or_zero(live, "connections_in_flight"),
+                             0) +
+         " in-flight / " +
+         util::format_double(number_or_zero(live, "accepted_connections"),
+                             0) +
+         " accepted\n";
+  out += "cache " + util::format_double(number_or_zero(cache, "size"), 0) +
+         "/" + util::format_double(number_or_zero(gauges, "cache_capacity"),
+                                   0) +
+         " entries   " +
+         util::format_double(number_or_zero(cache, "hits"), 0) + " hits / " +
+         util::format_double(number_or_zero(cache, "misses"), 0) +
+         " misses / " +
+         util::format_double(number_or_zero(cache, "coalesced"), 0) +
+         " coalesced   hit-ratio " +
+         util::format_double(100.0 * number_or_zero(live, "cache_hit_ratio"),
+                             1) +
+         "%   log-drops " +
+         util::format_double(number_or_zero(live, "request_log_dropped"), 0) +
+         "\n\n";
+
+  util::Table table({"type", "req", "err", "rate/s", "mean ms", "p50", "p95",
+                     "p99", "p999", "max", "latency"});
+  table.set_precision(2);
+  const util::JsonValue& red = telemetry.at("red");
+  for (const auto& [type, stats] : red.as_object()) {
+    const util::JsonValue& latency = stats.at("wall_latency_ms");
+    const util::JsonValue& window = stats.at("wall_window");
+    table.add_row({type,
+                   static_cast<long long>(number_or_zero(stats, "requests")),
+                   static_cast<long long>(number_or_zero(stats, "errors")),
+                   number_or_zero(window, "rate_per_s"),
+                   number_or_zero(latency, "mean"),
+                   number_or_zero(latency, "p50"),
+                   number_or_zero(latency, "p95"),
+                   number_or_zero(latency, "p99"),
+                   number_or_zero(latency, "p999"),
+                   number_or_zero(latency, "max"),
+                   sparkline(latency.is_object() && latency.contains("buckets")
+                                 ? latency.at("buckets")
+                                 : util::JsonValue(),
+                             16)});
+  }
+  out += table.to_string();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  try {
+    const std::string endpoint = args.require("--connect");
+    const double interval_ms = args.number_or("--interval-ms", 1000.0);
+    const std::uint64_t iterations =
+        static_cast<std::uint64_t>(args.number_or("--iterations", 0));
+    const bool clear = args.get_or("--no-clear", "0") != "1";
+    if (interval_ms <= 0.0) usage("--interval-ms must be > 0");
+
+    svc::SvcClient client = svc::SvcClient::connect(endpoint);
+    std::uint64_t frame = 0;
+    while (true) {
+      const svc::SvcResponse response = client.metrics();
+      if (!response.ok) {
+        std::cerr << "error: metrics request failed: " << response.error_code
+                  << ": " << response.error_message << "\n";
+        return 1;
+      }
+      if (!response.body.contains("telemetry")) {
+        std::cerr << "error: server response carries no telemetry (old "
+                     "server?)\n";
+        return 1;
+      }
+      if (clear) std::cout << "\x1b[2J\x1b[H";
+      std::cout << render_frame(endpoint, response.body.at("telemetry"))
+                << std::flush;
+      if (!clear) std::cout << "\n";
+      ++frame;
+      if (iterations > 0 && frame >= iterations) return 0;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(interval_ms));
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
