@@ -118,8 +118,19 @@ SolveOutcome dispatch_solver(const Instance& inst, const SolveSpec& spec) {
 }  // namespace
 
 SolveOutcome run_solver(const Instance& inst, const SolveSpec& spec) {
+  return run_solver(inst, spec, SolveContext{});
+}
+
+SolveOutcome run_solver(const Instance& inst, const SolveSpec& spec,
+                        const SolveContext& ctx) {
+  // Install the tap before opening "solver.run" so the wrapper span itself
+  // lands in the caller's trace; restored (RAII) before returning.
+  const obs::ProfilerListenerScope listener(ctx.span_listener);
   const util::Timer timer;
-  SolveOutcome outcome = dispatch_solver(inst, spec);
+  SolveOutcome outcome = [&] {
+    MECSC_PROFILE_SCOPE("solver.run");
+    return dispatch_solver(inst, spec);
+  }();
   outcome.wall_solve_ms = timer.elapsed_ms();
   return outcome;
 }

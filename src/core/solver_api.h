@@ -16,6 +16,7 @@
 
 #include "core/assignment.h"
 #include "core/instance.h"
+#include "obs/profiler.h"
 #include "util/json.h"
 #include "util/json_arena.h"
 
@@ -71,9 +72,25 @@ SolveSpec solve_spec_from_arena(const util::JsonArena::View& doc);
 /// exactly what solve_spec_from_json(parse_json(...)) accepts.
 SolveSpec decode_solve_spec(const char* data, std::size_t size);
 
+/// Per-call observability plumbing for run_solver. Carried separately
+/// from SolveSpec on purpose: nothing here may influence the result (or
+/// the cache key).
+struct SolveContext {
+  /// When non-null, installed as the calling thread's profiler span tap
+  /// for the duration of the solve, so solver-internal
+  /// MECSC_PROFILE_SCOPE phases (appro, simplex pivots, game dynamics)
+  /// land in the caller's per-request trace (obs/tracing.h).
+  obs::Profiler::SpanListener* span_listener = nullptr;
+};
+
 /// Dispatches to the named algorithm. Throws std::invalid_argument (with
 /// the list of valid names) when spec.algorithm is unknown. Deterministic:
 /// equal (instance, spec) pairs produce equal assignments.
 SolveOutcome run_solver(const Instance& inst, const SolveSpec& spec);
+
+/// As above, with observability context: the span listener (when set) taps
+/// every profiler scope the solve opens, wrapped in one "solver.run" span.
+SolveOutcome run_solver(const Instance& inst, const SolveSpec& spec,
+                        const SolveContext& ctx);
 
 }  // namespace mecsc::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 
 #include "obs/run_info.h"
 
@@ -155,6 +156,8 @@ void Profiler::reset() {
 }
 
 void Profiler::begin_span(const char* name) {
+  if (tls_listener_ != nullptr) tls_listener_->on_span_begin(name);
+  if (!enabled()) return;  // listener-only session: no shard traffic
   Shard& shard = local_shard();
   ProfileNode* node = shard.node_stack.empty()
                           ? &shard.roots[name]
@@ -163,11 +166,15 @@ void Profiler::begin_span(const char* name) {
   shard.node_stack.push_back(node);
 }
 
-void Profiler::end_span() {
+void Profiler::end_span(const char* name) {
+  if (tls_listener_ != nullptr) tls_listener_->on_span_end(name);
   Shard& shard = local_shard();
   // An empty stack means the span began before an enable()/reset()
-  // boundary invalidated this shard; discard rather than mismatch.
+  // boundary invalidated this shard (or fed only a listener); a name
+  // mismatch means the profiler was disabled between this span's begin
+  // and a still-open parent's. Discard rather than mismatch either way.
   if (shard.stack.empty()) return;
+  if (std::strcmp(shard.stack.back().name, name) != 0) return;
   const OpenSpan span = shard.stack.back();
   shard.stack.pop_back();
   ProfileNode* node = shard.node_stack.back();

@@ -97,11 +97,45 @@ struct ProfileReport {
 /// Process-wide profiler. Disabled (null) until enable() attaches it.
 class Profiler {
  public:
+  /// Per-thread tap on the span stream: every MECSC_PROFILE_SCOPE on a
+  /// thread with a listener installed reports its begin/end to the
+  /// listener, whether or not the aggregate profiler is enabled. This is
+  /// how src/obs/tracing.h hangs solver-internal spans (appro / simplex /
+  /// game dynamics) off a per-request trace without the solvers knowing
+  /// about traces. Callbacks run on the instrumented thread, inline with
+  /// the scope — implementations must not block or re-enter the profiler.
+  class SpanListener {
+   public:
+    virtual ~SpanListener() = default;
+    virtual void on_span_begin(const char* name) = 0;
+    virtual void on_span_end(const char* name) = 0;
+  };
+
   static Profiler& global();
 
   /// True when profiling is active. Relaxed atomic read — the only cost a
   /// disabled MECSC_PROFILE_SCOPE pays.
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// True when this thread must record spans: the global profiler is
+  /// enabled or a listener is installed on this thread. The extra
+  /// thread-local load keeps the disabled-scope cost at two predictable
+  /// reads — still no clock, no allocation.
+  bool should_record() const {
+    return enabled() || tls_listener_ != nullptr;
+  }
+
+  /// Installs `listener` as this thread's span tap (nullptr detaches).
+  /// Returns the previously installed listener so callers can save and
+  /// restore around a nested scope.
+  static SpanListener* set_thread_listener(SpanListener* listener) {
+    SpanListener* previous = tls_listener_;
+    tls_listener_ = listener;
+    return previous;
+  }
+
+  /// This thread's currently installed span tap (nullptr when none).
+  static SpanListener* thread_listener() { return tls_listener_; }
 
   /// Drops previous data and starts capturing. The moment of enable() is
   /// the timeline's t = 0.
@@ -120,13 +154,15 @@ class Profiler {
   /// workers); spans still open on the calling thread are not reported.
   ProfileReport report();
 
-  /// Opens a span. Called by ProfileScope only, and only when enabled();
-  /// `name` must outlive the profiler session (string literals do).
+  /// Opens a span. Called by ProfileScope only, and only when
+  /// should_record(); `name` must outlive the profiler session (string
+  /// literals do). Forwards to this thread's listener first, then feeds
+  /// the aggregate shard when enabled().
   void begin_span(const char* name);
 
   /// Closes the innermost span on this thread. A span that straddles an
   /// enable()/reset() boundary is discarded, never mismatched.
-  void end_span();
+  void end_span(const char* name);
 
  private:
   friend struct ProfilerShardHandle;
@@ -156,6 +192,9 @@ class Profiler {
   void retire(Shard&& shard);
 
   std::atomic<bool> enabled_{false};
+  /// This thread's span tap (see SpanListener). Plain thread-local: only
+  /// the owning thread reads or writes it, so no synchronization applies.
+  inline static thread_local SpanListener* tls_listener_ = nullptr;
   /// Leaf lock: session transitions and shard merges only; the recording
   /// hot path (begin_span/end_span) never takes it.
   util::Mutex mutex_;
@@ -163,23 +202,45 @@ class Profiler {
 };
 
 /// RAII phase marker. Does nothing — not even a clock read — when no
-/// profiler is attached; begin/end otherwise.
+/// profiler is attached and no listener taps this thread; begin/end
+/// otherwise.
 class ProfileScope {
  public:
   explicit ProfileScope(const char* name) {
-    if (Profiler::global().enabled()) {
-      active_ = true;
+    if (Profiler::global().should_record()) {
+      name_ = name;
       Profiler::global().begin_span(name);
     }
   }
   ~ProfileScope() {
-    if (active_) Profiler::global().end_span();
+    if (name_ != nullptr) Profiler::global().end_span(name_);
   }
   ProfileScope(const ProfileScope&) = delete;
   ProfileScope& operator=(const ProfileScope&) = delete;
 
  private:
-  bool active_ = false;
+  const char* name_ = nullptr;
+};
+
+/// Installs a span listener on the current thread for the lifetime of the
+/// scope, restoring whatever was installed before. A null listener makes
+/// the scope a no-op, so call sites can pass an optional tap through
+/// unconditionally.
+class ProfilerListenerScope {
+ public:
+  explicit ProfilerListenerScope(Profiler::SpanListener* listener)
+      : active_(listener != nullptr) {
+    if (active_) previous_ = Profiler::set_thread_listener(listener);
+  }
+  ~ProfilerListenerScope() {
+    if (active_) Profiler::set_thread_listener(previous_);
+  }
+  ProfilerListenerScope(const ProfilerListenerScope&) = delete;
+  ProfilerListenerScope& operator=(const ProfilerListenerScope&) = delete;
+
+ private:
+  bool active_;
+  Profiler::SpanListener* previous_ = nullptr;
 };
 
 #define MECSC_PROFILE_CONCAT_IMPL(a, b) a##b

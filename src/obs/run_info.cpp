@@ -29,6 +29,37 @@ const char* compiler() {
 
 }  // namespace
 
+const BuildInfo& build_info() {
+  static const BuildInfo info = [] {
+    BuildInfo b;
+#ifdef MECSC_VERSION
+    b.version = MECSC_VERSION;
+#else
+    b.version = "0.0.0";
+#endif
+#ifdef MECSC_GIT_DESCRIBE
+    b.git_describe = MECSC_GIT_DESCRIBE;
+#else
+    b.git_describe = "unknown";
+#endif
+    b.compiler = compiler();
+    b.build_type = build_type();
+    return b;
+  }();
+  return info;
+}
+
+util::JsonValue build_info_to_json() {
+  const BuildInfo& info = build_info();
+  util::JsonObject o;
+  o["version"] = util::JsonValue(info.version);
+  o["git_describe"] = util::JsonValue(info.git_describe);
+  o["compiler"] = util::JsonValue(info.compiler);
+  o["build_type"] = util::JsonValue(info.build_type);
+  o["obs_format_version"] = util::JsonValue(info.obs_format_version);
+  return util::JsonValue(std::move(o));
+}
+
 std::string fnv1a64_hex(const std::string& bytes) {
   std::uint64_t h = 14695981039346656037ull;
   for (const char c : bytes) {
@@ -55,6 +86,8 @@ util::JsonValue manifest_to_json(const RunManifest& manifest) {
   util::JsonObject build;
   build["compiler"] = util::JsonValue(compiler());
   build["build_type"] = util::JsonValue(build_type());
+  build["version"] = util::JsonValue(build_info().version);
+  build["git_describe"] = util::JsonValue(build_info().git_describe);
   doc["build"] = util::JsonValue(std::move(build));
   // The only wall-clock field: when the manifest was written. Manifests
   // describe runs, so "when" is provenance, not an algorithm result.

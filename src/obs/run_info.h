@@ -35,6 +35,23 @@ struct RunManifest {
 /// comparable between machines.
 std::string fnv1a64_hex(const std::string& bytes);
 
+/// Build provenance baked into the binary at configure time, so scrapes
+/// and dashboards can correlate a regression to the exact build.
+struct BuildInfo {
+  std::string version;       ///< MECSC_VERSION (CMake project version)
+  std::string git_describe;  ///< `git describe` at configure, or "unknown"
+  std::string compiler;      ///< e.g. "gcc 12.2.0"
+  std::string build_type;    ///< "optimized" | "debug"
+  int obs_format_version = kObsFormatVersion;
+};
+
+/// The binary's build info (constant per process).
+const BuildInfo& build_info();
+
+/// {"version", "git_describe", "compiler", "build_type",
+/// "obs_format_version"} — all deterministic for a given binary.
+util::JsonValue build_info_to_json();
+
 /// Serializes the manifest, adding obs_format_version, build provenance
 /// (compiler, build type), and the wall_written_unix_ms timestamp.
 util::JsonValue manifest_to_json(const RunManifest& manifest);

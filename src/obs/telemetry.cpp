@@ -1,5 +1,7 @@
 #include "obs/telemetry.h"
 
+#include "obs/run_info.h"
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -183,6 +185,23 @@ std::uint64_t RequestLog::slow_mirrored() const {
   return slow_mirrored_;
 }
 
+std::uint64_t RequestLog::rotations() const {
+  util::MutexLock lock(mutex_);
+  return rotations_;
+}
+
+void RequestLog::rotate() {
+  out_.close();
+  // Single-level rollover: the previous ".1" (if any) is replaced, so the
+  // log never occupies more than ~2x max_bytes on disk. rename() failures
+  // (exotic filesystems) degrade to truncate-in-place, never to a crash.
+  std::rename(options_.path.c_str(), (options_.path + ".1").c_str());
+  out_.open(options_.path, std::ios::out | std::ios::trunc);
+  bytes_written_ = 0;
+  util::MutexLock lock(mutex_);
+  ++rotations_;
+}
+
 void RequestLog::writer_loop() {
   while (true) {
     std::deque<std::string> batch;
@@ -193,7 +212,15 @@ void RequestLog::writer_loop() {
       batch.swap(pending_);
       closed = closed_;
     }
-    for (const std::string& line : batch) out_ << line << '\n';
+    for (const std::string& line : batch) {
+      if (options_.max_bytes > 0 &&
+          bytes_written_ + line.size() + 1 > options_.max_bytes &&
+          bytes_written_ > 0) {
+        rotate();
+      }
+      out_ << line << '\n';
+      bytes_written_ += line.size() + 1;
+    }
     // One flush per drained batch (not per line) keeps the on-disk log
     // current for tail -f / mid-run scrapes without a syscall per event.
     if (!batch.empty()) out_.flush();
@@ -369,6 +396,16 @@ util::JsonValue telemetry_to_json(const TelemetrySnapshot& snapshot,
   cache["evictions"] = gauges.cache_evictions;
   cache["size"] = gauges.cache_size;
 
+  // Causal-trace accounting (obs/tracing.h). Like the cache counters,
+  // these advance only inside worker-side request processing, so they are
+  // deterministic under a FIFO (--threads 1) capture.
+  util::JsonObject trace;
+  trace["sampled"] = gauges.traces_sampled;
+  trace["kept"] = gauges.traces_kept;
+  trace["flight_size"] = gauges.flight_size;
+  trace["flight_capacity"] = gauges.flight_capacity;
+  trace["flight_recorded_total"] = gauges.flight_recorded_total;
+
   // Point-in-time operational readings; racy by nature (session threads
   // and the acceptor advance them), so wall-segregated.
   util::JsonObject live;
@@ -377,6 +414,10 @@ util::JsonValue telemetry_to_json(const TelemetrySnapshot& snapshot,
   live["connections_in_flight"] = gauges.connections_in_flight;
   live["accepted_connections"] = gauges.accepted_connections;
   live["request_log_dropped"] = gauges.request_log_dropped;
+  // Rotation trips on byte counts, and the log lines carry wall_ fields
+  // whose digit counts vary run to run — wall territory.
+  live["request_log_rotations"] = gauges.request_log_rotations;
+  live["trace_writer_dropped"] = gauges.trace_writer_dropped;
   const std::uint64_t classified = gauges.cache_hits + gauges.cache_misses;
   live["cache_hit_ratio"] =
       classified > 0
@@ -389,6 +430,8 @@ util::JsonValue telemetry_to_json(const TelemetrySnapshot& snapshot,
   out["red"] = std::move(red);
   out["gauges"] = std::move(fixed);
   out["cache"] = std::move(cache);
+  out["trace"] = std::move(trace);
+  out["build"] = build_info_to_json();
   out["wall_gauges"] = std::move(live);
   return util::JsonValue(std::move(out));
 }
@@ -511,6 +554,26 @@ std::string telemetry_to_prometheus(const TelemetrySnapshot& snapshot,
       {"mecsc_request_log_dropped_total",
        "Wide events dropped by the bounded request-log writer.", "counter",
        static_cast<double>(gauges.request_log_dropped)},
+      {"mecsc_request_log_rotations_total",
+       "Times the request log rolled over to its .1 sibling.", "counter",
+       static_cast<double>(gauges.request_log_rotations)},
+      {"mecsc_traces_sampled_total",
+       "Requests whose trace id hit the head-sampling rate.", "counter",
+       static_cast<double>(gauges.traces_sampled)},
+      {"mecsc_traces_kept_total",
+       "Traces kept after tail sampling (sampled, slow, or error).",
+       "counter", static_cast<double>(gauges.traces_kept)},
+      {"mecsc_trace_writer_dropped_total",
+       "Kept traces dropped by the bounded trace writer.", "counter",
+       static_cast<double>(gauges.trace_writer_dropped)},
+      {"mecsc_flight_recorder_size",
+       "Completed requests currently held in the flight-recorder ring.",
+       "gauge", static_cast<double>(gauges.flight_size)},
+      {"mecsc_flight_recorder_capacity", "Flight-recorder ring capacity.",
+       "gauge", static_cast<double>(gauges.flight_capacity)},
+      {"mecsc_flight_recorder_recorded_total",
+       "Requests ever recorded into the flight recorder.", "counter",
+       static_cast<double>(gauges.flight_recorded_total)},
       {"mecsc_uptime_ms", "Milliseconds since telemetry start.", "gauge",
        snapshot.uptime_ms},
   };
@@ -527,6 +590,18 @@ std::string telemetry_to_prometheus(const TelemetrySnapshot& snapshot,
             classified > 0 ? static_cast<double>(gauges.cache_hits) /
                                  static_cast<double>(classified)
                            : 0.0);
+
+  // Build provenance as a constant-1 info gauge (the idiomatic Prometheus
+  // pattern: the data lives in the labels, joins key other series to the
+  // exact binary that produced them).
+  const BuildInfo& build = build_info();
+  prom_header(&out, "mecsc_build_info",
+              "Build provenance; constant 1, data in the labels.", "gauge");
+  prom_line(&out, "mecsc_build_info",
+            "version=\"" + prom_escape(build.version) + "\",git_describe=\"" +
+                prom_escape(build.git_describe) + "\",obs_format_version=\"" +
+                std::to_string(build.obs_format_version) + "\"",
+            1.0);
   return out;
 }
 

@@ -91,6 +91,11 @@ class RequestLog {
     /// Requests with total_ms >= this are also mirrored to stderr
     /// (synchronously, from the recording thread); < 0 disables.
     double slow_request_ms = -1.0;
+    /// Size-based rotation: when appending a line would push the file
+    /// past this many bytes, the file rotates to "<path>.1" (replacing
+    /// any previous rollover — a single-level cap, so disk usage is
+    /// bounded by ~2x max_bytes) and a fresh file begins. 0 disables.
+    std::size_t max_bytes = 0;
   };
 
   /// Opens the file for truncating write; throws std::runtime_error when
@@ -109,18 +114,25 @@ class RequestLog {
 
   std::uint64_t dropped() const;
   std::uint64_t slow_mirrored() const;
+  /// Times the file rolled over to "<path>.1" (see Options::max_bytes).
+  std::uint64_t rotations() const;
 
  private:
   void writer_loop();
+  /// Rolls the current file to "<path>.1" and reopens fresh. Writer
+  /// thread only.
+  void rotate();
 
   Options options_;
   std::ofstream out_;  ///< writer thread only (constructor opens it)
+  std::size_t bytes_written_ = 0;  ///< current file; writer thread only
   mutable util::Mutex mutex_;
   util::CondVar cv_;
   std::deque<std::string> pending_ MECSC_GUARDED_BY(mutex_);
   bool closed_ MECSC_GUARDED_BY(mutex_) = false;
   std::uint64_t dropped_ MECSC_GUARDED_BY(mutex_) = 0;
   std::uint64_t slow_mirrored_ MECSC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t rotations_ MECSC_GUARDED_BY(mutex_) = 0;
   std::thread writer_;  ///< owning thread only (constructor / close)
 };
 
@@ -159,6 +171,16 @@ struct ServiceGauges {
   std::uint64_t cache_coalesced = 0;
   std::uint64_t cache_evictions = 0;
   std::uint64_t request_log_dropped = 0;
+  std::uint64_t request_log_rotations = 0;
+  /// Causal-trace counters (obs/tracing.h): head-sample hits, traces the
+  /// tail-sampling decision kept, and writer-queue drops.
+  std::uint64_t traces_sampled = 0;
+  std::uint64_t traces_kept = 0;
+  std::uint64_t trace_writer_dropped = 0;
+  /// Flight-recorder ring occupancy.
+  std::size_t flight_size = 0;
+  std::size_t flight_capacity = 0;
+  std::uint64_t flight_recorded_total = 0;
 };
 
 /// Lock-sharded windowed RED accounting. All public entry points are

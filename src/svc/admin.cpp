@@ -56,7 +56,16 @@ void AdminServer::serve_loop() {
 
 void AdminServer::handle(const ConnectionPtr& conn) {
   std::optional<std::string> request_line = conn->read_line(kMaxHttpLine);
-  if (!request_line) return;
+  if (!request_line) {
+    // A line-limit overflow is a malformed client, not a vanished one:
+    // answer 400 before closing (the stream is desynchronized, so close
+    // we must regardless).
+    if (conn->line_overflow()) {
+      conn->write_all(http_response(400, "Bad Request", "text/plain",
+                                    "request line too long\n"));
+    }
+    return;
+  }
   // Drain the header block so the peer's send completes cleanly; contents
   // are irrelevant to a read-only GET.
   while (true) {
@@ -93,10 +102,14 @@ void AdminServer::handle(const ConnectionPtr& conn) {
   } else if (path == "/stats") {
     handler = &options_.stats_handler;
     content_type = "application/json";
+  } else if (path == "/debug/flight") {
+    handler = &options_.flight_handler;
+    content_type = "application/json";
   } else {
     conn->write_all(http_response(
         404, "Not Found", "text/plain",
-        "unknown path " + path + " (try /metrics or /stats)\n"));
+        "unknown path " + path +
+            " (try /metrics, /stats, or /debug/flight)\n"));
     return;
   }
   if (!*handler) {

@@ -1,7 +1,9 @@
 // Read-only admin HTTP endpoint for the solver service: GET /metrics
-// (Prometheus text exposition) and GET /stats (the telemetry JSON
-// document), served on a second loopback TCP listener so scrapers never
-// compete with solver traffic for the NDJSON socket or the worker pool.
+// (Prometheus text exposition), GET /stats (the telemetry JSON document),
+// and GET /debug/flight (the flight-recorder dump — the last N completed
+// requests with their span trees), served on a second loopback TCP
+// listener so scrapers never compete with solver traffic for the NDJSON
+// socket or the worker pool.
 //
 // Security posture: binds 127.0.0.1 only (svc/socket's Listener never
 // binds a public interface), speaks a deliberately tiny slice of
@@ -31,6 +33,9 @@ class AdminServer {
     std::function<std::string()> metrics_handler;
     /// Body for GET /stats (Content-Type application/json).
     std::function<std::string()> stats_handler;
+    /// Body for GET /debug/flight (Content-Type application/json): the
+    /// flight-recorder dump, for incident debugging mid-flight.
+    std::function<std::string()> flight_handler;
   };
 
   /// Binds and serves immediately. Throws std::runtime_error when the

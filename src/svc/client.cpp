@@ -79,7 +79,8 @@ SvcResponse SvcClient::solve(const JsonValue& instance,
                              const std::string& algorithm, std::uint64_t id,
                              double one_minus_xi, bool cache,
                              double deadline_ms,
-                             const std::string& request_id) {
+                             const std::string& request_id,
+                             const std::string& traceparent) {
   JsonObject request;
   request["id"] = JsonValue(id);
   request["type"] = JsonValue("solve");
@@ -88,6 +89,7 @@ SvcResponse SvcClient::solve(const JsonValue& instance,
   request["instance"] = instance;
   request["cache"] = JsonValue(cache);
   if (!request_id.empty()) request["request_id"] = JsonValue(request_id);
+  if (!traceparent.empty()) request["traceparent"] = JsonValue(traceparent);
   // A deadline is a caller-chosen budget, not a clock reading.
   if (deadline_ms >= 0.0)
     request["deadline_ms"] =  // determinism-lint: allow(wall-key)

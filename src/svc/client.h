@@ -48,11 +48,16 @@ class SvcClient {
   /// Convenience wrappers over call(). `instance` is a core/io.h document.
   /// A non-empty `request_id` rides along in the request and must come
   /// back verbatim in SvcResponse::request_id (wide-event correlation).
+  /// A non-empty `traceparent` (W3C trace-context form, see
+  /// obs::TraceContext) joins the request to the caller's causal trace:
+  /// the server continues that trace id and parents its root span on the
+  /// client span.
   SvcResponse solve(const util::JsonValue& instance,
                     const std::string& algorithm, std::uint64_t id,
                     double one_minus_xi = 0.3, bool cache = true,
                     double deadline_ms = -1.0,
-                    const std::string& request_id = std::string());
+                    const std::string& request_id = std::string(),
+                    const std::string& traceparent = std::string());
   SvcResponse health();
   SvcResponse server_stats();
   /// The "metrics" request: full telemetry snapshot (RED + histograms +

@@ -145,6 +145,12 @@ class RequestDoc {
     return arena() ? require_string(arena_.root(), key)
                    : require_string(dom_, key);
   }
+  /// Only call when contains(key). Lets lenient fields (traceparent, which
+  /// W3C says to ignore when malformed) avoid the require_string throw.
+  bool field_is_string(const std::string& key) const {
+    return arena() ? arena_.root().at(key).is_string()
+                   : dom_.at(key).is_string();
+  }
   /// Only call when contains("instance").
   bool instance_is_object() const {
     return arena() ? arena_.root().at("instance").is_object()
@@ -216,7 +222,8 @@ SolverServer::SolverServer(ServerOptions options)
     : options_(std::move(options)),
       queue_(options_.queue_capacity),
       cache_(options_.cache_capacity),
-      telemetry_(telemetry_options(options_)) {
+      telemetry_(telemetry_options(options_)),
+      flight_(options_.flight_recorder_capacity) {
   if (options_.threads == 0) options_.threads = 1;
 }
 
@@ -245,7 +252,16 @@ void SolverServer::start() {
     obs::RequestLog::Options log_options;
     log_options.path = options_.request_log_path;
     log_options.slow_request_ms = options_.slow_request_ms;
+    if (options_.request_log_max_mb > 0.0) {
+      log_options.max_bytes = static_cast<std::size_t>(
+          options_.request_log_max_mb * 1024.0 * 1024.0);
+    }
     request_log_ = std::make_unique<obs::RequestLog>(log_options);
+  }
+  if (!options_.trace_out.empty()) {
+    obs::TraceWriter::Options trace_options;
+    trace_options.path = options_.trace_out;
+    trace_writer_ = std::make_unique<obs::TraceWriter>(trace_options);
   }
   if (options_.admin_port >= 0) {
     AdminServer::Options admin_options;
@@ -256,11 +272,15 @@ void SolverServer::start() {
     admin_options.stats_handler = [this] {
       return metrics_json().dump() + "\n";
     };
+    admin_options.flight_handler = [this] {
+      return flight_json().dump() + "\n";
+    };
     admin_ = std::make_unique<AdminServer>(admin_options);
   }
   workers_.reserve(options_.threads);
   for (std::size_t i = 0; i < options_.threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back(
+        [this, i] { worker_loop(static_cast<std::uint32_t>(i)); });
   acceptor_thread_ = std::thread([this] { acceptor_loop(); });
 }
 
@@ -329,12 +349,14 @@ void SolverServer::session_loop(ConnectionPtr conn) {
       event.ok = false;
       event.bytes_in = line->size();
       event.bytes_out = response.size() + 1;
+      flight_.record(event, nullptr);  // no trace: never admitted
       record_event(std::move(event));
       continue;
     }
     Job job;
     job.line = std::move(*line);
     job.conn = conn;
+    job.admitted_at_ms = telemetry_.now_ms();
     const std::size_t line_bytes = job.line.size();
     if (!queue_.try_push(std::move(job))) {
       // Admission control: a full queue answers immediately instead of
@@ -361,18 +383,21 @@ void SolverServer::session_loop(ConnectionPtr conn) {
       event.ok = false;
       event.bytes_in = line_bytes;
       event.bytes_out = response.size() + 1;
+      // Overload storms are exactly what the flight ring is for; record
+      // the rejection even though it never got a trace.
+      flight_.record(event, nullptr);
       record_event(std::move(event));
     }
   }
 }
 
-void SolverServer::worker_loop() {
+void SolverServer::worker_loop(std::uint32_t ordinal) {
   while (true) {
     std::optional<Job> job = queue_.pop();
     if (!job) return;  // closed and drained
     if (options_.test_hook_before_request) options_.test_hook_before_request();
     const GaugeGuard busy(workers_busy_);
-    process(std::move(*job));
+    process(std::move(*job), ordinal);
   }
 }
 
@@ -382,7 +407,7 @@ std::string SolverServer::next_request_id() {
                     1);
 }
 
-void SolverServer::process(Job job) {
+void SolverServer::process(Job job, std::uint32_t worker_ordinal) {
   MECSC_PROFILE_SCOPE("svc.request");
   auto& metrics = obs::MetricsRegistry::global();
   metrics.counter_add("svc.requests");
@@ -391,6 +416,16 @@ void SolverServer::process(Job job) {
   obs::RequestEvent event;
   event.bytes_in = job.line.size();
   event.queue_ms = queue_wait_ms;
+
+  // Causal trace state. The trace is built for *every* request (the
+  // flight ring needs it); whether it is written out is decided at the
+  // end (tail-based sampling). The bridge installs the trace as this
+  // thread's profiler span tap, so every MECSC_PROFILE_SCOPE below —
+  // server phases and solver internals — lands in the span tree. Declared
+  // after the svc.request scope above so the bridge detaches first.
+  std::optional<obs::RequestTrace> trace;
+  std::optional<obs::ProfilerListenerScope> bridge;
+  double parse_start_ms = queue_wait_ms;
 
   JsonValue id;  // null until the request parses
   std::string request_id;  // resolved after parse (generated if absent)
@@ -401,6 +436,7 @@ void SolverServer::process(Job job) {
     RequestDoc request;
     {
       MECSC_PROFILE_SCOPE("svc.parse");
+      parse_start_ms = job.admitted.elapsed_ms();
       const util::Timer parse_timer;
       try {
         request = RequestDoc::parse(job.line, options_.use_arena_parser);
@@ -422,6 +458,35 @@ void SolverServer::process(Job job) {
       throw std::invalid_argument("request needs a \"type\" field");
     const std::string type = request.type();
     event.type = type;
+
+    // Resolve the trace context: adopt the client's traceparent when
+    // present and well-formed (anything else is ignored, per W3C
+    // trace-context), else mint a deterministic context from the
+    // request_id. Head sampling ORs onto the client's flag and is a pure
+    // function of the trace id — never an RNG.
+    {
+      obs::TraceContext tctx;
+      if (request.contains("traceparent") &&
+          request.field_is_string("traceparent")) {
+        if (auto parsed =
+                obs::TraceContext::parse(request.string_field("traceparent")))
+          tctx = *parsed;
+      }
+      if (!tctx.valid()) {
+        tctx = obs::TraceContext::derive(request_id, false);
+        tctx.span_id.clear();  // server-minted: no upstream parent span
+      }
+      tctx.sampled = tctx.sampled ||
+                     obs::trace_head_sample(tctx.trace_id,
+                                            options_.trace_sample_rate);
+      trace.emplace(std::move(tctx), job.admitted);
+      // Queue and parse completed before the context was known; add them
+      // retroactively so the tree covers the request from admission.
+      trace->add_complete("svc.queue", 0.0, queue_wait_ms);
+      trace->add_complete("svc.parse", parse_start_ms, event.parse_ms);
+      bridge.emplace(&*trace);
+    }
+
     const Deadline deadline =
         deadline_of(request, options_.default_deadline_ms);
 
@@ -482,7 +547,9 @@ void SolverServer::process(Job job) {
       event.total_ms = job.admitted.elapsed_ms();
       record_event(std::move(event));
       // The response is on the wire before the drain starts, so a
-      // synchronous client always sees its shutdown acknowledged.
+      // synchronous client always sees its shutdown acknowledged. The
+      // drain tears the trace writer down concurrently, so this request
+      // — the last one — skips the trace epilogue.
       request_shutdown();
       return;
     } else if (type == "solve" || type == "poa") {
@@ -493,7 +560,12 @@ void SolverServer::process(Job job) {
       if (!request.contains("instance") || !request.instance_is_object())
         throw std::invalid_argument(
             "request needs an \"instance\" object (core/io.h document)");
-      const std::string instance_bytes = request.instance_canonical();
+      const std::string instance_bytes = [&] {
+        // Canonical dump + digest are a real slice of large-instance
+        // latency; giving them a span keeps the trace gap-free.
+        MECSC_PROFILE_SCOPE("svc.digest");
+        return request.instance_canonical();
+      }();
       const bool use_cache = request.bool_field("cache", true);
 
       std::string task_key;
@@ -526,7 +598,10 @@ void SolverServer::process(Job job) {
       // option string. The digest is over the *canonical dump* (sorted
       // keys), so key ordering in the client's document does not fragment
       // the cache.
-      const std::string digest = obs::fnv1a64_hex(instance_bytes);
+      const std::string digest = [&] {
+        MECSC_PROFILE_SCOPE("svc.digest");
+        return obs::fnv1a64_hex(instance_bytes);
+      }();
       const std::string cache_key = digest + "|" + task_key;
       event.instance_digest = digest;
 
@@ -534,7 +609,12 @@ void SolverServer::process(Job job) {
       bool cached = false;
       if (use_cache) {
         bool coalesced = false;
-        payload = cache_.get_or_lead(cache_key, &coalesced);
+        {
+          // Coalesced followers block here until the leader publishes —
+          // exactly the wait a per-request trace needs to make visible.
+          MECSC_PROFILE_SCOPE("svc.cache_wait");
+          payload = cache_.get_or_lead(cache_key, &coalesced);
+        }
         cached = payload.has_value();
         event.cache_outcome = cached ? (coalesced ? "coalesced" : "hit")
                                      : "miss";
@@ -558,7 +638,12 @@ void SolverServer::process(Job job) {
           if (type == "solve") {
             const core::SolveOutcome outcome = [&] {
               MECSC_PROFILE_SCOPE("svc.solve");
-              return core::run_solver(inst, spec);
+              // The listener is already installed (bridge above);
+              // passing it again is harmless and keeps the CLI path —
+              // which has no bridge — and this one identical.
+              core::SolveContext solve_ctx;
+              solve_ctx.span_listener = trace ? &*trace : nullptr;
+              return core::run_solver(inst, spec, solve_ctx);
             }();
             event.solve_ms = outcome.wall_solve_ms;
             MECSC_PROFILE_SCOPE("svc.serialize");
@@ -608,18 +693,24 @@ void SolverServer::process(Job job) {
       // wall_* values vary in digit length run to run.
       metrics.counter_add("svc.serialize_bytes",
                           static_cast<std::int64_t>(payload->size()));
-      JsonObject body = ok_envelope(id, type, request_id);
-      body["cached"] = JsonValue(cached);
-      body["result"] = util::parse_json(*payload);
-      body["wall_queue_ms"] = JsonValue(queue_wait_ms);
-      body["wall_service_ms"] = JsonValue(job.admitted.elapsed_ms());
       {
-        MECSC_PROFILE_SCOPE("svc.serialize_response");
-        const util::Timer serialize_timer;
-        response = JsonValue(std::move(body)).dump();
-        event.serialize_ms = serialize_timer.elapsed_ms();
-        metrics.wall_duration_record("wall_svc_serialize_ms",
-                                     event.serialize_ms);
+        // Covers envelope assembly including the result re-parse, which
+        // is milliseconds for large assignments — without it the trace
+        // would show an unexplained gap before serialize.
+        MECSC_PROFILE_SCOPE("svc.respond");
+        JsonObject body = ok_envelope(id, type, request_id);
+        body["cached"] = JsonValue(cached);
+        body["result"] = util::parse_json(*payload);
+        body["wall_queue_ms"] = JsonValue(queue_wait_ms);
+        body["wall_service_ms"] = JsonValue(job.admitted.elapsed_ms());
+        {
+          MECSC_PROFILE_SCOPE("svc.serialize_response");
+          const util::Timer serialize_timer;
+          response = JsonValue(std::move(body)).dump();
+          event.serialize_ms = serialize_timer.elapsed_ms();
+          metrics.wall_duration_record("wall_svc_serialize_ms",
+                                       event.serialize_ms);
+        }
       }
       ok = true;
     } else {
@@ -670,6 +761,48 @@ void SolverServer::process(Job job) {
   event.ok = ok;
   event.bytes_out = response.size() + 1;  // +1: the '\n' framing byte
   event.total_ms = job.admitted.elapsed_ms();
+
+  // Trace epilogue: detach the profiler bridge, decide keep-or-drop
+  // (tail-based: errors and slow requests survive a 0 sample rate), feed
+  // the flight ring, and hand kept traces to the async writer.
+  bridge.reset();
+  if (!trace) {
+    // The request failed before a context could be resolved (parse
+    // error, missing type): mint one from the request_id so error traces
+    // are still kept and explain themselves.
+    obs::TraceContext minted = obs::TraceContext::derive(request_id, false);
+    minted.span_id.clear();
+    minted.sampled =
+        obs::trace_head_sample(minted.trace_id, options_.trace_sample_rate);
+    trace.emplace(std::move(minted), job.admitted);
+    trace->add_complete("svc.queue", 0.0, queue_wait_ms);
+  }
+  const bool sampled = trace->context().sampled;
+  std::string keep_reason;  // priority: error > sampled > slow
+  if (!ok) {
+    keep_reason = "error";
+  } else if (sampled) {
+    keep_reason = "sampled";
+  } else if (options_.slow_request_ms >= 0.0 &&
+             event.total_ms >= options_.slow_request_ms) {
+    keep_reason = "slow";
+  }
+  if (sampled) {
+    traces_sampled_.fetch_add(1, std::memory_order_relaxed);
+    metrics.counter_add("svc.traces_sampled");
+  }
+  obs::FinishedTrace finished =
+      trace->finish(request_id, event.type, keep_reason, worker_ordinal,
+                    job.admitted_at_ms);
+  if (!keep_reason.empty()) {
+    traces_kept_.fetch_add(1, std::memory_order_relaxed);
+    metrics.counter_add("svc.traces_kept");
+  }
+  flight_.record(event, &finished);
+  if (trace_writer_ && !keep_reason.empty()) {
+    trace_writer_->write(std::move(finished));
+  }
+
   record_event(std::move(event));
 }
 
@@ -714,9 +847,11 @@ void SolverServer::wait() {
   workers_.clear();
   // Telemetry surfaces go last: the admin endpoint stays scrapeable while
   // the drain is in progress, and every worker-recorded wide event is in
-  // the log before it is flushed and closed.
+  // the log (and every kept trace in the writer queue) before the files
+  // are flushed and closed.
   if (admin_) admin_->stop();
   if (request_log_) request_log_->close();
+  if (trace_writer_) trace_writer_->close();
 }
 
 ServerStats SolverServer::stats() const {
@@ -755,9 +890,20 @@ obs::ServiceGauges SolverServer::gauges() const {
   g.cache_misses = c.misses;
   g.cache_coalesced = c.coalesced;
   g.cache_evictions = c.evictions;
-  if (request_log_) g.request_log_dropped = request_log_->dropped();
+  if (request_log_) {
+    g.request_log_dropped = request_log_->dropped();
+    g.request_log_rotations = request_log_->rotations();
+  }
+  g.traces_sampled = traces_sampled_.load(std::memory_order_relaxed);
+  g.traces_kept = traces_kept_.load(std::memory_order_relaxed);
+  if (trace_writer_) g.trace_writer_dropped = trace_writer_->dropped();
+  g.flight_capacity = flight_.capacity();
+  g.flight_size = flight_.size();
+  g.flight_recorded_total = flight_.recorded_total();
   return g;
 }
+
+util::JsonValue SolverServer::flight_json() const { return flight_.to_json(); }
 
 util::JsonValue SolverServer::metrics_json() {
   return obs::telemetry_to_json(telemetry_.snapshot(), gauges());

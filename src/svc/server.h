@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "obs/telemetry.h"
+#include "obs/tracing.h"
 #include "svc/admin.h"
 #include "svc/bounded_queue.h"
 #include "svc/result_cache.h"
@@ -85,8 +86,29 @@ struct ServerOptions {
   std::string request_log_path;
 
   /// Requests with total latency >= this mirror their wide event to
-  /// stderr as they complete; < 0 disables the mirror.
+  /// stderr as they complete, and their causal trace is tail-kept even
+  /// when head sampling did not select it; < 0 disables both.
   double slow_request_ms = -1.0;
+
+  /// Request-log growth cap in MiB: when the current log file would
+  /// exceed it, the file rotates once to "<path>.1" (replacing any
+  /// previous rollover) and a fresh file begins. <= 0 disables rotation.
+  double request_log_max_mb = 0.0;
+
+  /// Head-sampling rate for causal traces in [0, 1]: the fraction of
+  /// trace ids kept independent of outcome (error and slow requests are
+  /// always kept — tail-based sampling). Deterministic per trace id.
+  double trace_sample_rate = 0.0;
+
+  /// Kept traces are appended to this file as Chrome trace-event JSON
+  /// (Perfetto-loadable; see obs/tracing.h). Empty disables the writer —
+  /// span trees are still built for the flight recorder.
+  std::string trace_out;
+
+  /// Flight-recorder ring size: the last N completed requests (wide
+  /// event + span tree) held in memory for GET /debug/flight / SIGQUIT
+  /// dumps. Always on; values < 1 are clamped to 1.
+  std::size_t flight_recorder_capacity = 256;
 
   /// Read-only admin HTTP endpoint (loopback): GET /metrics (Prometheus
   /// text) and GET /stats (telemetry JSON). -1 disables; 0 binds an
@@ -156,17 +178,24 @@ class SolverServer {
   /// The same data as Prometheus text exposition (admin /metrics body).
   std::string metrics_prometheus();
 
+  /// Flight-recorder dump: the last N completed requests (wide event +
+  /// span tree), oldest first (admin GET /debug/flight body, SIGQUIT).
+  util::JsonValue flight_json() const;
+
  private:
   struct Job {
     std::string line;
     ConnectionPtr conn;
     util::Timer admitted;  ///< queue wait + service time base
+    /// Admission stamp on the telemetry clock: the server-timeline base
+    /// for this request's trace events.
+    double admitted_at_ms = 0.0;
   };
 
   void acceptor_loop();
   void session_loop(ConnectionPtr conn);
-  void worker_loop();
-  void process(Job job);
+  void worker_loop(std::uint32_t ordinal);
+  void process(Job job, std::uint32_t worker_ordinal);
   /// Records one finished request into telemetry and the request log.
   void record_event(obs::RequestEvent event);
   obs::ServiceGauges gauges() const;
@@ -179,7 +208,12 @@ class SolverServer {
   ResultCache cache_;
   obs::ServiceTelemetry telemetry_;
   std::unique_ptr<obs::RequestLog> request_log_;  ///< null when disabled
+  std::unique_ptr<obs::TraceWriter> trace_writer_;  ///< null when disabled
+  obs::FlightRecorder flight_;                    ///< always on
   std::unique_ptr<AdminServer> admin_;            ///< null when disabled
+
+  std::atomic<std::uint64_t> traces_sampled_{0};  ///< head-sample hits
+  std::atomic<std::uint64_t> traces_kept_{0};     ///< written candidates
 
   /// Server-generated request_id sequence ("s-<n>") for requests whose
   /// clients did not supply one.

@@ -4,9 +4,11 @@
 // the TSan job's filter picks them up).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <fstream>
 #include <future>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -14,6 +16,7 @@
 #include "core/instance.h"
 #include "core/io.h"
 #include "core/solver_api.h"
+#include "obs/tracing.h"
 #include "svc/bounded_queue.h"
 #include "svc/client.h"
 #include "svc/result_cache.h"
@@ -695,6 +698,236 @@ TEST(SvcServer, ConcurrentScrapesUnderLoadStayConsistent) {
   }
   EXPECT_EQ(requests, kExpected);
   EXPECT_EQ(errors, 0.0);
+}
+
+// --- Causal tracing through the server (obs/tracing.h) ----------------------
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return text;
+}
+
+/// Collects every span name in a trace summary's tree.
+void collect_span_names(const JsonValue& span, std::vector<std::string>* out) {
+  out->push_back(span.string_at("name"));
+  if (!span.contains("children")) return;
+  for (const JsonValue& child : span.at("children").as_array())
+    collect_span_names(child, out);
+}
+
+TEST(SvcServer, TraceparentPropagatesWireToSolverSpans) {
+  const std::string trace_path = testing::TempDir() + "mecsc_svc_trace.json";
+  const obs::TraceContext client_ctx =
+      obs::TraceContext::derive("svc-trace-test", true);
+  {
+    svc::ServerOptions options = ServerFixture::make_default();
+    options.threads = 1;
+    options.trace_out = trace_path;
+    options.trace_sample_rate = 0.0;  // the 01 flag alone must keep it
+    ServerFixture f(std::move(options));
+    svc::SvcClient client = f.client();
+    const svc::SvcResponse r =
+        client.solve(small_instance(), "lcf", 1, 0.3, true, -1.0, "tp-1",
+                     client_ctx.to_traceparent());
+    ASSERT_TRUE(r.ok) << r.raw;
+  }  // drain closes the trace writer
+
+  const JsonValue doc = util::parse_json(read_file(trace_path));
+  ASSERT_GE(doc.number_at("kept_traces"), 1.0);
+  const util::JsonArray& summaries = doc.at("traces").as_array();
+  const JsonValue* ours = nullptr;
+  for (const JsonValue& s : summaries) {
+    if (s.string_at("request_id") == "tp-1") ours = &s;
+  }
+  ASSERT_NE(ours, nullptr);
+  // The server continued the client's trace and parented its root span on
+  // the client's span.
+  EXPECT_EQ(ours->string_at("trace_id"), client_ctx.trace_id);
+  EXPECT_EQ(ours->string_at("parent_span_id"), client_ctx.span_id);
+  EXPECT_EQ(ours->string_at("keep_reason"), "sampled");
+  // One tree from the wire down into the solver internals.
+  std::vector<std::string> names;
+  collect_span_names(ours->at("root"), &names);
+  for (const char* expected :
+       {"svc.request", "svc.queue", "svc.parse", "svc.solve", "solver.run",
+        "lcf", "svc.respond"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "missing span " << expected;
+  }
+  // Timeline events reference only span ids that exist in this trace.
+  std::set<std::string> ids;
+  for (const JsonValue& ev : doc.at("traceEvents").as_array()) {
+    if (ev.at("args").string_at("trace_id") == client_ctx.trace_id)
+      ids.insert(ev.at("args").string_at("span_id"));
+  }
+  for (const JsonValue& ev : doc.at("traceEvents").as_array()) {
+    if (ev.at("args").string_at("trace_id") != client_ctx.trace_id) continue;
+    const std::string parent = ev.at("args").string_at("parent_span_id");
+    if (parent == client_ctx.span_id) continue;  // the root's upstream edge
+    EXPECT_TRUE(ids.count(parent)) << "dangling parent " << parent;
+  }
+}
+
+TEST(SvcServer, ErrorRequestsAreTailKeptAtSampleRateZero) {
+  const std::string trace_path = testing::TempDir() + "mecsc_svc_errtrace.json";
+  {
+    svc::ServerOptions options = ServerFixture::make_default();
+    options.threads = 1;
+    options.trace_out = trace_path;
+    options.trace_sample_rate = 0.0;
+    ServerFixture f(std::move(options));
+    svc::SvcClient client = f.client();
+    // A successful solve at rate 0 must NOT be kept...
+    ASSERT_TRUE(client.solve(small_instance(), "lcf", 1).ok);
+    // ...but an error response must be, regardless of sampling.
+    JsonObject bad;
+    bad["id"] = JsonValue(static_cast<std::uint64_t>(2));
+    bad["type"] = JsonValue("solve");
+    bad["algorithm"] = JsonValue("no-such-algorithm");
+    bad["instance"] = small_instance();
+    bad["request_id"] = JsonValue("err-1");
+    const svc::SvcResponse r = client.call(JsonValue(std::move(bad)));
+    ASSERT_FALSE(r.ok);
+    EXPECT_EQ(r.error_code, "bad_request");
+  }
+  const JsonValue doc = util::parse_json(read_file(trace_path));
+  const util::JsonArray& summaries = doc.at("traces").as_array();
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_EQ(summaries[0].string_at("request_id"), "err-1");
+  EXPECT_EQ(summaries[0].string_at("keep_reason"), "error");
+}
+
+TEST(SvcServer, SlowRequestsAreTailKeptAtSampleRateZero) {
+  const std::string trace_path =
+      testing::TempDir() + "mecsc_svc_slowtrace.json";
+  {
+    svc::ServerOptions options = ServerFixture::make_default();
+    options.threads = 1;
+    options.trace_out = trace_path;
+    options.trace_sample_rate = 0.0;
+    options.slow_request_ms = 0.0;  // every request is "slow"
+    ServerFixture f(std::move(options));
+    svc::SvcClient client = f.client();
+    ASSERT_TRUE(
+        client.solve(small_instance(), "lcf", 1, 0.3, true, -1.0, "slow-1")
+            .ok);
+  }
+  const JsonValue doc = util::parse_json(read_file(trace_path));
+  const util::JsonArray& summaries = doc.at("traces").as_array();
+  ASSERT_GE(summaries.size(), 1u);
+  EXPECT_EQ(summaries[0].string_at("request_id"), "slow-1");
+  EXPECT_EQ(summaries[0].string_at("keep_reason"), "slow");
+}
+
+TEST(SvcServer, DebugFlightEndpointServesTheRing) {
+  svc::ServerOptions options = ServerFixture::make_default();
+  options.threads = 1;
+  options.admin_port = 0;
+  options.flight_recorder_capacity = 4;
+  ServerFixture f(std::move(options));
+  svc::SvcClient client = f.client();
+  ASSERT_TRUE(
+      client.solve(small_instance(), "lcf", 1, 0.3, true, -1.0, "fl-1").ok);
+  // FIFO barrier: the flight entry lands before this response returns.
+  ASSERT_TRUE(client.metrics().ok);
+
+  const std::string response =
+      admin_get(f.server.admin_port(), "GET /debug/flight HTTP/1.0");
+  EXPECT_EQ(response.rfind("HTTP/1.0 200 OK", 0), 0u) << response;
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  const std::size_t body_start = response.find("\n{");
+  ASSERT_NE(body_start, std::string::npos) << response;
+  const JsonValue doc = util::parse_json(response.substr(body_start + 1));
+  EXPECT_EQ(doc.number_at("capacity"), 4.0);
+  const util::JsonArray& entries = doc.at("entries").as_array();
+  ASSERT_GE(entries.size(), 1u);
+  bool found = false;
+  for (const JsonValue& entry : entries) {
+    if (entry.at("event").string_at("request_id") != "fl-1") continue;
+    found = true;
+    // Tracing ran (the flight ring is always on), so the entry carries the
+    // span tree even with no trace writer configured.
+    ASSERT_TRUE(entry.contains("trace"));
+    EXPECT_EQ(entry.at("trace").at("root").string_at("name"), "svc.request");
+  }
+  EXPECT_TRUE(found);
+}
+
+// --- Admin HTTP robustness --------------------------------------------------
+
+TEST(SvcAdmin, ByteAtATimeRequestIsServed) {
+  svc::ServerOptions options = ServerFixture::make_default();
+  options.admin_port = 0;
+  ServerFixture f(std::move(options));
+  svc::ConnectionPtr conn =
+      svc::connect_tcp("127.0.0.1", f.server.admin_port());
+  const std::string request = "GET /stats HTTP/1.0\r\n\r\n";
+  for (const char c : request)
+    ASSERT_TRUE(conn->write_all(std::string(1, c)));
+  std::string response;
+  while (const auto line = conn->read_line(1 << 20)) {
+    response += *line;
+    response += "\n";
+  }
+  EXPECT_EQ(response.rfind("HTTP/1.0 200 OK", 0), 0u) << response;
+}
+
+TEST(SvcAdmin, OversizedRequestLineGets400) {
+  svc::ServerOptions options = ServerFixture::make_default();
+  options.admin_port = 0;
+  ServerFixture f(std::move(options));
+  svc::ConnectionPtr conn =
+      svc::connect_tcp("127.0.0.1", f.server.admin_port());
+  ASSERT_TRUE(conn->write_all(std::string(10000, 'A')));
+  std::string response;
+  while (const auto line = conn->read_line(1 << 20)) {
+    response += *line;
+    response += "\n";
+  }
+  EXPECT_EQ(response.rfind("HTTP/1.0 400 Bad Request", 0), 0u) << response;
+}
+
+// Flight-recorder scrapes racing live solves: TSan (ctest -L concurrency)
+// proves the ring's lock discipline against the worker epilogues, and
+// every dump must be complete, parseable JSON.
+TEST(SvcServer, ConcurrentFlightScrapesDuringSolvesStayParseable) {
+  svc::ServerOptions options = ServerFixture::make_default();
+  options.threads = 4;
+  options.admin_port = 0;
+  options.flight_recorder_capacity = 8;
+  ServerFixture f(std::move(options));
+  const JsonValue instance = small_instance();
+
+  std::atomic<bool> done{false};
+  std::thread scraper([&] {
+    while (!done.load()) {
+      const std::string response =
+          admin_get(f.server.admin_port(), "GET /debug/flight HTTP/1.0");
+      ASSERT_EQ(response.rfind("HTTP/1.0 200 OK", 0), 0u);
+      const std::size_t body_start = response.find("\n{");
+      ASSERT_NE(body_start, std::string::npos);
+      const JsonValue doc = util::parse_json(response.substr(body_start + 1));
+      ASSERT_LE(doc.at("entries").as_array().size(), 8u);
+    }
+  });
+  std::vector<std::thread> solvers;
+  for (int c = 0; c < 3; ++c) {
+    solvers.emplace_back([&, c] {
+      svc::SvcClient client = f.client();
+      for (int i = 0; i < 8; ++i) {
+        ASSERT_TRUE(client
+                        .solve(instance, "lcf", c * 100 + i, 0.3,
+                               /*cache=*/(i % 2 == 0))
+                        .ok);
+      }
+    });
+  }
+  for (std::thread& t : solvers) t.join();
+  done.store(true);
+  scraper.join();
+  EXPECT_GE(f.server.flight_json().number_at("recorded_total"), 24.0);
 }
 
 // A shutdown *request* acknowledges on the wire before draining.

@@ -13,6 +13,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <string>
 #include <thread>
@@ -413,6 +414,58 @@ TEST(RequestLog, WriteAfterCloseCountsAsDropped) {
   log.close();
   log.write(solve_event(1.0));
   EXPECT_EQ(log.dropped(), 1u);
+}
+
+TEST(RequestLog, SizeRotationKeepsOneRolledFileAndEveryLine) {
+  const std::string path = testing::TempDir() + "mecsc_requestlog_rotate.jsonl";
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
+  constexpr int kEvents = 200;
+  {
+    RequestLog::Options opt;
+    opt.path = path;
+    opt.max_bytes = 4096;  // tiny cap: every wide event is ~300 bytes
+    RequestLog log(opt);
+    for (int i = 0; i < kEvents; ++i) {
+      RequestEvent e = solve_event(1.0 + i);
+      e.request_id = "r-" + std::to_string(i);
+      log.write(e);
+    }
+    log.close();
+    EXPECT_EQ(log.dropped(), 0u);
+    EXPECT_GE(log.rotations(), 1u);
+  }
+  // Single-rollover policy: the live file plus exactly one `.1` sibling,
+  // and no line is lost across the most recent boundary (older rollovers
+  // are intentionally discarded).
+  int live_lines = 0;
+  std::string line;
+  std::ifstream live(path);
+  ASSERT_TRUE(live.good());
+  while (std::getline(live, line)) {
+    EXPECT_EQ(util::parse_json(line).string_at("type"), "solve");
+    ++live_lines;
+  }
+  std::ifstream rolled(path + ".1");
+  ASSERT_TRUE(rolled.good());
+  int rolled_lines = 0;
+  std::string last_rolled;
+  while (std::getline(rolled, line)) {
+    last_rolled = line;
+    ++rolled_lines;
+  }
+  EXPECT_GT(live_lines, 0);
+  EXPECT_GT(rolled_lines, 0);
+  // The rolled file ends exactly where the live file begins.
+  std::ifstream live2(path);
+  std::string first_live;
+  ASSERT_TRUE(std::getline(live2, first_live));
+  const auto index_of = [](const std::string& event_line) {
+    // request_id is "r-<i>"; recover <i>.
+    const std::string id = util::parse_json(event_line).string_at("request_id");
+    return std::stoi(id.substr(2));
+  };
+  EXPECT_EQ(index_of(first_live), index_of(last_rolled) + 1);
 }
 
 TEST(RequestLog, SlowRequestsAreMirrored) {

@@ -146,6 +146,68 @@ EOF
     wait "$tserve_pid"  # drain closes (and flushes) the request log
     python3 "$TOOLS_DIR/strip_wallclock.py" \
         "$out/svc.telemetry.responses.jsonl" "$out/svc.requestlog.jsonl"
+
+    # Trace determinism: a single-worker server with tracing fully on.
+    # Trace ids are derived (client-sent traceparents are fixed strings;
+    # server-minted ones hash the FIFO request_id), span ids are sequence
+    # hashes, and the trace artifact's summaries, the flight-recorder dump,
+    # and the responses must all diff clean once wall_ keys and the
+    # traceEvents timeline (wall-clock by nature) are stripped.
+    "$SERVE" --tcp-port 0 --threads 1 --port-file "$out/rport.txt" \
+        --trace-out "$out/svc.trace.json" --trace-sample-rate 1 \
+        --flight-recorder 8 --admin-port 0 \
+        --admin-port-file "$out/raport.txt" 2>/dev/null &
+    rserve_pid=$!
+    for _ in $(seq 1 200); do
+      [ -s "$out/rport.txt" ] && [ -s "$out/raport.txt" ] && break
+      sleep 0.05
+    done
+    rport="$(cat "$out/rport.txt")"
+    raport="$(cat "$out/raport.txt")"
+    rm "$out/rport.txt" "$out/raport.txt"
+    python3 - "$out" <<'EOF'
+import json, sys
+out = sys.argv[1]
+inst = json.load(open(out + "/inst.json"))
+parent = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+requests = [
+    {"id": 1, "type": "solve", "algorithm": "lcf", "instance": inst,
+     "request_id": "trc-1", "traceparent": parent},  # continues the client trace
+    {"id": 2, "type": "solve", "algorithm": "lcf", "instance": inst,
+     "request_id": "trc-2"},                         # cache hit, minted trace
+    {"id": 3, "type": "solve", "algorithm": "no-such-algorithm",
+     "instance": inst, "request_id": "trc-err"},     # error: tail-kept
+    {"id": 4, "type": "metrics"},                    # FIFO barrier: all flight
+]                                                    # entries recorded
+with open(out + "/svc.rrequests", "w") as f:
+    for request in requests:
+        f.write(json.dumps(request) + "\n")
+EOF
+    exec 3<>"/dev/tcp/127.0.0.1/$rport"
+    cat "$out/svc.rrequests" >&3
+    : > "$out/svc.trace.responses.jsonl"
+    for _ in 1 2 3 4; do
+      IFS= read -r line <&3
+      printf '%s\n' "$line" >> "$out/svc.trace.responses.jsonl"
+    done
+    exec 3>&- 3<&-
+    rm "$out/svc.rrequests"
+
+    # Flight-recorder dump over the admin endpoint, headers stripped.
+    exec 4<>"/dev/tcp/127.0.0.1/$raport"
+    printf 'GET /debug/flight HTTP/1.0\r\n\r\n' >&4
+    cat <&4 | sed '1,/^\r*$/d' > "$out/svc.flight.json"
+    exec 4>&- 4<&-
+
+    # Graceful stop closes (and footers) the trace artifact.
+    exec 5<>"/dev/tcp/127.0.0.1/$rport"
+    printf '{"id": 9, "type": "shutdown"}\n' >&5
+    IFS= read -r _ <&5 || true
+    exec 5>&- 5<&-
+    wait "$rserve_pid"
+    python3 "$TOOLS_DIR/strip_wallclock.py" \
+        "$out/svc.trace.responses.jsonl" "$out/svc.trace.json" \
+        "$out/svc.flight.json"
   fi
 
   # Parse-path determinism: bench_json's record carries the canonical-dump

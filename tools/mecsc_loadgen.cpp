@@ -32,6 +32,7 @@
 #include "core/instance.h"
 #include "core/io.h"
 #include "obs/run_info.h"
+#include "obs/tracing.h"
 #include "svc/client.h"
 #include "util/json.h"
 #include "util/sync.h"
@@ -77,9 +78,14 @@ usage:
                                         honoring the server's
                                         wall_retry_after_ms backoff hint
                                         (default 50)
+                [--trace-sample-rate R] head-sampling rate in [0, 1] for the
+                                        traceparent each request carries:
+                                        the sampled flag is set for this
+                                        fraction of trace ids (default 0)
 
-Every request carries a request_id ("lg-<conn>-<n>"); the tool verifies the
-server echoes it verbatim on every ok response.
+Every request carries a request_id ("lg-<conn>-<n>") and a W3C traceparent
+derived from it (one trace per request, client span as the root); the tool
+verifies the server echoes the request_id verbatim on every ok response.
 )";
   std::exit(error.empty() ? 0 : 2);
 }
@@ -195,6 +201,10 @@ int main(int argc, char** argv) {
         args.number_or("--scrape-interval-ms", -1.0);
     const std::uint64_t max_retries =
         static_cast<std::uint64_t>(args.number_or("--max-retries", 50));
+    const double trace_sample_rate =
+        args.number_or("--trace-sample-rate", 0.0);
+    if (trace_sample_rate < 0.0 || trace_sample_rate > 1.0)
+      usage("--trace-sample-rate must be in [0, 1]");
     if (connections == 0) usage("--connections must be >= 1");
     if (algorithms.empty()) usage("--algorithms must name at least one");
     if (instance_count == 0) usage("--instances must be >= 1");
@@ -254,11 +264,20 @@ int main(int argc, char** argv) {
           // by the server on every parsed response (verified below).
           const std::string request_id =
               "lg-" + std::to_string(conn_index) + "-" + std::to_string(i);
+          // Causal-trace context, derived deterministically from the
+          // request id (same flags → same trace ids run to run). The
+          // sampled flag head-samples client-side; the server tail-keeps
+          // slow/error requests regardless.
+          obs::TraceContext tctx =
+              obs::TraceContext::derive(request_id, false);
+          tctx.sampled =
+              obs::trace_head_sample(tctx.trace_id, trace_sample_rate);
+          const std::string traceparent = tctx.to_traceparent();
           util::Timer latency;
           svc::SvcResponse response = client.solve(
               instances[combo.instance_index], combo.algorithm,
               /*id=*/i, /*one_minus_xi=*/0.3, use_cache, deadline_ms,
-              request_id);
+              request_id, traceparent);
           // "overloaded" is back-pressure, not a failure: honor the
           // server's wall_retry_after_ms hint (bounded, with a floor so a
           // missing hint from an old server still backs off) and retry.
@@ -276,7 +295,7 @@ int main(int argc, char** argv) {
             response = client.solve(
                 instances[combo.instance_index], combo.algorithm,
                 /*id=*/i, /*one_minus_xi=*/0.3, use_cache, deadline_ms,
-                request_id);
+                request_id, traceparent);
           }
           latencies_ms[conn_index].push_back(latency.elapsed_ms());
           if (!response.ok) {

@@ -57,11 +57,27 @@ usage:
               [--request-log FILE]   wide-event JSON-lines log: one record
                                      per request (request_id, phase times,
                                      cache outcome; obs/telemetry.h)
+              [--request-log-max-mb MB]  rotate the request log to FILE.1
+                                     when it would exceed MB (single-level
+                                     rollover; 0 = never, the default)
               [--slow-request-ms MS] mirror requests slower than MS to
-                                     stderr as they complete
+                                     stderr as they complete, and always
+                                     keep their causal trace (tail sampling)
+              [--trace-out FILE]     kept causal traces as Chrome
+                                     trace-event JSON (load in Perfetto /
+                                     chrome://tracing; obs/tracing.h)
+              [--trace-sample-rate R]  head-sampling rate in [0, 1]: the
+                                     fraction of traces kept regardless of
+                                     outcome (errors and slow requests are
+                                     always kept). Default 0
+              [--flight-recorder N]  in-memory ring of the last N completed
+                                     requests with span trees (default 256)
+              [--flight-dump FILE]   where SIGQUIT dumps the flight
+                                     recorder (default: stderr)
               [--admin-port PORT]    read-only loopback HTTP endpoint:
-                                     GET /metrics (Prometheus text) and
-                                     GET /stats (JSON); 0 = ephemeral
+                                     GET /metrics (Prometheus text),
+                                     GET /stats (JSON), GET /debug/flight
+                                     (flight-recorder dump); 0 = ephemeral
               [--admin-port-file FILE]  write the bound admin port
               [--telemetry-window-ms MS]  sliding RED window (default 60000)
               [--log-level LEVEL] [--metrics-out FILE] [--profile-out FILE]
@@ -69,7 +85,8 @@ usage:
 
 --tcp-port 0 binds an ephemeral loopback port. Stop with SIGTERM/SIGINT or
 a {"type": "shutdown"} request; either way the daemon answers everything it
-admitted before exiting.
+admitted before exiting. SIGQUIT does not stop the daemon: it dumps the
+flight recorder (last N requests + span trees) for incident debugging.
 )";
   std::exit(error.empty() ? 0 : 2);
 }
@@ -110,8 +127,10 @@ class Args {
 /// after wait() so the watcher always exits.
 int g_signal_pipe[2] = {-1, -1};
 
-extern "C" void on_signal(int) {
-  const char byte = 1;
+extern "C" void on_signal(int sig) {
+  // One byte per signal, tagged so the watcher can tell "drain" (SIGTERM /
+  // SIGINT) from "dump the flight recorder, keep serving" (SIGQUIT).
+  const char byte = sig == SIGQUIT ? 2 : 1;
   // Result ignored deliberately: if the pipe is full, a wakeup is already
   // pending and the drain will run.
   [[maybe_unused]] const ssize_t n = write(g_signal_pipe[1], &byte, 1);
@@ -173,7 +192,14 @@ int main(int argc, char** argv) {
     if (options.threads == 0) usage("--threads must be >= 1");
     if (options.queue_capacity == 0) usage("--queue-capacity must be >= 1");
     options.request_log_path = args.get("--request-log").value_or("");
+    options.request_log_max_mb = args.number_or("--request-log-max-mb", 0.0);
     options.slow_request_ms = args.number_or("--slow-request-ms", -1.0);
+    options.trace_out = args.get("--trace-out").value_or("");
+    options.trace_sample_rate = args.number_or("--trace-sample-rate", 0.0);
+    if (options.trace_sample_rate < 0.0 || options.trace_sample_rate > 1.0)
+      usage("--trace-sample-rate must be in [0, 1]");
+    options.flight_recorder_capacity =
+        static_cast<std::size_t>(args.number_or("--flight-recorder", 256));
     if (const auto admin = args.get("--admin-port")) {
       options.admin_port = static_cast<int>(std::stod(*admin));
       if (options.admin_port < 0 || options.admin_port > 65535)
@@ -191,7 +217,7 @@ int main(int argc, char** argv) {
     std::cerr << "listening on " << server.endpoint() << "\n";
     if (server.admin_port() >= 0)
       std::cerr << "admin endpoint on tcp:127.0.0.1:" << server.admin_port()
-                << " (/metrics, /stats)\n";
+                << " (/metrics, /stats, /debug/flight)\n";
     if (const auto port_file = args.get("--port-file")) {
       core::write_text_file(*port_file,
                             std::to_string(server.port()) + "\n");
@@ -208,11 +234,30 @@ int main(int argc, char** argv) {
     }
     std::signal(SIGTERM, on_signal);
     std::signal(SIGINT, on_signal);
+    std::signal(SIGQUIT, on_signal);  // flight-recorder dump, not a stop
     std::signal(SIGPIPE, SIG_IGN);  // belt-and-braces next to MSG_NOSIGNAL
-    std::thread signal_watcher([&server] {
+    const std::string flight_dump_path =
+        args.get("--flight-dump").value_or("");
+    std::thread signal_watcher([&server, &flight_dump_path] {
       char byte = 0;
       while (true) {
         const ssize_t n = read(g_signal_pipe[0], &byte, 1);
+        if (n == 1 && byte == 2) {
+          // SIGQUIT: dump the last N requests (wide events + span trees)
+          // and keep serving — the incident-debugging snapshot.
+          const std::string dump = server.flight_json().dump(2);
+          if (flight_dump_path.empty()) {
+            std::cerr << "flight recorder dump (SIGQUIT):\n" << dump << "\n";
+          } else {
+            try {
+              core::write_text_file(flight_dump_path, dump + "\n");
+              std::cerr << "wrote " << flight_dump_path << "\n";
+            } catch (const std::exception& e) {
+              std::cerr << "error: flight dump failed: " << e.what() << "\n";
+            }
+          }
+          continue;
+        }
         if (n == 1) {
           server.request_shutdown();
           return;

@@ -20,6 +20,8 @@
 
 #include <chrono>
 
+#include <unistd.h>
+
 #include "svc/client.h"
 #include "util/json.h"
 #include "util/table.h"
@@ -42,10 +44,11 @@ usage:
             [--no-clear VAL]         VAL=1 appends frames instead of
                                      clearing the screen (for logs/CI)
 
-Renders worker/queue/cache gauges plus a per-request-type RED table
+Renders worker/queue/cache/trace gauges plus a per-request-type RED table
 (rate, errors, latency quantiles from the server's log-linear histograms)
-with a per-type latency sparkline. Read-only: only "metrics" requests are
-sent.
+with a per-type latency sparkline. Rows are colored by windowed error rate
+(green < 1%, yellow < 5%, red otherwise) when stdout is a terminal.
+Read-only: only "metrics" requests are sent.
 )";
   std::exit(error.empty() ? 0 : 2);
 }
@@ -126,12 +129,26 @@ std::string sparkline(const util::JsonValue& buckets, std::size_t width) {
   return out;
 }
 
+/// RED-row coloring by windowed error rate: green under 1%, yellow under
+/// 5%, red at or above. Applied to whole rendered lines (never inside
+/// table cells — ANSI escapes would break the column width math).
+const char* error_rate_color(double requests, double errors) {
+  if (requests <= 0.0 || errors / requests < 0.01) return "\x1b[32m";
+  if (errors / requests < 0.05) return "\x1b[33m";
+  return "\x1b[31m";
+}
+
 /// One dashboard frame rendered from a "metrics" response body.
 std::string render_frame(const std::string& endpoint,
-                         const util::JsonValue& telemetry) {
+                         const util::JsonValue& telemetry, bool color) {
   const util::JsonValue& gauges = telemetry.at("gauges");
   const util::JsonValue& live = telemetry.at("wall_gauges");
   const util::JsonValue& cache = telemetry.at("cache");
+  // Absent against a pre-tracing server; every gauge then reads 0.
+  const util::JsonValue trace = telemetry.is_object() &&
+                                        telemetry.contains("trace")
+                                    ? telemetry.at("trace")
+                                    : util::JsonValue();
 
   std::string out;
   out += "mecsc_top — " + endpoint + "   uptime " +
@@ -163,15 +180,33 @@ std::string render_frame(const std::string& endpoint,
                              1) +
          "%   log-drops " +
          util::format_double(number_or_zero(live, "request_log_dropped"), 0) +
-         "\n\n";
+         "\n";
+  out += "traces " +
+         util::format_double(number_or_zero(trace, "sampled"), 0) +
+         " sampled / " +
+         util::format_double(number_or_zero(trace, "kept"), 0) + " kept / " +
+         util::format_double(number_or_zero(live, "trace_writer_dropped"),
+                             0) +
+         " writer-drops   flight " +
+         util::format_double(number_or_zero(trace, "flight_size"), 0) + "/" +
+         util::format_double(number_or_zero(trace, "flight_capacity"), 0) +
+         " (" +
+         util::format_double(number_or_zero(trace, "flight_recorded_total"),
+                             0) +
+         " recorded)\n\n";
 
   util::Table table({"type", "req", "err", "rate/s", "mean ms", "p50", "p95",
                      "p99", "p999", "max", "latency"});
   table.set_precision(2);
   const util::JsonValue& red = telemetry.at("red");
+  // Row colors, in insertion order (= the table's rendered row order).
+  std::vector<const char*> row_colors;
   for (const auto& [type, stats] : red.as_object()) {
     const util::JsonValue& latency = stats.at("wall_latency_ms");
     const util::JsonValue& window = stats.at("wall_window");
+    row_colors.push_back(
+        error_rate_color(number_or_zero(window, "requests"),
+                         number_or_zero(window, "errors")));
     table.add_row({type,
                    static_cast<long long>(number_or_zero(stats, "requests")),
                    static_cast<long long>(number_or_zero(stats, "errors")),
@@ -187,7 +222,27 @@ std::string render_frame(const std::string& endpoint,
                                  : util::JsonValue(),
                              16)});
   }
-  out += table.to_string();
+  const std::string rendered = table.to_string();
+  if (!color) {
+    out += rendered;
+    return out;
+  }
+  // Colorize whole lines after rendering: line 0 is the header, line 1 the
+  // separator, line 2+i is data row i.
+  std::size_t line = 0;
+  std::size_t start = 0;
+  while (start < rendered.size()) {
+    std::size_t end = rendered.find('\n', start);
+    if (end == std::string::npos) end = rendered.size();
+    const std::string text = rendered.substr(start, end - start);
+    if (line >= 2 && line - 2 < row_colors.size()) {
+      out += row_colors[line - 2] + text + "\x1b[0m\n";
+    } else {
+      out += text + "\n";
+    }
+    start = end + 1;
+    ++line;
+  }
   return out;
 }
 
@@ -201,6 +256,9 @@ int main(int argc, char** argv) {
     const std::uint64_t iterations =
         static_cast<std::uint64_t>(args.number_or("--iterations", 0));
     const bool clear = args.get_or("--no-clear", "0") != "1";
+    // Error-rate row coloring only when a human is watching: ANSI escapes
+    // in redirected output would pollute CI logs and diffs.
+    const bool color = isatty(STDOUT_FILENO) == 1;
     if (interval_ms <= 0.0) usage("--interval-ms must be > 0");
 
     svc::SvcClient client = svc::SvcClient::connect(endpoint);
@@ -218,7 +276,8 @@ int main(int argc, char** argv) {
         return 1;
       }
       if (clear) std::cout << "\x1b[2J\x1b[H";
-      std::cout << render_frame(endpoint, response.body.at("telemetry"))
+      std::cout << render_frame(endpoint, response.body.at("telemetry"),
+                                color)
                 << std::flush;
       if (!clear) std::cout << "\n";
       ++frame;
