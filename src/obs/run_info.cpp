@@ -60,12 +60,17 @@ util::JsonValue build_info_to_json() {
   return util::JsonValue(std::move(o));
 }
 
-std::string fnv1a64_hex(const std::string& bytes) {
+std::uint64_t fnv1a64(std::string_view bytes) {
   std::uint64_t h = 14695981039346656037ull;
   for (const char c : bytes) {
     h ^= static_cast<unsigned char>(c);
     h *= 1099511628211ull;
   }
+  return h;
+}
+
+std::string fnv1a64_hex(const std::string& bytes) {
+  std::uint64_t h = fnv1a64(bytes);
   std::string hex(16, '0');
   for (int i = 15; i >= 0; --i) {
     hex[static_cast<std::size_t>(i)] = "0123456789abcdef"[h & 0xf];

@@ -8,7 +8,9 @@
 // removes before determinism diffs.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "util/json.h"
 
@@ -30,9 +32,13 @@ struct RunManifest {
   std::string instance_digest;
 };
 
-/// 64-bit FNV-1a of `bytes`, as 16 lowercase hex digits. Stable across
-/// platforms and standard libraries (unlike std::hash), so digests are
-/// comparable between machines.
+/// 64-bit FNV-1a of `bytes`. Stable across platforms and standard
+/// libraries (unlike std::hash); the raw value is what the routing tier's
+/// consistent-hash ring sorts on.
+std::uint64_t fnv1a64(std::string_view bytes);
+
+/// fnv1a64(bytes) as 16 lowercase hex digits — the digest form used in
+/// manifests, cache keys, and bench records.
 std::string fnv1a64_hex(const std::string& bytes);
 
 /// Build provenance baked into the binary at configure time, so scrapes

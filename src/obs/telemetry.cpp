@@ -315,9 +315,7 @@ TelemetrySnapshot ServiceTelemetry::snapshot_at(double at_ms) {
   return out;
 }
 
-double ServiceTelemetry::retry_after_ms_hint_at(std::size_t queue_depth,
-                                                std::size_t workers,
-                                                double at_ms) {
+double ServiceTelemetry::windowed_service_ms_at(double at_ms) {
   std::uint64_t window_requests = 0;
   double window_duration_sum_ms = 0.0;
   for (const auto& shard_ptr : shards_) {
@@ -332,11 +330,21 @@ double ServiceTelemetry::retry_after_ms_hint_at(std::size_t queue_depth,
       }
     }
   }
+  return window_requests > 0
+             ? window_duration_sum_ms / static_cast<double>(window_requests)
+             : 0.0;
+}
+
+double ServiceTelemetry::windowed_service_ms() {
+  return windowed_service_ms_at(now_ms());
+}
+
+double ServiceTelemetry::retry_after_ms_hint_at(std::size_t queue_depth,
+                                                std::size_t workers,
+                                                double at_ms) {
   // Mean service time over the window; nominal 25 ms before any data.
-  const double mean_ms =
-      window_requests > 0
-          ? window_duration_sum_ms / static_cast<double>(window_requests)
-          : 25.0;
+  const double windowed_ms = windowed_service_ms_at(at_ms);
+  const double mean_ms = windowed_ms > 0.0 ? windowed_ms : 25.0;
   const double effective_workers =
       static_cast<double>(workers == 0 ? 1 : workers);
   // Time until the queue (plus the slot this request would have taken)

@@ -217,6 +217,12 @@ class ServiceTelemetry {
   double retry_after_ms_hint_at(std::size_t queue_depth, std::size_t workers,
                                 double at_ms);
 
+  /// Mean service time (ms) over the sliding window across all request
+  /// types; 0.0 on a cold window. The load signal the `health` response
+  /// exports (as wall_service_time_ms) for the router's spill decisions.
+  double windowed_service_ms();
+  double windowed_service_ms_at(double at_ms);
+
  private:
   /// One sliding-window slot: counters for the absolute slot index
   /// `index` (slot k covers [k*slot_ms, (k+1)*slot_ms)). A ring position

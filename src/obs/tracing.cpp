@@ -115,11 +115,24 @@ util::JsonValue FinishedTrace::summary_json() const {
   return util::JsonValue(std::move(o));
 }
 
-RequestTrace::RequestTrace(TraceContext ctx, const util::Timer& clock)
+RequestTrace::RequestTrace(TraceContext ctx, const util::Timer& clock,
+                           const char* root_name)
     : ctx_(std::move(ctx)), clock_(clock) {
-  root_.name = "svc.request";
-  root_.span_id = trace_span_id(ctx_.trace_id, next_seq_++);
+  // Span ids must be unique across *processes* sharing one trace: the
+  // router and the backend each open a RequestTrace on the same trace id
+  // and both number spans from 0, so hashing (trace_id, seq) alone would
+  // collide the two roots. Folding the inbound parent span id into the
+  // namespace keeps ids distinct along the whole request chain — each
+  // hop's parent differs — while staying a pure function of the context
+  // (the determinism contract for trace artifacts).
+  span_namespace_ = ctx_.trace_id + "/" + ctx_.span_id;
+  root_.name = root_name;
+  root_.span_id = trace_span_id(span_namespace_, next_seq_++);
   stack_.push_back(&root_);
+}
+
+const std::string& RequestTrace::current_span_id() const {
+  return stack_.back()->span_id;
 }
 
 void RequestTrace::begin(const char* name) {
@@ -127,7 +140,7 @@ void RequestTrace::begin(const char* name) {
   parent->children.push_back(TraceSpan{});
   TraceSpan& span = parent->children.back();
   span.name = name;
-  span.span_id = trace_span_id(ctx_.trace_id, next_seq_++);
+  span.span_id = trace_span_id(span_namespace_, next_seq_++);
   span.start_ms = clock_.elapsed_ms();
   stack_.push_back(&span);
 }
@@ -145,7 +158,7 @@ void RequestTrace::add_complete(const char* name, double start_ms,
   parent->children.push_back(TraceSpan{});
   TraceSpan& span = parent->children.back();
   span.name = name;
-  span.span_id = trace_span_id(ctx_.trace_id, next_seq_++);
+  span.span_id = trace_span_id(span_namespace_, next_seq_++);
   span.start_ms = start_ms;
   span.dur_ms = dur_ms;
 }

@@ -85,10 +85,13 @@ struct TraceContext {
 /// requests is a pure function of the trace ids.
 bool trace_head_sample(const std::string& trace_id, double rate);
 
-/// Span id rule: fnv1a64_hex(trace_id + "/" + seq), seq = creation order
-/// within the trace (root = 0). Deterministic given a deterministic
-/// request stream and single-worker FIFO processing.
-std::string trace_span_id(const std::string& trace_id, std::uint64_t seq);
+/// Span id rule: fnv1a64_hex(ns + "/" + seq), seq = creation order within
+/// the trace (root = 0). RequestTrace namespaces with
+/// trace_id + "/" + parent_span_id so two processes on the same trace
+/// (router and backend, each numbering from 0) can never collide.
+/// Deterministic given a deterministic request stream and single-worker
+/// FIFO processing.
+std::string trace_span_id(const std::string& ns, std::uint64_t seq);
 
 /// One node of a request's span tree. `name` points at a string literal
 /// (profiler scope names), so nodes are cheap to copy into the writer
@@ -137,8 +140,11 @@ struct FinishedTrace {
 class RequestTrace final : public Profiler::SpanListener {
  public:
   /// `clock` is the request's admission timer (span offsets are measured
-  /// on it) and must outlive the trace.
-  RequestTrace(TraceContext ctx, const util::Timer& clock);
+  /// on it) and must outlive the trace. `root_name` is the root span's
+  /// label — "svc.request" for the solver server, "route.request" for the
+  /// front router (a string literal; TraceSpan::name never owns).
+  RequestTrace(TraceContext ctx, const util::Timer& clock,
+               const char* root_name = "svc.request");
 
   /// Opens a child span under the innermost open span, timed from now.
   void begin(const char* name);
@@ -156,6 +162,12 @@ class RequestTrace final : public Profiler::SpanListener {
   const TraceContext& context() const { return ctx_; }
   std::uint64_t spans() const { return next_seq_; }
 
+  /// Span id of the innermost open span (the root before any begin()).
+  /// This is the id a cross-process hop propagates: the router opens its
+  /// forward span, reads this, and sends it as the traceparent's parent
+  /// span id so the downstream server's root parents on the hop.
+  const std::string& current_span_id() const;
+
   /// Closes any still-open spans and the root at the current clock, and
   /// returns the finished trace. The RequestTrace must not be used after.
   FinishedTrace finish(std::string request_id, std::string type,
@@ -165,6 +177,9 @@ class RequestTrace final : public Profiler::SpanListener {
  private:
   TraceContext ctx_;
   const util::Timer& clock_;
+  /// Span-id hash namespace: trace_id + "/" + inbound parent span id —
+  /// see trace_span_id for why the parent is folded in.
+  std::string span_namespace_;
   TraceSpan root_;
   /// Innermost-first path of open spans. stack_[i] points into
   /// stack_[i-1]->children; safe because only the deepest open span's

@@ -1,0 +1,96 @@
+#include "route/shard_map.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/run_info.h"
+
+namespace mecsc::route {
+
+namespace {
+
+/// 64-bit avalanche finalizer (the murmur3/splitmix constant pair) over
+/// the FNV-1a hash. FNV-1a alone mixes its *high* bits poorly on short
+/// inputs — vnode labels like "b5#17" land clustered in the upper range,
+/// which skews ring arcs badly enough that a new backend can capture far
+/// more than its 1/N share. The finalizer spreads every input bit over
+/// the full word; still a pure function, so placement stays deterministic.
+std::uint64_t mix64(std::uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+std::uint64_t ring_point(const std::string& label) {
+  return mix64(obs::fnv1a64(label));
+}
+
+}  // namespace
+
+ShardMap::ShardMap(std::vector<BackendSpec> backends)
+    : backends_(std::move(backends)) {
+  if (backends_.empty())
+    throw std::invalid_argument("route: shard map needs at least one backend");
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    const BackendSpec& b = backends_[i];
+    if (b.name.empty())
+      throw std::invalid_argument("route: backend name must not be empty");
+    if (b.weight == 0)
+      throw std::invalid_argument("route: backend \"" + b.name +
+                                  "\" has zero weight");
+    for (std::size_t j = 0; j < i; ++j) {
+      if (backends_[j].name == b.name)
+        throw std::invalid_argument("route: duplicate backend name \"" +
+                                    b.name + "\"");
+    }
+  }
+
+  std::size_t total_vnodes = 0;
+  for (const BackendSpec& b : backends_) {
+    total_vnodes += b.weight * kVnodesPerWeight;
+  }
+  ring_.reserve(total_vnodes);
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    const BackendSpec& b = backends_[i];
+    const std::size_t vnodes = b.weight * kVnodesPerWeight;
+    for (std::size_t v = 0; v < vnodes; ++v) {
+      ring_.push_back(Vnode{ring_point(b.name + "#" + std::to_string(v)), i});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(), [](const Vnode& a, const Vnode& b) {
+    return a.hash != b.hash ? a.hash < b.hash : a.backend < b.backend;
+  });
+}
+
+std::size_t ShardMap::lower_bound_ring(std::uint64_t hash) const {
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), hash,
+      [](const Vnode& v, std::uint64_t h) { return v.hash < h; });
+  // Past the last vnode wraps to the ring's start.
+  return it == ring_.end() ? 0 : static_cast<std::size_t>(it - ring_.begin());
+}
+
+std::size_t ShardMap::owner(const std::string& digest) const {
+  return ring_[lower_bound_ring(ring_point(digest))].backend;
+}
+
+std::vector<std::size_t> ShardMap::preference(const std::string& digest) const {
+  std::vector<std::size_t> order;
+  order.reserve(backends_.size());
+  std::vector<bool> seen(backends_.size(), false);
+  const std::size_t start = lower_bound_ring(ring_point(digest));
+  for (std::size_t step = 0;
+       step < ring_.size() && order.size() < backends_.size(); ++step) {
+    const std::size_t backend = ring_[(start + step) % ring_.size()].backend;
+    if (seen[backend]) continue;
+    seen[backend] = true;
+    order.push_back(backend);
+  }
+  return order;
+}
+
+}  // namespace mecsc::route

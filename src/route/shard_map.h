@@ -1,0 +1,84 @@
+// Weighted consistent-hash shard map: which backend owns an instance
+// digest, and in what order the remaining backends stand in when the
+// owner is down, draining, or overloaded.
+//
+// The map is a classic hash ring over virtual nodes. Each backend
+// contributes weight * kVnodesPerWeight points at
+// mix64(fnv1a64(name + "#" + v)); a digest lands at mix64(fnv1a64(digest))
+// and walks the ring clockwise (the avalanche finalizer matters: raw
+// FNV-1a clusters short labels' high bits, see shard_map.cpp). The first
+// distinct backend met is the owner; the order the others appear in is
+// the spill preference. Everything is hashed from names — no RNG, no
+// pointer values, no std::hash —
+// so the same topology yields byte-identical assignments in every
+// process, every run, every platform. That determinism is what makes the
+// router's affinity guarantee (repeat digests → same backend → warm
+// result cache) hold across router restarts.
+//
+// Ring properties the tests pin down (tests/test_shard_map.cpp):
+//   - removing a backend only reassigns the keys it owned (expected
+//     share ≈ weight / total_weight); every other key keeps its owner;
+//   - adding a backend steals only the keys it now owns;
+//   - ownership is proportional to weight;
+//   - an empty topology is a constructor error, not a runtime surprise.
+//
+// ShardMap is immutable: topology changes (drain, re-add) build a new
+// map and swap it in under the router's topology mutex, so readers never
+// see a half-updated ring.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mecsc::route {
+
+/// One backend as the router sees it: a stable name (the hash identity —
+/// renaming a backend moves its keys), the endpoint to dial, and a
+/// relative capacity weight.
+struct BackendSpec {
+  std::string name;
+  std::string endpoint;  ///< "unix:<path>" / "tcp:<host>:<port>" / bare path
+  std::size_t weight = 1;
+};
+
+/// Virtual nodes per unit of weight. High enough that ownership shares
+/// concentrate near weight / total_weight (relative spread shrinks like
+/// 1/sqrt(vnodes)), low enough that building a map is trivial.
+inline constexpr std::size_t kVnodesPerWeight = 64;
+
+class ShardMap {
+ public:
+  /// Builds the ring. Throws std::invalid_argument on an empty topology,
+  /// a duplicate or empty backend name, or a zero weight.
+  explicit ShardMap(std::vector<BackendSpec> backends);
+
+  /// Index (into backends()) of the digest's owner.
+  std::size_t owner(const std::string& digest) const;
+
+  /// All backends in clockwise ring order from the digest's position:
+  /// preference(d)[0] is the owner, [1] the first spill target, and so
+  /// on — every backend appears exactly once.
+  std::vector<std::size_t> preference(const std::string& digest) const;
+
+  const std::vector<BackendSpec>& backends() const { return backends_; }
+  std::size_t size() const { return backends_.size(); }
+
+ private:
+  /// One ring point: vnode hash plus the backend it belongs to. Sorted by
+  /// (hash, backend) — the tiebreak keeps the ring total-ordered even on
+  /// the astronomically unlikely hash collision.
+  struct Vnode {
+    std::uint64_t hash;
+    std::size_t backend;
+  };
+
+  /// Ring position of the first vnode at or clockwise of `hash`.
+  std::size_t lower_bound_ring(std::uint64_t hash) const;
+
+  std::vector<BackendSpec> backends_;
+  std::vector<Vnode> ring_;
+};
+
+}  // namespace mecsc::route

@@ -1,6 +1,9 @@
 #include "svc/client.h"
 
+#include <algorithm>
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 namespace mecsc::svc {
@@ -35,23 +38,53 @@ Endpoint parse_endpoint(const std::string& text) {
   return ep;
 }
 
-SvcClient::SvcClient(ConnectionPtr conn) : conn_(std::move(conn)) {}
+SvcClient::SvcClient(ConnectionPtr conn, std::string endpoint,
+                     ReconnectOptions reconnect)
+    : conn_(std::move(conn)),
+      endpoint_(std::move(endpoint)),
+      reconnect_(reconnect) {}
 
-SvcClient SvcClient::connect(const std::string& endpoint) {
+SvcClient SvcClient::connect(const std::string& endpoint,
+                             ReconnectOptions reconnect) {
   const Endpoint ep = parse_endpoint(endpoint);
   return SvcClient(ep.is_unix ? connect_unix(ep.path)
-                              : connect_tcp(ep.host, ep.port));
+                              : connect_tcp(ep.host, ep.port),
+                   endpoint, reconnect);
+}
+
+std::optional<std::string> SvcClient::try_call_raw(const std::string& line) {
+  if (!conn_->write_line(line)) return std::nullopt;
+  std::optional<std::string> reply = conn_->read_line(kMaxResponseBytes);
+  if (!reply && conn_->line_overflow())
+    throw std::runtime_error("svc: response line exceeds the size limit");
+  return reply;
 }
 
 SvcResponse SvcClient::call(const JsonValue& request) {
-  if (!conn_->write_line(request.dump()))
-    throw std::runtime_error("svc: connection closed while sending request");
-  std::optional<std::string> line = conn_->read_line(kMaxResponseBytes);
-  if (!line)
-    throw std::runtime_error(
-        conn_->line_overflow()
-            ? "svc: response line exceeds the size limit"
-            : "svc: connection closed before a response arrived");
+  const std::string wire = request.dump();
+  std::optional<std::string> line = try_call_raw(wire);
+  for (std::size_t attempt = 0; !line; ++attempt) {
+    if (attempt >= reconnect_.attempts)
+      throw std::runtime_error(
+          "svc: connection to " + endpoint_ + " dropped (" +
+          std::to_string(attempt) + " reconnect attempts exhausted)");
+    const double backoff_ms =
+        std::min(reconnect_.backoff_initial_ms *
+                     static_cast<double>(std::uint64_t{1}
+                                         << std::min<std::size_t>(attempt, 32)),
+                 reconnect_.backoff_max_ms);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(backoff_ms));
+    try {
+      const Endpoint ep = parse_endpoint(endpoint_);
+      conn_ = ep.is_unix ? connect_unix(ep.path)
+                         : connect_tcp(ep.host, ep.port);
+    } catch (const std::exception&) {
+      continue;  // endpoint still down; next attempt backs off longer
+    }
+    ++reconnects_;
+    line = try_call_raw(wire);
+  }
 
   SvcResponse response;
   response.raw = std::move(*line);

@@ -34,16 +34,40 @@ struct SvcResponse {
   std::string raw;         ///< exact bytes received (minus the newline)
 };
 
+/// Recovery policy for dropped connections (ECONNRESET/EPIPE show up
+/// here as a failed send or an EOF before the response). Requests are
+/// idempotent — solves are pure computation behind a single-flight
+/// cache — so a retransmit after reconnecting is always safe.
+/// (Namespace-scope rather than nested in SvcClient: its defaults are
+/// used as a default argument inside the class, which GCC rejects for a
+/// nested type whose member initializers are still pending.)
+struct ReconnectOptions {
+  /// Reconnect attempts per call() before giving up (0 = the old hard
+  /// error on any drop).
+  std::size_t attempts = 5;
+  double backoff_initial_ms = 10.0;  ///< doubles per attempt
+  double backoff_max_ms = 500.0;
+};
+
 class SvcClient {
  public:
+  using ReconnectOptions = svc::ReconnectOptions;
+
   /// Connects to "unix:<path>", "tcp:<host>:<port>", or a bare filesystem
   /// path (treated as a Unix socket). Throws std::runtime_error on failure.
-  static SvcClient connect(const std::string& endpoint);
+  static SvcClient connect(const std::string& endpoint,
+                           ReconnectOptions reconnect = ReconnectOptions());
 
-  /// Sends `request` (one line) and reads one response line. Throws
-  /// std::runtime_error when the connection drops or the response is not
-  /// valid JSON — a malformed response is a server bug, never swallowed.
+  /// Sends `request` (one line) and reads one response line. When the
+  /// connection drops mid-call, reconnects to the original endpoint with
+  /// exponential backoff and retransmits, up to ReconnectOptions::attempts
+  /// times. Throws std::runtime_error once retries are exhausted, when the
+  /// response overflows the size cap, or when it is not valid JSON — a
+  /// malformed response is a server bug, never swallowed.
   SvcResponse call(const util::JsonValue& request);
+
+  /// Connection drops recovered across the client's lifetime.
+  std::uint64_t reconnects() const { return reconnects_; }
 
   /// Convenience wrappers over call(). `instance` is a core/io.h document.
   /// A non-empty `request_id` rides along in the request and must come
@@ -66,9 +90,17 @@ class SvcClient {
   SvcResponse shutdown();
 
  private:
-  explicit SvcClient(ConnectionPtr conn);
+  SvcClient(ConnectionPtr conn, std::string endpoint,
+            ReconnectOptions reconnect);
+
+  /// One send + receive over the current connection. Returns nullopt on a
+  /// connection drop (retryable); throws on overflow (not retryable).
+  std::optional<std::string> try_call_raw(const std::string& line);
 
   ConnectionPtr conn_;
+  std::string endpoint_;  ///< for reconnects, as given to connect()
+  ReconnectOptions reconnect_;
+  std::uint64_t reconnects_ = 0;
   std::uint64_t next_id_ = 1;  ///< for the no-argument wrappers
 };
 

@@ -498,6 +498,18 @@ void SolverServer::process(Job job, std::uint32_t worker_ordinal) {
       for (const std::string& name : core::solver_algorithm_names())
         algorithms.emplace_back(name);
       body["algorithms"] = JsonValue(std::move(algorithms));
+      // Load signals for the routing tier's spill decisions (and for
+      // mecsc_top). Capacity figures are configuration (deterministic,
+      // bare keys); the instantaneous depth/inflight/service-time values
+      // depend on request interleaving, so they live under wall_ keys per
+      // the determinism contract.
+      body["queue_capacity"] = JsonValue(options_.queue_capacity);
+      body["workers"] = JsonValue(options_.threads);
+      body["wall_queue_depth"] = JsonValue(queue_.size());
+      body["wall_inflight"] = JsonValue(static_cast<std::size_t>(
+          workers_busy_.load(std::memory_order_relaxed)));
+      body["wall_service_time_ms"] =
+          JsonValue(telemetry_.windowed_service_ms());
       response = JsonValue(std::move(body)).dump();
       ok = true;
     } else if (type == "stats") {

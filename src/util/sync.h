@@ -38,6 +38,7 @@
 // another locking component.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -162,6 +163,18 @@ class CondVar {
     std::unique_lock<std::mutex> native(mu.m_, std::adopt_lock);
     cv_.wait(native);
     native.release();  // ownership stays with the caller's MutexLock
+  }
+
+  /// wait() with a timeout: returns false on timeout, true on a wakeup
+  /// (possibly spurious — the caller's while-loop still guards). For
+  /// periodic background work that must stay interruptible (the router's
+  /// health prober sleeps between sweeps without pinning shutdown).
+  bool wait_for_ms(Mutex& mu, double timeout_ms) MECSC_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.m_, std::adopt_lock);
+    const auto status = cv_.wait_for(
+        native, std::chrono::duration<double, std::milli>(timeout_ms));
+    native.release();  // ownership stays with the caller's MutexLock
+    return status == std::cv_status::no_timeout;
   }
 
   void notify_one() noexcept { cv_.notify_one(); }

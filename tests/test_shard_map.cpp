@@ -1,0 +1,171 @@
+// Consistent-hash ring properties the routing tier's affinity guarantee
+// rests on: deterministic placement, weight-proportional shares, and
+// minimal key movement when the topology changes. Suite names start with
+// "ShardMap" so the TSan job's concurrency filter picks them up (the map
+// itself is immutable — these pin the contract the concurrent router
+// leans on).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/run_info.h"
+#include "route/shard_map.h"
+
+namespace {
+
+using namespace mecsc;
+using route::BackendSpec;
+using route::ShardMap;
+
+std::vector<BackendSpec> topology(std::size_t n) {
+  std::vector<BackendSpec> backends;
+  for (std::size_t i = 0; i < n; ++i) {
+    BackendSpec spec;
+    spec.name = "b" + std::to_string(i + 1);
+    spec.endpoint = "tcp:127.0.0.1:" + std::to_string(7001 + i);
+    backends.push_back(std::move(spec));
+  }
+  return backends;
+}
+
+/// The digests the router actually feeds the ring: fnv1a64_hex of a
+/// canonical instance dump. Synthetic payloads stand in for instances.
+std::vector<std::string> digests(std::size_t count) {
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    out.push_back(obs::fnv1a64_hex("instance-payload-" + std::to_string(i)));
+  return out;
+}
+
+TEST(ShardMap, PlacementIsDeterministicAcrossInstances) {
+  // Two independently built maps over the same topology must agree on
+  // every key — placement is a pure function of (topology, digest), the
+  // property that keeps backend caches warm across router restarts.
+  const ShardMap a(topology(5));
+  const ShardMap b(topology(5));
+  for (const std::string& d : digests(500)) {
+    EXPECT_EQ(a.owner(d), b.owner(d));
+    EXPECT_EQ(a.preference(d), b.preference(d));
+  }
+}
+
+TEST(ShardMap, PreferenceListsEveryBackendOnceOwnerFirst) {
+  const ShardMap map(topology(7));
+  for (const std::string& d : digests(100)) {
+    const std::vector<std::size_t> order = map.preference(d);
+    ASSERT_EQ(order.size(), 7u);
+    EXPECT_EQ(order.front(), map.owner(d));
+    EXPECT_EQ(std::set<std::size_t>(order.begin(), order.end()).size(), 7u);
+  }
+}
+
+TEST(ShardMap, AddingABackendMovesAtMostItsShare) {
+  // Growing 4 -> 5 backends may only move keys *onto* the new backend:
+  // a key that stays on an old backend must stay on the same one, and
+  // the stolen fraction concentrates near 1/5.
+  const std::vector<std::string> keys = digests(4000);
+  const ShardMap before(topology(4));
+  const ShardMap after(topology(5));
+  std::size_t moved = 0;
+  for (const std::string& d : keys) {
+    const std::size_t old_owner = before.owner(d);
+    const std::size_t new_owner = after.owner(d);
+    if (old_owner != new_owner) {
+      ++moved;
+      // Only the new backend (index 4) may steal keys.
+      EXPECT_EQ(new_owner, 4u) << "key rehashed between surviving backends";
+    }
+  }
+  const double fraction =
+      static_cast<double>(moved) / static_cast<double>(keys.size());
+  EXPECT_GT(fraction, 0.0);  // the new backend owns *something*
+  // Expected 1/5 = 0.2; 64 vnodes/backend keeps the spread tight, the
+  // bound below is ~2x expectation — movement near 1.0 (naive mod-N
+  // rehash) fails loudly.
+  EXPECT_LT(fraction, 0.4);
+}
+
+TEST(ShardMap, RemovingABackendOnlyReassignsItsKeys) {
+  const std::vector<std::string> keys = digests(4000);
+  const ShardMap full(topology(5));
+  // Drop b3 (index 2). Surviving specs keep their names, so their vnodes
+  // are identical points on the ring.
+  std::vector<BackendSpec> reduced = topology(5);
+  reduced.erase(reduced.begin() + 2);
+  const ShardMap after(std::move(reduced));
+  std::size_t moved = 0;
+  for (const std::string& d : keys) {
+    const std::size_t old_owner = full.owner(d);
+    const std::size_t new_owner = after.owner(d);
+    // Map the reduced index back to the full topology's numbering.
+    const std::size_t new_owner_full =
+        new_owner >= 2 ? new_owner + 1 : new_owner;
+    if (old_owner == 2) {
+      ++moved;  // orphaned keys must land somewhere else
+      EXPECT_NE(new_owner_full, 2u);
+    } else {
+      EXPECT_EQ(new_owner_full, old_owner)
+          << "key moved although its owner survived";
+    }
+  }
+  const double fraction =
+      static_cast<double>(moved) / static_cast<double>(keys.size());
+  EXPECT_GT(fraction, 0.0);
+  EXPECT_LT(fraction, 0.4);  // ≈ 1/5 expected
+}
+
+TEST(ShardMap, OwnershipIsProportionalToWeight) {
+  // b1 at weight 3 against three weight-1 peers: b1 should own ≈ 3/6 of
+  // the keyspace and each peer ≈ 1/6.
+  std::vector<BackendSpec> backends = topology(4);
+  backends[0].weight = 3;
+  const ShardMap map(std::move(backends));
+  const std::vector<std::string> keys = digests(6000);
+  std::vector<std::size_t> owned(4, 0);
+  for (const std::string& d : keys) ++owned[map.owner(d)];
+  const double heavy =
+      static_cast<double>(owned[0]) / static_cast<double>(keys.size());
+  EXPECT_GT(heavy, 0.35);  // expected 0.5
+  EXPECT_LT(heavy, 0.65);
+  for (std::size_t i = 1; i < 4; ++i) {
+    const double share =
+        static_cast<double>(owned[i]) / static_cast<double>(keys.size());
+    EXPECT_GT(share, 0.07) << "backend " << i;  // expected ≈ 0.167
+    EXPECT_LT(share, 0.30) << "backend " << i;
+  }
+}
+
+TEST(ShardMap, InvalidTopologiesThrow) {
+  EXPECT_THROW(ShardMap(std::vector<BackendSpec>{}), std::invalid_argument);
+
+  std::vector<BackendSpec> dup = topology(2);
+  dup[1].name = dup[0].name;
+  EXPECT_THROW(ShardMap(std::move(dup)), std::invalid_argument);
+
+  std::vector<BackendSpec> unnamed = topology(2);
+  unnamed[1].name.clear();
+  EXPECT_THROW(ShardMap(std::move(unnamed)), std::invalid_argument);
+
+  std::vector<BackendSpec> weightless = topology(2);
+  weightless[0].weight = 0;
+  EXPECT_THROW(ShardMap(std::move(weightless)), std::invalid_argument);
+}
+
+TEST(ShardMap, RenamingABackendMovesItsKeys) {
+  // The name is the hash identity: same endpoint under a new name is a
+  // different ring position (documented sharp edge, pinned here).
+  const std::vector<std::string> keys = digests(500);
+  const ShardMap original(topology(3));
+  std::vector<BackendSpec> renamed = topology(3);
+  renamed[1].name = "b2-renamed";
+  const ShardMap after(std::move(renamed));
+  std::size_t moved = 0;
+  for (const std::string& d : keys)
+    if (original.owner(d) != after.owner(d)) ++moved;
+  EXPECT_GT(moved, 0u);
+}
+
+}  // namespace

@@ -6,8 +6,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <fstream>
 #include <future>
+#include <memory>
 #include <set>
 #include <string>
 #include <thread>
@@ -927,7 +929,99 @@ TEST(SvcServer, ConcurrentFlightScrapesDuringSolvesStayParseable) {
   for (std::thread& t : solvers) t.join();
   done.store(true);
   scraper.join();
-  EXPECT_GE(f.server.flight_json().number_at("recorded_total"), 24.0);
+  // The worker epilogue records the flight entry *after* writing the
+  // response (the client must not wait on bookkeeping), so the last
+  // solve's record can trail the join by a beat — poll briefly.
+  double recorded = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    recorded = f.server.flight_json().number_at("recorded_total");
+    if (recorded >= 24.0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(recorded, 24.0);
+}
+
+// --- Client reconnect -------------------------------------------------------
+
+// The reconnect path the router's backend pools and long-lived loadgen
+// connections depend on: a server restart mid-stream (ECONNRESET/EPIPE
+// territory) is absorbed by SvcClient::call — reconnect with backoff,
+// retransmit, same response contract. Unix socket so the endpoint
+// survives the restart verbatim (an ephemeral TCP port would move).
+TEST(SvcClientReconnect, SurvivesServerRestartMidStream) {
+  const std::string sock = testing::TempDir() + "svc_reconnect.sock";
+  auto make_server = [&] {
+    svc::ServerOptions options;
+    options.unix_socket_path = sock;
+    options.threads = 2;
+    auto server = std::make_unique<svc::SolverServer>(std::move(options));
+    server->start();
+    return server;
+  };
+  auto server = make_server();
+  svc::SvcClient client = svc::SvcClient::connect("unix:" + sock);
+  const JsonValue instance = small_instance();
+  ASSERT_TRUE(client.solve(instance, "lcf", 1).ok);
+  EXPECT_EQ(client.reconnects(), 0u);
+
+  // Kill the server under the live connection, then bring a fresh one up
+  // on the same path (listen_unix unlinks the stale socket file). The old
+  // server must be *destroyed* before the new one binds — its listener
+  // unlinks the socket path on destruction, which would otherwise delete
+  // the replacement's freshly bound file.
+  server->request_shutdown();
+  server->wait();
+  server.reset();
+  server = make_server();
+
+  const svc::SvcResponse r = client.solve(instance, "lcf", 2);
+  ASSERT_TRUE(r.ok) << r.error_code << ": " << r.error_message;
+  EXPECT_GE(client.reconnects(), 1u);
+  // The restarted server is a cold process: its cache never saw id 1's
+  // solve, so this was a genuine re-execution, not a stale byte replay.
+  EXPECT_FALSE(r.body.at("cached").as_bool());
+
+  server->request_shutdown();
+  server->wait();
+}
+
+TEST(SvcClientReconnect, ZeroAttemptsKeepsTheHardErrorContract) {
+  const std::string sock = testing::TempDir() + "svc_noreconnect.sock";
+  svc::ServerOptions options;
+  options.unix_socket_path = sock;
+  options.threads = 1;
+  auto server = std::make_unique<svc::SolverServer>(std::move(options));
+  server->start();
+  svc::ReconnectOptions reconnect;
+  reconnect.attempts = 0;
+  svc::SvcClient client = svc::SvcClient::connect("unix:" + sock, reconnect);
+  ASSERT_TRUE(client.health().ok);
+  server->request_shutdown();
+  server->wait();
+  server.reset();
+  EXPECT_THROW(client.health(), std::runtime_error);
+}
+
+TEST(SvcClientReconnect, ExhaustedRetriesThrowWhenNothingListens) {
+  const std::string sock = testing::TempDir() + "svc_gone.sock";
+  auto server = [&] {
+    svc::ServerOptions options;
+    options.unix_socket_path = sock;
+    options.threads = 1;
+    auto s = std::make_unique<svc::SolverServer>(std::move(options));
+    s->start();
+    return s;
+  }();
+  svc::ReconnectOptions reconnect;
+  reconnect.attempts = 2;
+  reconnect.backoff_initial_ms = 1.0;  // keep the test fast
+  reconnect.backoff_max_ms = 2.0;
+  svc::SvcClient client = svc::SvcClient::connect("unix:" + sock, reconnect);
+  ASSERT_TRUE(client.health().ok);
+  server->request_shutdown();
+  server->wait();
+  server.reset();
+  EXPECT_THROW(client.health(), std::runtime_error);
 }
 
 // A shutdown *request* acknowledges on the wire before draining.

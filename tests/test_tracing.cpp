@@ -12,6 +12,7 @@
 #include <atomic>
 #include <cstdint>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
@@ -138,6 +139,9 @@ TEST(TracingRequestTrace, BuildsNestedTreeWithSequentialSpanIds) {
   const util::Timer clock;
   RequestTrace trace(TraceContext::derive("r-1", true), clock);
   const std::string trace_id = trace.context().trace_id;
+  // Span ids hash in the inbound parent span so that processes sharing a
+  // trace (router + backend) can never mint colliding ids.
+  const std::string ns = trace_id + "/" + trace.context().span_id;
 
   trace.add_complete("svc.queue", 0.0, 0.5);
   trace.begin("svc.solve");
@@ -148,13 +152,13 @@ TEST(TracingRequestTrace, BuildsNestedTreeWithSequentialSpanIds) {
       trace.finish("r-1", "solve", "sampled", 3, 10.0);
 
   EXPECT_STREQ(finished.root.name, "svc.request");
-  EXPECT_EQ(finished.root.span_id, trace_span_id(trace_id, 0));
+  EXPECT_EQ(finished.root.span_id, trace_span_id(ns, 0));
   ASSERT_EQ(finished.root.children.size(), 2u);
   EXPECT_STREQ(finished.root.children[0].name, "svc.queue");
-  EXPECT_EQ(finished.root.children[0].span_id, trace_span_id(trace_id, 1));
+  EXPECT_EQ(finished.root.children[0].span_id, trace_span_id(ns, 1));
   EXPECT_DOUBLE_EQ(finished.root.children[0].dur_ms, 0.5);
   EXPECT_STREQ(finished.root.children[1].name, "svc.solve");
-  EXPECT_EQ(finished.root.children[1].span_id, trace_span_id(trace_id, 2));
+  EXPECT_EQ(finished.root.children[1].span_id, trace_span_id(ns, 2));
   ASSERT_EQ(finished.root.children[1].children.size(), 1u);
   EXPECT_STREQ(finished.root.children[1].children[0].name, "solver.run");
   EXPECT_EQ(finished.root.span_count(), 4u);
@@ -285,6 +289,16 @@ TEST(TracingWriter, WritesLoadableChromeTraceWithDeterministicFooter) {
 
   const util::JsonArray& events = doc.at("traceEvents").as_array();
   ASSERT_EQ(events.size(), 4u);  // 2 traces x (root + svc.solve)
+  // First pass: find each trace's root span id (span ids are namespaced
+  // by the inbound parent span, so the roots are discovered, not derived).
+  std::map<std::string, std::string> root_span;
+  for (const JsonValue& ev : events) {
+    if (ev.string_at("name") == "svc.request") {
+      root_span[ev.at("args").string_at("trace_id")] =
+          ev.at("args").string_at("span_id");
+    }
+  }
+  EXPECT_EQ(root_span.size(), 2u);
   std::set<std::string> span_ids;
   for (const JsonValue& ev : events) {
     EXPECT_EQ(ev.string_at("ph"), "X");
@@ -294,10 +308,10 @@ TEST(TracingWriter, WritesLoadableChromeTraceWithDeterministicFooter) {
     const JsonValue& args = ev.at("args");
     EXPECT_EQ(args.string_at("trace_id").size(), 32u);
     span_ids.insert(args.string_at("span_id"));
-    // Every non-root event's parent is another event of the same trace.
+    // Every non-root event's parent is its own trace's root.
     if (ev.string_at("name") != "svc.request") {
       EXPECT_EQ(args.string_at("parent_span_id"),
-                trace_span_id(args.string_at("trace_id"), 0));
+                root_span[args.string_at("trace_id")]);
     }
   }
   EXPECT_EQ(span_ids.size(), 4u);

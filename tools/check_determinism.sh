@@ -208,6 +208,73 @@ EOF
     python3 "$TOOLS_DIR/strip_wallclock.py" \
         "$out/svc.trace.responses.jsonl" "$out/svc.trace.json" \
         "$out/svc.flight.json"
+
+    # Routed determinism: a 2-backend single-worker topology behind the
+    # front router, health probing off (--health-interval-ms 0 — probe
+    # arrival is wall-clock, and these runs must not depend on it). With
+    # one pipelined connection and FIFO workers everywhere, the digest
+    # placement, the router-minted "r-<n>" ids, the cache outcomes, the
+    # spliced route_backend tags, and the wide-event logs of the router
+    # and both backends are exact functions of the request stream.
+    ROUTE="$(dirname "$MECSC")/mecsc_route"
+    if [ -x "$ROUTE" ]; then
+      "$SERVE" --tcp-port 0 --threads 1 --port-file "$out/d1port.txt" \
+          --request-log "$out/route.b1.requestlog.jsonl" 2>/dev/null &
+      d1_pid=$!
+      "$SERVE" --tcp-port 0 --threads 1 --port-file "$out/d2port.txt" \
+          --request-log "$out/route.b2.requestlog.jsonl" 2>/dev/null &
+      d2_pid=$!
+      for _ in $(seq 1 200); do
+        [ -s "$out/d1port.txt" ] && [ -s "$out/d2port.txt" ] && break
+        sleep 0.05
+      done
+      "$ROUTE" --tcp-port 0 --port-file "$out/rtport.txt" \
+          --backend "b1=tcp:127.0.0.1:$(cat "$out/d1port.txt")" \
+          --backend "b2=tcp:127.0.0.1:$(cat "$out/d2port.txt")" \
+          --health-interval-ms 0 \
+          --request-log "$out/route.requestlog.jsonl" 2>/dev/null &
+      route_pid=$!
+      for _ in $(seq 1 200); do
+        [ -s "$out/rtport.txt" ] && break
+        sleep 0.05
+      done
+      rtport="$(cat "$out/rtport.txt")"
+      rm "$out/rtport.txt" "$out/d1port.txt" "$out/d2port.txt"
+      python3 - "$out" <<'EOF'
+import json, sys
+out = sys.argv[1]
+inst = json.load(open(out + "/inst.json"))
+requests = [
+    {"id": 1, "type": "solve", "algorithm": "lcf", "instance": inst,
+     "request_id": "rt-1"},                       # cold solve on the owner
+    {"id": 2, "type": "solve", "algorithm": "lcf", "instance": inst},
+                                                  # router-minted id, warm hit
+    {"id": 3, "type": "solve", "algorithm": "appro", "instance": inst,
+     "request_id": "rt-3"},                       # same digest, same owner
+]
+with open(out + "/svc.routedrequests", "w") as f:
+    for request in requests:
+        f.write(json.dumps(request) + "\n")
+EOF
+      exec 6<>"/dev/tcp/127.0.0.1/$rtport"
+      cat "$out/svc.routedrequests" >&6
+      : > "$out/svc.routed.responses.jsonl"
+      for _ in 1 2 3; do
+        IFS= read -r line <&6
+        printf '%s\n' "$line" >> "$out/svc.routed.responses.jsonl"
+      done
+      exec 6>&- 6<&-
+      rm "$out/svc.routedrequests"
+      # Router first (its drain closes the backend pools and flushes its
+      # log), then the backends flush theirs.
+      kill -TERM "$route_pid"
+      wait "$route_pid"
+      kill -TERM "$d1_pid" "$d2_pid"
+      wait "$d1_pid" "$d2_pid"
+      python3 "$TOOLS_DIR/strip_wallclock.py" \
+          "$out/svc.routed.responses.jsonl" "$out/route.requestlog.jsonl" \
+          "$out/route.b1.requestlog.jsonl" "$out/route.b2.requestlog.jsonl"
+    fi
   fi
 
   # Parse-path determinism: bench_json's record carries the canonical-dump

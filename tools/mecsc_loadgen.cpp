@@ -51,7 +51,11 @@ using namespace mecsc;
       R"(mecsc_loadgen — closed-loop load generator for the solver service
 
 usage:
-  mecsc_loadgen --connect ENDPOINT      unix:PATH | tcp:HOST:PORT
+  mecsc_loadgen --connect ENDPOINTS     unix:PATH | tcp:HOST:PORT, comma-
+                                        separated: connections round-robin
+                                        across the endpoints (point one
+                                        entry at a mecsc_route front router
+                                        — or several — for topology runs)
                 [--requests N]          total requests (default 1000)
                 [--connections N]       concurrent connections (default 4)
                 [--algorithms CSV]      cycle over these (default
@@ -82,6 +86,14 @@ usage:
                                         traceparent each request carries:
                                         the sampled flag is set for this
                                         fraction of trace ids (default 0)
+                [--bench-name NAME]     bench record name: writes
+                                        BENCH_<NAME>.json (default svc;
+                                        route topology runs use route)
+                [--affinity-gate F]     fail unless the repeat-digest
+                                        backend affinity (fraction of
+                                        routed responses landing on their
+                                        combo's first-seen route_backend)
+                                        is >= F; needs a router upstream
 
 Every request carries a request_id ("lg-<conn>-<n>") and a W3C traceparent
 derived from it (one trace per request, client span as the root); the tool
@@ -149,17 +161,26 @@ struct Combo {
 };
 
 /// Shared verification state: first digest seen per combo + error log.
+/// When responses carry "route_backend" (a mecsc_route upstream), also
+/// tracks cache affinity: a digest-sharded router should land every
+/// repeat of a combo on the combo's first-seen backend, so the match
+/// fraction is the router's effective cache-affinity.
 struct Verifier {
   mecsc::util::Mutex mutex;
   std::vector<std::string> combo_digest
       MECSC_GUARDED_BY(mutex);  ///< "" until first response
   std::vector<std::uint64_t> combo_count MECSC_GUARDED_BY(mutex);
   std::vector<std::string> failures MECSC_GUARDED_BY(mutex);
+  std::vector<std::string> combo_backend
+      MECSC_GUARDED_BY(mutex);  ///< first route_backend seen, "" direct
+  std::uint64_t routed_total MECSC_GUARDED_BY(mutex) = 0;
+  std::uint64_t routed_affine MECSC_GUARDED_BY(mutex) = 0;
 
   explicit Verifier(std::size_t combos)
-      : combo_digest(combos), combo_count(combos) {}
+      : combo_digest(combos), combo_count(combos), combo_backend(combos) {}
 
-  void record(std::size_t combo, const std::string& digest) {
+  void record(std::size_t combo, const std::string& digest,
+              const std::string& backend) {
     const mecsc::util::MutexLock lock(mutex);
     ++combo_count[combo];
     if (combo_digest[combo].empty()) {
@@ -168,6 +189,11 @@ struct Verifier {
       failures.push_back("combo " + std::to_string(combo) +
                          ": result digest " + digest +
                          " != first seen " + combo_digest[combo]);
+    }
+    if (!backend.empty()) {
+      ++routed_total;
+      if (combo_backend[combo].empty()) combo_backend[combo] = backend;
+      if (combo_backend[combo] == backend) ++routed_affine;
     }
   }
 
@@ -182,7 +208,9 @@ struct Verifier {
 int main(int argc, char** argv) {
   const Args args(argc, argv);
   try {
-    const std::string endpoint = args.require("--connect");
+    const std::vector<std::string> endpoints =
+        split_csv(args.require("--connect"));
+    if (endpoints.empty()) usage("--connect must name at least one endpoint");
     const std::uint64_t total_requests =
         static_cast<std::uint64_t>(args.number_or("--requests", 1000));
     const std::size_t connections =
@@ -205,6 +233,9 @@ int main(int argc, char** argv) {
         args.number_or("--trace-sample-rate", 0.0);
     if (trace_sample_rate < 0.0 || trace_sample_rate > 1.0)
       usage("--trace-sample-rate must be in [0, 1]");
+    const std::string bench_name = args.get_or("--bench-name", "svc");
+    const double affinity_gate = args.number_or("--affinity-gate", -1.0);
+    if (affinity_gate > 1.0) usage("--affinity-gate must be in [0, 1]");
     if (connections == 0) usage("--connections must be >= 1");
     if (algorithms.empty()) usage("--algorithms must name at least one");
     if (instance_count == 0) usage("--instances must be >= 1");
@@ -254,7 +285,8 @@ int main(int argc, char** argv) {
 
     auto worker = [&](std::size_t conn_index) {
       try {
-        svc::SvcClient client = svc::SvcClient::connect(endpoint);
+        svc::SvcClient client = svc::SvcClient::connect(
+            endpoints[conn_index % endpoints.size()]);
         while (true) {
           const std::uint64_t i = next_request.fetch_add(1);
           if (i >= total_requests) return;
@@ -320,7 +352,10 @@ int main(int argc, char** argv) {
           decoded_bytes.fetch_add(instance_bytes[combo.instance_index]);
           if (response.body.at("cached").as_bool()) cached_responses.fetch_add(1);
           verifier.record(combo_index,
-                          obs::fnv1a64_hex(response.body.at("result").dump()));
+                          obs::fnv1a64_hex(response.body.at("result").dump()),
+                          response.body.contains("route_backend")
+                              ? response.body.at("route_backend").as_string()
+                              : std::string());
         }
       } catch (const std::exception& e) {
         verifier.fail("connection " + std::to_string(conn_index) + ": " +
@@ -340,7 +375,7 @@ int main(int argc, char** argv) {
     if (scraping.load()) {
       scraper = std::thread([&] {
         try {
-          svc::SvcClient scrape_client = svc::SvcClient::connect(endpoint);
+          svc::SvcClient scrape_client = svc::SvcClient::connect(endpoints[0]);
           while (scraping.load()) {
             const svc::SvcResponse m = scrape_client.metrics();
             if (m.ok && m.body.contains("telemetry")) {
@@ -377,9 +412,11 @@ int main(int argc, char** argv) {
     } server_numbers;
     bool have_server_numbers = false;
     try {
-      svc::SvcClient control = svc::SvcClient::connect(endpoint);
+      svc::SvcClient control = svc::SvcClient::connect(endpoints[0]);
       const svc::SvcResponse stats = control.server_stats();
-      if (stats.ok) {
+      // A mecsc_route upstream answers "stats" with router counters and no
+      // "cache" section — the cache rows just drop from the report.
+      if (stats.ok && stats.body.contains("cache")) {
         const util::JsonValue& cache = stats.body.at("cache");
         server_numbers.hits = cache.number_at("hits");
         server_numbers.misses = cache.number_at("misses");
@@ -420,6 +457,31 @@ int main(int argc, char** argv) {
             ? 0.0
             : static_cast<double>(decoded_bytes.load()) / (run_ms * 1e3);
 
+    // Routed-affinity view (when a mecsc_route upstream tagged responses
+    // with route_backend): fraction of routed responses that landed on
+    // their combo's first-seen backend. Read under a short lock so the
+    // gate below and the report agree on one snapshot.
+    std::uint64_t routed_total = 0;
+    double affinity = -1.0;
+    {
+      const mecsc::util::MutexLock lock(verifier.mutex);
+      routed_total = verifier.routed_total;
+      if (routed_total > 0)
+        affinity = static_cast<double>(verifier.routed_affine) /
+                   static_cast<double>(routed_total);
+    }
+    if (affinity_gate >= 0.0) {
+      if (routed_total == 0) {
+        verifier.fail(
+            "--affinity-gate: no response carried route_backend (endpoint "
+            "is not a mecsc_route router?)");
+      } else if (affinity < affinity_gate) {
+        verifier.fail("--affinity-gate: backend affinity " +
+                      std::to_string(affinity) + " < " +
+                      std::to_string(affinity_gate));
+      }
+    }
+
     util::Table t({"metric", "value"});
     t.add_row({std::string("requests"),
                static_cast<long long>(all_latencies.size())});
@@ -434,6 +496,8 @@ int main(int argc, char** argv) {
     if (scrape_interval_ms > 0.0)
       t.add_row({std::string("telemetry scrapes"),
                  static_cast<long long>(scrape_samples.size())});
+    if (routed_total > 0)
+      t.add_row({std::string("backend affinity"), affinity});
     t.add_row({std::string("throughput (req/s)"),
                all_latencies.empty() ? 0.0
                                      : 1e3 * static_cast<double>(
@@ -459,7 +523,7 @@ int main(int argc, char** argv) {
     // The workers are joined, so this lock is uncontended — it exists so
     // the thread-safety analysis can prove the guarded reads below.
     const mecsc::util::MutexLock verifier_lock(verifier.mutex);
-    bench::BenchRecorder recorder("svc");
+    bench::BenchRecorder recorder(bench_name);
     for (std::size_t c = 0; c < combos.size(); ++c) {
       util::JsonObject row;
       row["algorithm"] = util::JsonValue(combos[c].algorithm);
@@ -475,9 +539,20 @@ int main(int argc, char** argv) {
       row["payload_bytes_per_request"] =
           util::JsonValue(payload_bytes_per_request);
       row["wall_decoded_mb_per_s"] = util::JsonValue(decoded_mb_per_s);
+      row["wall_requests_per_s"] = util::JsonValue(
+          run_ms <= 0.0 ? 0.0
+                        : 1e3 * static_cast<double>(all_latencies.size()) /
+                              run_ms);
       // Whether (and how often) the server sheds load is timing-dependent,
       // so the retry count is wall-clock metadata.
       row["wall_overload_retries"] = util::JsonValue(overload_retries.load());
+      if (routed_total > 0) {
+        // Every ok routed response is tagged, so the count is as stable as
+        // "requests"; which backend answers is timing-dependent once spills
+        // happen, so the affinity itself is wall-clock.
+        row["routed_responses"] = util::JsonValue(routed_total);
+        row["wall_backend_affinity"] = util::JsonValue(affinity);
+      }
       recorder.add("summary", std::move(row),
                    {{"latency_p50", latency.p50},
                     {"latency_p95", latency.p95},

@@ -138,6 +138,59 @@ const char* error_rate_color(double requests, double errors) {
   return "\x1b[31m";
 }
 
+/// Router-tier section: rendered only when the telemetry carries the
+/// "route" object (the endpoint is a mecsc_route, not a mecsc_serve).
+/// One row per backend: shard state (draining/unhealthy/spill counters)
+/// plus the latest probed load when the health prober has fresh data.
+std::string render_route(const util::JsonValue& route) {
+  std::string out;
+  out += "\nroute " + util::format_double(number_or_zero(route, "forwarded"),
+                                          0) +
+         " forwarded / " +
+         util::format_double(number_or_zero(route, "spilled"), 0) +
+         " spilled / " +
+         util::format_double(number_or_zero(route, "backend_reconnects"), 0) +
+         " reconnects / " +
+         util::format_double(number_or_zero(route, "backend_failures"), 0) +
+         " failures\n";
+  if (!route.is_object() || !route.contains("backends") ||
+      !route.at("backends").is_array())
+    return out;
+  util::Table table({"backend", "state", "wt", "fwd", "spill", "fail",
+                     "reconn", "queue", "busy", "svc ms"});
+  table.set_precision(2);
+  for (const util::JsonValue& b : route.at("backends").as_array()) {
+    std::string state = "up";
+    if (b.contains("draining") && b.at("draining").as_bool()) {
+      state = "draining";
+    } else if (b.contains("healthy") && !b.at("healthy").as_bool()) {
+      state = "down";
+    }
+    const bool probed = b.contains("queue_capacity");
+    table.add_row(
+        {b.at("name").as_string(), state,
+         static_cast<long long>(number_or_zero(b, "weight")),
+         static_cast<long long>(number_or_zero(b, "forwarded")),
+         static_cast<long long>(number_or_zero(b, "spilled_to")),
+         static_cast<long long>(number_or_zero(b, "failures")),
+         static_cast<long long>(number_or_zero(b, "reconnects")),
+         probed ? util::format_double(number_or_zero(b, "wall_queue_depth"),
+                                      0) + "/" +
+                      util::format_double(number_or_zero(b, "queue_capacity"),
+                                          0)
+                : std::string("-"),
+         probed ? util::format_double(number_or_zero(b, "wall_inflight"), 0) +
+                      "/" +
+                      util::format_double(number_or_zero(b, "workers"), 0)
+                : std::string("-"),
+         probed ? util::format_double(
+                      number_or_zero(b, "wall_service_time_ms"), 2)
+                : std::string("-")});
+  }
+  out += table.to_string();
+  return out;
+}
+
 /// One dashboard frame rendered from a "metrics" response body.
 std::string render_frame(const std::string& endpoint,
                          const util::JsonValue& telemetry, bool color) {
@@ -223,8 +276,13 @@ std::string render_frame(const std::string& endpoint,
                              16)});
   }
   const std::string rendered = table.to_string();
+  const std::string route_section =
+      telemetry.is_object() && telemetry.contains("route")
+          ? render_route(telemetry.at("route"))
+          : std::string();
   if (!color) {
     out += rendered;
+    out += route_section;
     return out;
   }
   // Colorize whole lines after rendering: line 0 is the header, line 1 the
@@ -243,6 +301,7 @@ std::string render_frame(const std::string& endpoint,
     start = end + 1;
     ++line;
   }
+  out += route_section;
   return out;
 }
 
